@@ -1,0 +1,160 @@
+//! Robustness evaluation harness.
+
+use crate::apgd::{Apgd, ApgdConfig};
+use crate::pgd::{Pgd, PgdConfig};
+use crate::target::ModelTarget;
+use fp_data::Dataset;
+use fp_nn::CascadeModel;
+use fp_tensor::{argmax_rows, seeded_rng};
+
+/// Clean and adversarial accuracy of a model (the paper's Table 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessReport {
+    /// Accuracy on clean inputs ("Clean Acc.").
+    pub clean_acc: f32,
+    /// Accuracy under PGD-20 ("PGD Acc.").
+    pub pgd_acc: f32,
+    /// Accuracy under the APGD AutoAttack surrogate ("AA Acc.").
+    pub apgd_acc: f32,
+}
+
+impl std::fmt::Display for RobustnessReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "clean {:.2}% | pgd {:.2}% | aa {:.2}%",
+            self.clean_acc * 100.0,
+            self.pgd_acc * 100.0,
+            self.apgd_acc * 100.0
+        )
+    }
+}
+
+/// Evaluates clean, PGD, and APGD accuracy of `model` over `ds`
+/// (batched; deterministic given `seed`).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `batch_size` is zero.
+pub fn evaluate_robustness(
+    model: &mut CascadeModel,
+    ds: &Dataset,
+    pgd_cfg: &PgdConfig,
+    apgd_cfg: &ApgdConfig,
+    batch_size: usize,
+    seed: u64,
+) -> RobustnessReport {
+    assert!(!ds.is_empty(), "cannot evaluate an empty dataset");
+    assert!(batch_size > 0, "batch size must be positive");
+    let pgd = Pgd::new(*pgd_cfg);
+    let apgd = Apgd::new(*apgd_cfg);
+    let mut rng = seeded_rng(seed ^ 0xE7A1);
+    let (mut clean_ok, mut pgd_ok, mut apgd_ok) = (0usize, 0usize, 0usize);
+    let n = ds.len();
+    let mut i = 0;
+    while i < n {
+        let hi = (i + batch_size).min(n);
+        let idx: Vec<usize> = (i..hi).collect();
+        let (x, labels) = ds.batch(&idx);
+        let mut target = ModelTarget::new(model);
+        clean_ok += count_correct(&mut target, &x, &labels);
+        let adv = pgd.attack(&mut target, &x, &labels, &mut rng);
+        pgd_ok += count_correct(&mut target, &adv, &labels);
+        let adv = apgd.attack(&mut target, &x, &labels, &mut rng);
+        apgd_ok += count_correct(&mut target, &adv, &labels);
+        i = hi;
+    }
+    RobustnessReport {
+        clean_acc: clean_ok as f32 / n as f32,
+        pgd_acc: pgd_ok as f32 / n as f32,
+        apgd_acc: apgd_ok as f32 / n as f32,
+    }
+}
+
+/// Clean accuracy only (no attacks).
+pub fn clean_accuracy(model: &mut CascadeModel, ds: &Dataset, batch_size: usize) -> f32 {
+    assert!(!ds.is_empty(), "cannot evaluate an empty dataset");
+    let mut ok = 0usize;
+    let n = ds.len();
+    let mut i = 0;
+    while i < n {
+        let hi = (i + batch_size).min(n);
+        let idx: Vec<usize> = (i..hi).collect();
+        let (x, labels) = ds.batch(&idx);
+        let logits = model.forward(&x, fp_nn::Mode::Eval);
+        let preds = argmax_rows(&logits);
+        ok += preds.iter().zip(&labels).filter(|(p, y)| p == y).count();
+        i = hi;
+    }
+    ok as f32 / n as f32
+}
+
+fn count_correct(
+    target: &mut ModelTarget<'_>,
+    x: &fp_tensor::Tensor,
+    labels: &[usize],
+) -> usize {
+    use crate::target::AttackTarget;
+    let logits = target.logits(x);
+    let preds = argmax_rows(&logits);
+    preds.iter().zip(labels).filter(|(p, y)| p == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_data::{generate, SynthConfig};
+    use fp_nn::models;
+
+    #[test]
+    fn report_orders_clean_pgd_apgd() {
+        // Even an untrained model must satisfy the attack-strength ordering
+        // in expectation; check with a trained-for-a-moment model.
+        let mut rng = fp_tensor::seeded_rng(0);
+        let mut model = models::tiny_vgg(3, 8, 4, &[8, 16], &mut rng);
+        let ds = generate(&SynthConfig::tiny(4, 8), 5);
+        // Quick training: a few SGD steps on clean data.
+        let mut opt = fp_nn::Sgd::new(0.9, 0.0);
+        let ce = fp_nn::CrossEntropyLoss::new();
+        let mut it = fp_data::BatchIter::new(&ds.train, &(0..ds.train.len()).collect::<Vec<_>>(), 16, 0);
+        for _ in 0..30 {
+            let (x, y) = it.next_batch();
+            let logits = model.forward(&x, fp_nn::Mode::Train);
+            let (_, dl) = ce.forward(&logits, &y);
+            model.zero_grad();
+            model.backward(&dl);
+            opt.step(&mut model.params_mut(), 0.05);
+        }
+        let report = evaluate_robustness(
+            &mut model,
+            &ds.test,
+            &PgdConfig::fast(8.0 / 255.0),
+            &ApgdConfig::fast(8.0 / 255.0),
+            16,
+            0,
+        );
+        assert!(report.clean_acc > 0.4, "model failed to learn: {report}");
+        assert!(
+            report.clean_acc >= report.pgd_acc - 0.05,
+            "ordering violated: {report}"
+        );
+        assert!(report.pgd_acc <= 1.0 && report.apgd_acc <= 1.0);
+    }
+
+    #[test]
+    fn clean_accuracy_matches_report() {
+        let mut rng = fp_tensor::seeded_rng(1);
+        let mut model = models::tiny_vgg(3, 8, 4, &[4, 8], &mut rng);
+        let ds = generate(&SynthConfig::tiny(4, 8), 6);
+        let acc = clean_accuracy(&mut model, &ds.test, 8);
+        let report = evaluate_robustness(
+            &mut model,
+            &ds.test,
+            &PgdConfig::fast(0.01),
+            &ApgdConfig::fast(0.01),
+            8,
+            1,
+        );
+        assert!((acc - report.clean_acc).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the attack suite (PGD/APGD step throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fp_attack::{Apgd, ApgdConfig, ModelTarget, Pgd, PgdConfig};
+use fp_nn::models;
+use fp_tensor::{seeded_rng, Tensor};
+
+fn bench_pgd(c: &mut Criterion) {
+    let mut rng = seeded_rng(0);
+    let mut model = models::tiny_vgg(3, 16, 8, &[8, 16, 32], &mut rng);
+    let x = Tensor::rand_uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 8).collect();
+    let pgd = Pgd::new(PgdConfig {
+        steps: 10,
+        ..PgdConfig::train_linf(8.0 / 255.0)
+    });
+    c.bench_function("pgd10_batch8_tinyvgg16", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(1);
+            let mut target = ModelTarget::new(&mut model);
+            std::hint::black_box(pgd.attack(&mut target, &x, &labels, &mut rng))
+        });
+    });
+}
+
+fn bench_apgd(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let mut model = models::tiny_vgg(3, 16, 8, &[8, 16, 32], &mut rng);
+    let x = Tensor::rand_uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 8).collect();
+    let apgd = Apgd::new(ApgdConfig {
+        steps: 10,
+        restarts: 1,
+        ..ApgdConfig::eval_linf(8.0 / 255.0)
+    });
+    c.bench_function("apgd10_batch8_tinyvgg16", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(3);
+            let mut target = ModelTarget::new(&mut model);
+            std::hint::black_box(apgd.attack(&mut target, &x, &labels, &mut rng))
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pgd, bench_apgd
+}
+criterion_main!(benches);

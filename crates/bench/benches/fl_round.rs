@@ -1,0 +1,47 @@
+//! Criterion benchmarks for one federated round of the main algorithms
+//! (tiny scale) and for the full-scale method cost model (Figure 7's
+//! engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedprophet::{FedProphet, ProphetConfig};
+use fp_bench::costmodel::{cifar_workload, method_cost, Method};
+use fp_bench::envs::{cifar_env, Het, Scale};
+use fp_fl::{FlAlgorithm, JFat, PartialTraining};
+use fp_hwsim::SamplingMode;
+
+fn bench_training_rounds(c: &mut Criterion) {
+    let mut env = cifar_env(Scale::Fast, Het::Balanced, 0);
+    env.cfg.rounds = 1;
+    c.bench_function("jfat_one_round_tiny", |b| {
+        b.iter(|| std::hint::black_box(JFat::new().run(&env)));
+    });
+    c.bench_function("fedrolex_one_round_tiny", |b| {
+        b.iter(|| std::hint::black_box(PartialTraining::fedrolex().run(&env)));
+    });
+    let cfg = ProphetConfig {
+        rounds_per_module: Some(1),
+        ..ProphetConfig::default()
+    };
+    c.bench_function("fedprophet_one_round_per_module_tiny", |b| {
+        b.iter(|| std::hint::black_box(FedProphet::new(cfg).run_detailed(&env)));
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let w = cifar_workload();
+    c.bench_function("cost_model_jfat_500_rounds", |b| {
+        b.iter(|| std::hint::black_box(method_cost(&w, Method::JFat, SamplingMode::Balanced, 0)));
+    });
+    c.bench_function("cost_model_fedprophet_2500_rounds", |b| {
+        b.iter(|| {
+            std::hint::black_box(method_cost(&w, Method::FedProphet, SamplingMode::Balanced, 0))
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training_rounds, bench_cost_model
+}
+criterion_main!(benches);

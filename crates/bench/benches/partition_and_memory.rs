@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the server-side planning path: memory
+//! estimation and model partitioning over full-scale specs (Tables 7–8's
+//! machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedprophet::partition_model;
+use fp_hwsim::model_mem_req;
+use fp_nn::models::{resnet34_spec_caltech, vgg16_spec_cifar};
+
+fn bench_memory_estimation(c: &mut Criterion) {
+    let vgg = vgg16_spec_cifar();
+    let resnet = resnet34_spec_caltech();
+    c.bench_function("mem_req_vgg16", |b| {
+        b.iter(|| std::hint::black_box(model_mem_req(&vgg, &[3, 32, 32], 64).total()));
+    });
+    c.bench_function("mem_req_resnet34", |b| {
+        b.iter(|| std::hint::black_box(model_mem_req(&resnet, &[3, 224, 224], 32).total()));
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let vgg = vgg16_spec_cifar();
+    let resnet = resnet34_spec_caltech();
+    let r_vgg = model_mem_req(&vgg, &[3, 32, 32], 64).total() / 5;
+    c.bench_function("partition_vgg16", |b| {
+        b.iter(|| std::hint::black_box(partition_model(&vgg, &[3, 32, 32], 64, 10, r_vgg)));
+    });
+    c.bench_function("partition_resnet34", |b| {
+        b.iter(|| {
+            std::hint::black_box(partition_model(
+                &resnet,
+                &[3, 224, 224],
+                32,
+                256,
+                224 * 1024 * 1024,
+            ))
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_memory_estimation, bench_partition
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for the numeric kernels everything else is
+//! built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fp_nn::{Conv2d, Layer, Mode};
+use fp_tensor::{seeded_rng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = seeded_rng(0);
+        let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_forward_backward(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let mut conv = Conv2d::new("c", 16, 32, 3, 1, 1, false, 0, 1, &mut rng);
+    let x = Tensor::rand_uniform(&[8, 16, 16, 16], -1.0, 1.0, &mut rng);
+    c.bench_function("conv2d_forward_8x16x16x16", |b| {
+        b.iter(|| std::hint::black_box(conv.forward(&x, Mode::Eval)));
+    });
+    let y = conv.forward(&x, Mode::Train);
+    let g = Tensor::rand_uniform(y.shape(), -1.0, 1.0, &mut rng);
+    c.bench_function("conv2d_backward_8x16x16x16", |b| {
+        b.iter(|| {
+            conv.forward(&x, Mode::Train);
+            std::hint::black_box(conv.backward(&g))
+        });
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let logits = Tensor::rand_uniform(&[256, 256], -5.0, 5.0, &mut rng);
+    c.bench_function("softmax_rows_256x256", |b| {
+        b.iter(|| std::hint::black_box(fp_tensor::softmax_rows(&logits)));
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_conv_forward_backward, bench_softmax
+}
+criterion_main!(benches);

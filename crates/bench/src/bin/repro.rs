@@ -1,0 +1,80 @@
+//! The experiment driver: regenerates every table and figure of the
+//! FedProphet paper.
+//!
+//! ```text
+//! repro <experiment>... [--scale fast|medium|full] [--seed N]
+//! repro all [--scale ...]
+//! repro list
+//! ```
+
+use fp_bench::envs::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return;
+    }
+    let mut scale = Scale::Fast;
+    let mut seed = 42u64;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("fast") => Scale::Fast,
+                    Some("medium") => Scale::Medium,
+                    Some("full") => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "list" => {
+                for id in fp_bench::exp::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(fp_bench::exp::ALL.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    println!(
+        "# FedProphet reproduction — scale {scale:?}, seed {seed}\n\
+         # (cost-model experiments always run at paper scale)\n"
+    );
+    for id in &ids {
+        if !fp_bench::exp::run(id, scale, seed) {
+            eprintln!("unknown experiment '{id}' — try `repro list`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <experiment>... [--scale fast|medium|full] [--seed N]\n\
+                repro all | list\n\
+         experiments: {}",
+        fp_bench::exp::ALL.join(", ")
+    );
+}

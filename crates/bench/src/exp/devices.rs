@@ -1,0 +1,23 @@
+//! Tables 5–6: the device pools.
+
+use crate::report::Table;
+use fp_hwsim::{CALTECH_POOL, CIFAR_POOL};
+
+/// Prints both device pools exactly as in Appendix B.1.
+pub fn run() {
+    for (name, pool) in [
+        ("Table 5 — CIFAR-10 device pool", &CIFAR_POOL),
+        ("Table 6 — Caltech-256 device pool", &CALTECH_POOL),
+    ] {
+        let mut t = Table::new(name, &["Device", "Performance", "Memory", "I/O Bandwidth"]);
+        for d in pool.iter() {
+            t.rowd(&[
+                d.name.to_string(),
+                format!("{} TFLOPS", d.tflops),
+                format!("{} GB", d.mem_gb),
+                format!("{} GB/s", d.io_gbps),
+            ]);
+        }
+        t.print();
+    }
+}

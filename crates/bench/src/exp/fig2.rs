@@ -1,0 +1,94 @@
+//! Figure 2: local-training latency breakdown under three memory regimes.
+
+use crate::costmodel::{caltech_workload, cifar_workload, Workload};
+use crate::report::Table;
+use fp_hwsim::{
+    forward_macs, model_mem_req, sample_fleet, ClientLatency, LatencyModel, SamplingMode,
+    TrainingPassProfile,
+};
+use fp_tensor::seeded_rng;
+
+/// Reproduces Figure 2: for each workload, the normalized latency and its
+/// computation / data-access split when training with (a) sufficient
+/// memory, (b) 20 % memory with swapping (jFAT's regime), and (c) 20 %
+/// memory without swapping (FedRolex-style sub-model).
+pub fn run(seed: u64) {
+    for w in [cifar_workload(), caltech_workload()] {
+        let mut t = Table::new(
+            format!("Figure 2 [{}] — overhead breakdown (one local round)", w.name),
+            &["Scenario", "Compute s", "Data-access s", "Data share", "Norm. latency"],
+        );
+        let full_mem = model_mem_req(&w.specs, &w.input_shape, w.batch).total();
+        let full_macs = forward_macs(&w.specs, &w.input_shape);
+        let scenarios: [(&str, u64, f64); 3] = [
+            ("Suff. Mem", full_mem, 1.0),
+            ("Lim. w/ Swap", full_mem / 5, 1.0),
+            ("Lim. w/o Swap", full_mem / 5, 0.2),
+        ];
+        let mut results: Vec<ClientLatency> = Vec::new();
+        for &(name, budget, model_frac) in &scenarios {
+            let lat = mean_fleet_latency(&w, budget, model_frac, full_mem, full_macs, seed);
+            results.push(lat);
+            let _ = name;
+        }
+        let max_total = results
+            .iter()
+            .map(ClientLatency::total)
+            .fold(0.0f64, f64::max);
+        for (&(name, _, _), lat) in scenarios.iter().zip(&results) {
+            let share = if lat.total() > 0.0 {
+                lat.data_access_s / lat.total()
+            } else {
+                0.0
+            };
+            t.rowd(&[
+                name.to_string(),
+                format!("{:.2}", lat.compute_s),
+                format!("{:.2}", lat.data_access_s),
+                format!("{:.0}%", share * 100.0),
+                format!("{:.2}", lat.total() / max_total),
+            ]);
+        }
+        t.print();
+        let swap_share = results[1].data_access_s / results[1].total();
+        println!(
+            "shape: Lim. w/ Swap data-access share {:.0}% (paper band ~60-90%)\n",
+            swap_share * 100.0
+        );
+    }
+}
+
+/// Mean one-round latency over a balanced fleet of 50 sampled devices.
+fn mean_fleet_latency(
+    w: &Workload,
+    budget: u64,
+    model_frac: f64,
+    full_mem: u64,
+    full_macs: u64,
+    seed: u64,
+) -> ClientLatency {
+    let mut rng = seeded_rng(seed ^ 0xF16_2);
+    let fleet = sample_fleet(w.pool, 50, SamplingMode::Balanced, &mut rng);
+    let (mem_req, macs) = if model_frac >= 1.0 {
+        (full_mem, full_macs)
+    } else {
+        // Sub-model of width ratio r: memory ∝ r, MACs ∝ r².
+        (
+            (full_mem as f64 * model_frac) as u64,
+            (full_macs as f64 * model_frac * model_frac) as u64,
+        )
+    };
+    let model = LatencyModel {
+        mem_req_bytes: mem_req,
+        fwd_macs_per_sample: macs,
+        batch: w.batch,
+        profile: TrainingPassProfile::adversarial(10),
+    };
+    let mut acc = ClientLatency::zero();
+    for s in &fleet {
+        let mut c = *s;
+        c.avail_mem_bytes = budget;
+        acc = acc.add(&model.local_training(&c, 30));
+    }
+    acc.scale(1.0 / fleet.len() as f64)
+}

@@ -1,0 +1,60 @@
+//! Figure 6: device-availability samplings and the memory consumption of
+//! jFAT vs FedProphet.
+
+use crate::costmodel::{caltech_workload, cifar_workload, prophet_partition};
+use crate::report::{mb, Table};
+use fp_hwsim::{model_mem_req, sample_fleet, SamplingMode};
+use fp_tensor::seeded_rng;
+
+/// Reproduces Figure 6: availability statistics of the balanced and
+/// unbalanced fleets (upper panel) and the training-memory consumption of
+/// jFAT (whole model) vs FedProphet (largest module) (lower panel).
+pub fn run(seed: u64) {
+    for w in [cifar_workload(), caltech_workload()] {
+        let mut t = Table::new(
+            format!("Figure 6 (upper) [{}] — sampled availability", w.name),
+            &["Sampling", "mem GB (min/mean/max)", "perf TFLOPS (min/mean/max)"],
+        );
+        for het in [SamplingMode::Balanced, SamplingMode::Unbalanced] {
+            let mut rng = seeded_rng(seed ^ 0xF16_6);
+            let fleet = sample_fleet(w.pool, 100, het, &mut rng);
+            let mems: Vec<f64> = fleet
+                .iter()
+                .map(|s| s.avail_mem_bytes as f64 / (1024.0f64).powi(3))
+                .collect();
+            let perfs: Vec<f64> = fleet.iter().map(|s| s.avail_tflops).collect();
+            t.rowd(&[
+                format!("{het:?}"),
+                stats(&mems),
+                stats(&perfs),
+            ]);
+        }
+        t.print();
+
+        let full = model_mem_req(&w.specs, &w.input_shape, w.batch).total();
+        let partition = prophet_partition(&w, full / 5);
+        let mut t = Table::new(
+            format!("Figure 6 (lower) [{}] — memory consumption", w.name),
+            &["Method", "Memory", "Reduction"],
+        );
+        t.rowd(&["jFAT".to_string(), mb(full), "-".to_string()]);
+        let fp = partition.max_module_mem();
+        t.rowd(&[
+            "FedProphet".to_string(),
+            mb(fp),
+            format!("{:.0}%", (1.0 - fp as f64 / full as f64) * 100.0),
+        ]);
+        t.print();
+        println!(
+            "shape: paper reports ~80% reduction; partition has {} modules\n",
+            partition.num_modules()
+        );
+    }
+}
+
+fn stats(xs: &[f64]) -> String {
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(0.0f64, f64::max);
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    format!("{min:.2} / {mean:.2} / {max:.2}")
+}

@@ -1,0 +1,47 @@
+//! Figure 7: total training time (computation + data access) per method.
+
+use crate::costmodel::{caltech_workload, cifar_workload, method_cost, Method};
+use crate::report::{secs, Table};
+use fp_hwsim::SamplingMode;
+
+/// Paper speedups of FedProphet over jFAT in the four settings (§7.2).
+const PAPER_SPEEDUP: [f64; 4] = [2.4, 1.9, 10.8, 7.7];
+
+/// Simulates every method's total training time in all four settings.
+pub fn run(seed: u64) {
+    let settings = [
+        (cifar_workload(), SamplingMode::Balanced, "CIFAR-10, balanced"),
+        (cifar_workload(), SamplingMode::Unbalanced, "CIFAR-10, unbalanced"),
+        (caltech_workload(), SamplingMode::Balanced, "Caltech-256, balanced"),
+        (caltech_workload(), SamplingMode::Unbalanced, "Caltech-256, unbalanced"),
+    ];
+    for (i, (w, het, label)) in settings.into_iter().enumerate() {
+        let mut t = Table::new(
+            format!("Figure 7 [{label}] — total training time"),
+            &["Method", "Compute", "Data access", "Total"],
+        );
+        let mut jfat_total = 0.0;
+        let mut fp_total = 0.0;
+        for method in Method::all() {
+            let c = method_cost(&w, method, het, seed);
+            if method == Method::JFat {
+                jfat_total = c.total();
+            }
+            if method == Method::FedProphet {
+                fp_total = c.total();
+            }
+            t.rowd(&[
+                method.name().to_string(),
+                secs(c.compute_s),
+                secs(c.data_s),
+                secs(c.total()),
+            ]);
+        }
+        t.print();
+        println!(
+            "shape: FedProphet speedup over jFAT = {:.1}x (paper: {:.1}x)\n",
+            jfat_total / fp_total,
+            PAPER_SPEEDUP[i]
+        );
+    }
+}

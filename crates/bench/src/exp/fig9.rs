@@ -1,0 +1,63 @@
+//! Figure 9: R_min sweep — number of modules and accuracy.
+
+use crate::costmodel::{caltech_workload, cifar_workload, prophet_partition};
+use crate::envs::{cifar_env, Het, Scale};
+use crate::report::{pct, Table};
+use fedprophet::{FedProphet, ProphetConfig};
+use fp_attack::evaluate_robustness;
+use fp_hwsim::model_mem_req;
+
+/// Sweeps `R_min / R_max` as in Figure 9: the number of modules falls as
+/// the budget grows (degenerating to jFAT at 1.0) while accuracy stays
+/// roughly flat. Also prints the full-scale module counts for
+/// VGG16/ResNet34 at each ratio.
+pub fn run(scale: Scale, seed: u64) {
+    // Full-scale module counts (instant, spec-level).
+    let mut t = Table::new(
+        "Figure 9 (full-scale) — modules vs R_min/R_max",
+        &["R_min/R_max", "VGG16 modules", "ResNet34 modules"],
+    );
+    let (wc, wk) = (cifar_workload(), caltech_workload());
+    let full_c = model_mem_req(&wc.specs, &wc.input_shape, wc.batch).total();
+    let full_k = model_mem_req(&wk.specs, &wk.input_shape, wk.batch).total();
+    for ratio in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let pc = prophet_partition(&wc, (full_c as f64 * ratio) as u64);
+        let pk = prophet_partition(&wk, (full_k as f64 * ratio) as u64);
+        t.rowd(&[
+            format!("{ratio:.1}"),
+            pc.num_modules().to_string(),
+            pk.num_modules().to_string(),
+        ]);
+    }
+    t.print();
+
+    // Trainable sweep: accuracy vs number of modules.
+    let ratios: &[f64] = match scale {
+        Scale::Fast => &[0.25, 1.0],
+        _ => &[0.2, 0.4, 0.6, 0.8, 1.0],
+    };
+    let env = cifar_env(scale, Het::Balanced, seed);
+    let full = env.full_mem_req();
+    let mut t = Table::new(
+        "Figure 9 (trainable) — accuracy vs R_min/R_max [CIFAR-10-like, balanced]",
+        &["R_min/R_max", "Modules", "Clean Acc.", "Adv. Acc."],
+    );
+    for &ratio in ratios {
+        let cfg = ProphetConfig {
+            r_min_override: Some((full as f64 * ratio) as u64),
+            rounds_per_module: Some(env.cfg.rounds),
+            ..ProphetConfig::default()
+        };
+        let mut out = FedProphet::new(cfg).run_detailed(&env);
+        let (pgd, apgd) = super::eval_attacks(scale, env.cfg.eps0);
+        let r = evaluate_robustness(&mut out.model, &env.data.test, &pgd, &apgd, 32, seed);
+        t.rowd(&[
+            format!("{ratio:.1}"),
+            out.partition.num_modules().to_string(),
+            pct(r.clean_acc),
+            pct(r.pgd_acc),
+        ]);
+    }
+    t.print();
+    println!("shape: module count decreases with budget; accuracy roughly flat (paper Fig. 9)\n");
+}

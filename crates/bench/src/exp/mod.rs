@@ -1,0 +1,64 @@
+//! One module per paper table/figure.
+
+pub mod devices;
+pub mod fig10;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table7;
+pub mod table8;
+
+use crate::envs::Scale;
+
+/// Runs one experiment by id; returns false for an unknown id.
+pub fn run(id: &str, scale: Scale, seed: u64) -> bool {
+    match id {
+        "table1" => table1::run(scale, seed),
+        "table2" => table2::run(scale, seed),
+        "table3" => table3::run(scale, seed),
+        "table4" => table4::run(seed),
+        "table7" => table7::run(),
+        "table8" => table8::run(),
+        "fig2" => fig2::run(seed),
+        "fig6" => fig6::run(seed),
+        "fig7" => fig7::run(seed),
+        "fig8" => fig8::run(scale, seed),
+        "fig9" => fig9::run(scale, seed),
+        "fig10" => fig10::run(scale, seed),
+        "devices" => devices::run(),
+        _ => return false,
+    }
+    true
+}
+
+/// Every experiment id, in paper order.
+pub const ALL: [&str; 13] = [
+    "table1", "fig2", "fig6", "table2", "fig7", "fig8", "fig9", "table3", "fig10", "table4",
+    "table7", "table8", "devices",
+];
+
+/// Attack configurations matched to a scale.
+pub(crate) fn eval_attacks(scale: Scale, eps0: f32) -> (fp_attack::PgdConfig, fp_attack::ApgdConfig) {
+    use fp_attack::{ApgdConfig, PgdConfig};
+    match scale {
+        Scale::Fast => (PgdConfig::fast(eps0), ApgdConfig::fast(eps0)),
+        Scale::Medium => (
+            PgdConfig {
+                steps: 10,
+                ..PgdConfig::eval_linf(eps0)
+            },
+            ApgdConfig {
+                steps: 15,
+                restarts: 2,
+                ..ApgdConfig::eval_linf(eps0)
+            },
+        ),
+        Scale::Full => (PgdConfig::eval_linf(eps0), ApgdConfig::eval_linf(eps0)),
+    }
+}

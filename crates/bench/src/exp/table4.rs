@@ -1,0 +1,39 @@
+//! Table 4: training time with and without DMA (full-scale cost model).
+
+use crate::costmodel::{caltech_workload, cifar_workload, method_cost, Method};
+use crate::report::{secs, Table};
+use fp_hwsim::SamplingMode;
+
+/// Paper values (seconds).
+const PAPER: [(&str, f64, f64); 4] = [
+    ("CIFAR-10 balanced", 9.2e4, 9.1e4),
+    ("CIFAR-10 unbalanced", 1.8e5, 1.9e5),
+    ("Caltech-256 balanced", 3.6e4, 4.2e4),
+    ("Caltech-256 unbalanced", 6.2e4, 6.5e4),
+];
+
+/// Simulates FedProphet's total training time with DMA on/off.
+pub fn run(seed: u64) {
+    let mut t = Table::new(
+        "Table 4 — training time with/without DMA (cost model, paper scale)",
+        &["Setting", "w/ DMA", "w/o DMA", "paper w/ / w/o"],
+    );
+    let settings = [
+        (cifar_workload(), SamplingMode::Balanced, PAPER[0]),
+        (cifar_workload(), SamplingMode::Unbalanced, PAPER[1]),
+        (caltech_workload(), SamplingMode::Balanced, PAPER[2]),
+        (caltech_workload(), SamplingMode::Unbalanced, PAPER[3]),
+    ];
+    for (w, het, (label, p_with, p_without)) in settings {
+        let with_dma = method_cost(&w, Method::FedProphet, het, seed).total();
+        let without = method_cost(&w, Method::FedProphetNoDma, het, seed).total();
+        t.rowd(&[
+            label.to_string(),
+            secs(with_dma),
+            secs(without),
+            format!("{} / {}", secs(p_with), secs(p_without)),
+        ]);
+    }
+    t.print();
+    println!("shape: DMA must not increase round time (FLOPs constraint, Eq. 15)\n");
+}

@@ -1,0 +1,48 @@
+//! Table 7: the VGG16 model partition (memory and FLOPs per module).
+
+use crate::costmodel::{cifar_workload, prophet_partition};
+use crate::report::{mb, Table};
+use fp_hwsim::model_mem_req;
+
+/// Paper Table 7 (R_min = 60 MB, batch 64): per-module memory (MB) and
+/// forward FLOPs (G).
+pub const PAPER_MEM_MB: [f64; 7] = [55.8, 46.1, 50.4, 34.7, 33.1, 59.3, 36.1];
+/// Paper per-module forward FLOPs in G.
+pub const PAPER_FLOPS_G: [f64; 7] = [2.6, 4.9, 6.0, 2.4, 2.4, 1.2, 0.6];
+
+/// Prints our partition side by side with the paper's.
+pub fn run() {
+    let w = cifar_workload();
+    let full = model_mem_req(&w.specs, &w.input_shape, w.batch).total();
+    // The paper's scenario: R_min ≈ 20 % of the full requirement.
+    let r_min = full / 5;
+    let p = prophet_partition(&w, r_min);
+    let mut t = Table::new(
+        format!(
+            "Table 7 — VGG16 partition (R_min = {}, full = {})",
+            mb(r_min),
+            mb(full)
+        ),
+        &["Module", "Atoms", "Mem. Req.", "FLOPs (batch 64)", "paper mem/FLOPs"],
+    );
+    for (i, &(f, to)) in p.windows.iter().enumerate() {
+        let atoms: Vec<&str> = w.specs[f..to].iter().map(|a| a.name.as_str()).collect();
+        let paper = if i < 7 {
+            format!("{:.1} MB / {:.1} G", PAPER_MEM_MB[i], PAPER_FLOPS_G[i])
+        } else {
+            "-".to_string()
+        };
+        t.rowd(&[
+            (i + 1).to_string(),
+            atoms.join(","),
+            mb(p.mem_bytes[i]),
+            format!("{:.1} G", p.fwd_macs[i] as f64 * w.batch as f64 / 1e9),
+            paper,
+        ]);
+    }
+    t.print();
+    println!(
+        "shape: paper has 7 modules; ours has {} (boundaries may shift ±1 under our estimator)\n",
+        p.num_modules()
+    );
+}

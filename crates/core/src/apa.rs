@@ -1,0 +1,155 @@
+//! Adaptive Perturbation Adjustment (paper §6.2).
+
+use serde::Serialize;
+
+/// The APA controller for one module's input perturbation budget.
+///
+/// The intermediate perturbation constraint is
+/// `ε_{m−1}^(t) = α_{m−1}^(t) · E[max‖Δz_{m−1}‖]` (Eq. 11), where the
+/// expectation is the client-averaged largest feature perturbation
+/// collected when module `m−1` was fixed. The scaling factor `α` walks by
+/// `±Δα` to keep the current module's clean/adversarial validation
+/// accuracy ratio within `(1 ± γ)` of the previous module's final ratio
+/// (Eq. 12): too-clean ⇒ strengthen the attack, too-robust ⇒ weaken it.
+#[derive(Debug, Clone, Serialize)]
+pub struct Apa {
+    alpha: f32,
+    delta_alpha: f32,
+    gamma: f32,
+    /// `C*_{m−1} / A*_{m−1}` — the previous module's final accuracy ratio.
+    prev_ratio: Option<f32>,
+    /// `E[max‖Δz_{m−1}‖]` — the reference perturbation magnitude.
+    avg_delta_z: f32,
+    /// Trace of the produced ε values (Figure 10).
+    trace: Vec<f32>,
+}
+
+impl Apa {
+    /// Creates a controller with the paper's defaults
+    /// (`α₀ = 0.3`, `Δα = 0.1`, `γ = 0.05`; §6.2/§7.3).
+    pub fn new(alpha0: f32, delta_alpha: f32, gamma: f32, avg_delta_z: f32) -> Self {
+        assert!(alpha0 > 0.0, "alpha0 must be positive");
+        assert!(delta_alpha > 0.0, "delta_alpha must be positive");
+        assert!(gamma > 0.0, "gamma must be positive");
+        assert!(avg_delta_z >= 0.0, "perturbation reference must be >= 0");
+        Apa {
+            alpha: alpha0,
+            delta_alpha,
+            gamma,
+            prev_ratio: None,
+            avg_delta_z,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The paper-default controller.
+    pub fn paper_defaults(avg_delta_z: f32) -> Self {
+        Apa::new(0.3, 0.1, 0.05, avg_delta_z)
+    }
+
+    /// Sets the previous module's final clean/adversarial accuracy ratio
+    /// `C*/A*` (call when module `m−1` is fixed).
+    pub fn set_reference_ratio(&mut self, clean: f32, adv: f32) {
+        self.prev_ratio = Some(ratio(clean, adv));
+    }
+
+    /// Current scaling factor `α`.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Produces this round's `ε_{m−1}` and records it in the trace.
+    pub fn epsilon(&mut self) -> f32 {
+        let eps = self.alpha * self.avg_delta_z;
+        self.trace.push(eps);
+        eps
+    }
+
+    /// Adjusts `α` from this round's validation accuracies (Eq. 12).
+    ///
+    /// No-op until [`Apa::set_reference_ratio`] has been called.
+    pub fn adjust(&mut self, val_clean: f32, val_adv: f32) {
+        let Some(prev) = self.prev_ratio else {
+            return;
+        };
+        let cur = ratio(val_clean, val_adv);
+        if cur > (1.0 + self.gamma) * prev {
+            // Too clean, too weak: strengthen the perturbation.
+            self.alpha += self.delta_alpha;
+        } else if cur < (1.0 - self.gamma) * prev {
+            self.alpha = (self.alpha - self.delta_alpha).max(self.delta_alpha * 0.1);
+        }
+    }
+
+    /// The ε trace so far (Figure 10's series).
+    pub fn trace(&self) -> &[f32] {
+        &self.trace
+    }
+}
+
+fn ratio(clean: f32, adv: f32) -> f32 {
+    clean / adv.max(1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_scales_reference_magnitude() {
+        let mut apa = Apa::paper_defaults(2.0);
+        assert!((apa.epsilon() - 0.6).abs() < 1e-6, "0.3 · 2.0");
+    }
+
+    #[test]
+    fn alpha_increases_when_too_clean() {
+        let mut apa = Apa::paper_defaults(1.0);
+        apa.set_reference_ratio(0.8, 0.6); // prev ratio ≈ 1.33
+        // Current ratio 2.0 > 1.05·1.33 → strengthen.
+        apa.adjust(0.8, 0.4);
+        assert!((apa.alpha() - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_decreases_when_too_robust() {
+        let mut apa = Apa::paper_defaults(1.0);
+        apa.set_reference_ratio(0.8, 0.4); // prev ratio = 2.0
+        // Current ratio 1.0 < 0.95·2.0 → weaken.
+        apa.adjust(0.7, 0.7);
+        assert!((apa.alpha() - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_holds_within_band() {
+        let mut apa = Apa::paper_defaults(1.0);
+        apa.set_reference_ratio(0.8, 0.4);
+        apa.adjust(0.82, 0.42); // ratio ≈ 1.95, inside (1±0.05)·2.0
+        assert!((apa.alpha() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_adjustment_without_reference() {
+        let mut apa = Apa::paper_defaults(1.0);
+        apa.adjust(0.9, 0.1);
+        assert!((apa.alpha() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_never_reaches_zero() {
+        let mut apa = Apa::paper_defaults(1.0);
+        apa.set_reference_ratio(1.0, 1.0);
+        for _ in 0..100 {
+            apa.adjust(0.5, 1.0); // ratio 0.5 << 1 → keep weakening
+        }
+        assert!(apa.alpha() > 0.0);
+    }
+
+    #[test]
+    fn trace_records_every_round() {
+        let mut apa = Apa::paper_defaults(1.5);
+        for _ in 0..5 {
+            apa.epsilon();
+        }
+        assert_eq!(apa.trace().len(), 5);
+    }
+}

@@ -1,0 +1,212 @@
+//! Memory-constrained model partitioning (Algorithm 1).
+
+use fp_hwsim::{module_mem_req, AuxHeadSpec};
+use fp_nn::spec::{cascade_output_shape, AtomSpec};
+use serde::Serialize;
+
+/// A partition of the backbone into cascaded modules.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModulePartition {
+    /// Atom windows `[from, to)`, in cascade order, covering every atom
+    /// exactly once.
+    pub windows: Vec<(usize, usize)>,
+    /// Training-memory requirement of each module (bytes), including its
+    /// auxiliary head.
+    pub mem_bytes: Vec<u64>,
+    /// Per-sample forward MACs of each module (including its head).
+    pub fwd_macs: Vec<u64>,
+    /// Whether any single atom alone exceeded `R_min` (the partition is
+    /// then best-effort: such an atom forms its own oversized module).
+    pub oversized: bool,
+}
+
+impl ModulePartition {
+    /// Number of modules `M`.
+    pub fn num_modules(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The largest module memory (what a constrained client must hold).
+    pub fn max_module_mem(&self) -> u64 {
+        self.mem_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Index of the module containing atom `a`.
+    pub fn module_of_atom(&self, a: usize) -> usize {
+        self.windows
+            .iter()
+            .position(|&(f, t)| a >= f && a < t)
+            .expect("atom outside partition")
+    }
+}
+
+/// Greedily partitions the atom cascade into the fewest modules whose
+/// training memory (batch activations + model states + auxiliary head)
+/// stays within `r_min` bytes (paper Algorithm 1).
+///
+/// Every module's memory is estimated with *its own* input feature shape
+/// (propagated through the cascade) and the GAP→linear auxiliary head for
+/// `n_classes`. The final module uses the backbone's own classifier, so no
+/// head is added for it.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or `batch` is zero.
+pub fn partition_model(
+    specs: &[AtomSpec],
+    input_shape: &[usize],
+    batch: usize,
+    n_classes: usize,
+    r_min: u64,
+) -> ModulePartition {
+    assert!(!specs.is_empty(), "cannot partition an empty model");
+    assert!(batch > 0, "batch must be positive");
+    let n = specs.len();
+    let mut windows = Vec::new();
+    let mut oversized = false;
+    let mut start = 0usize;
+    // Input shape at the start of the current window.
+    let mut window_input = input_shape.to_vec();
+    let mut cursor_shape = input_shape.to_vec();
+
+    let mem_of = |from: usize, to: usize, in_shape: &[usize]| -> u64 {
+        let out_shape = cascade_output_shape(&specs[from..to], in_shape);
+        let aux = if to == n {
+            None // final module ends in the backbone classifier
+        } else {
+            Some(AuxHeadSpec::for_feature(&out_shape, n_classes))
+        };
+        module_mem_req(&specs[from..to], in_shape, batch, aux).total()
+    };
+
+    for i in 0..n {
+        let candidate = mem_of(start, i + 1, &window_input);
+        if candidate > r_min && i > start {
+            // Close the window before atom i.
+            windows.push((start, i));
+            start = i;
+            window_input = cursor_shape.clone();
+            if mem_of(start, i + 1, &window_input) > r_min {
+                oversized = true;
+            }
+        } else if candidate > r_min {
+            // Single atom exceeding the budget: keep it alone.
+            oversized = true;
+        }
+        cursor_shape = specs[i].output_shape(&cursor_shape);
+    }
+    windows.push((start, n));
+
+    // Cost every module.
+    let mut mem_bytes = Vec::with_capacity(windows.len());
+    let mut fwd_macs = Vec::with_capacity(windows.len());
+    let mut shape = input_shape.to_vec();
+    for &(f, t) in &windows {
+        mem_bytes.push(mem_of(f, t, &shape));
+        let out_shape = cascade_output_shape(&specs[f..t], &shape);
+        let mut macs = fp_hwsim::forward_macs(&specs[f..t], &shape);
+        if t != n {
+            macs += AuxHeadSpec::for_feature(&out_shape, n_classes).macs();
+        }
+        fwd_macs.push(macs);
+        shape = out_shape;
+    }
+    ModulePartition {
+        windows,
+        mem_bytes,
+        fwd_macs,
+        oversized,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_nn::models::{resnet34_spec_caltech, vgg16_spec_cifar, vgg_atom_specs, VggConfig};
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn windows_cover_all_atoms_in_order() {
+        let specs = vgg_atom_specs(&VggConfig::tiny(3, 16, 4, &[8, 16, 32]));
+        let p = partition_model(&specs, &[3, 16, 16], 8, 4, 600_000);
+        let mut next = 0;
+        for &(f, t) in &p.windows {
+            assert_eq!(f, next, "gap or overlap");
+            assert!(t > f);
+            next = t;
+        }
+        assert_eq!(next, specs.len());
+    }
+
+    #[test]
+    fn unbounded_budget_gives_one_module() {
+        let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[4, 8]));
+        let p = partition_model(&specs, &[3, 8, 8], 8, 4, u64::MAX);
+        assert_eq!(p.num_modules(), 1);
+        assert!(!p.oversized);
+    }
+
+    #[test]
+    fn tiny_budget_gives_one_module_per_atom() {
+        let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[4, 8]));
+        let p = partition_model(&specs, &[3, 8, 8], 8, 4, 1);
+        assert_eq!(p.num_modules(), specs.len());
+        assert!(p.oversized);
+    }
+
+    #[test]
+    fn vgg16_with_20pct_budget_gives_about_7_modules() {
+        // Paper §7.2: R_min ≈ 20 % of the full requirement partitions
+        // VGG16 into 7 modules.
+        let specs = vgg16_spec_cifar();
+        let full = fp_hwsim::model_mem_req(&specs, &[3, 32, 32], 64).total();
+        let p = partition_model(&specs, &[3, 32, 32], 64, 10, full / 5);
+        assert!(
+            (6..=8).contains(&p.num_modules()),
+            "vgg16 modules {} (windows {:?})",
+            p.num_modules(),
+            p.windows
+        );
+        assert!(!p.oversized);
+        // Memory reduction: the largest module must be ≤ ~25 % of full.
+        let reduction = 1.0 - p.max_module_mem() as f64 / full as f64;
+        assert!(reduction > 0.7, "memory reduction {reduction}");
+    }
+
+    #[test]
+    fn resnet34_with_paper_rmin_gives_about_7_modules() {
+        // Paper Table 8: R_min = 224 MB partitions ResNet34 into 7
+        // modules; our estimator's boundaries may shift by ±1 module.
+        let specs = resnet34_spec_caltech();
+        let p = partition_model(&specs, &[3, 224, 224], 32, 256, 236 * MB);
+        assert!(
+            (6..=9).contains(&p.num_modules()),
+            "resnet34 modules {} (windows {:?})",
+            p.num_modules(),
+            p.windows
+        );
+        // Stem alone may exceed: tolerated as its own module.
+        for (i, &(f, t)) in p.windows.iter().enumerate() {
+            if !(f == 0 && t == 1) {
+                assert!(
+                    p.mem_bytes[i] <= 237 * MB,
+                    "module {i} = {:?} uses {} MB",
+                    (f, t),
+                    p.mem_bytes[i] / MB
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn module_of_atom_inverts_windows() {
+        let specs = vgg_atom_specs(&VggConfig::tiny(3, 16, 4, &[8, 16, 32]));
+        let p = partition_model(&specs, &[3, 16, 16], 8, 4, 600_000);
+        for (m, &(f, t)) in p.windows.iter().enumerate() {
+            for a in f..t {
+                assert_eq!(p.module_of_atom(a), m);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! In-memory labelled image dataset.
+
+use fp_tensor::Tensor;
+
+/// A labelled image dataset held in one contiguous buffer.
+///
+/// Images are `[c, h, w]` in `[0, 1]`; `x(i)`/`batch(..)` copy samples out
+/// into batch tensors `[b, c, h, w]`. Federated clients hold *index lists*
+/// into a shared `Dataset` rather than copies (see
+/// [`ClientSplit`](crate::ClientSplit)).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    data: Vec<f32>,
+    labels: Vec<usize>,
+    sample_shape: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from a flat buffer of `n` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer/label sizes are inconsistent or a label is out of
+    /// range.
+    pub fn new(data: Vec<f32>, labels: Vec<usize>, sample_shape: &[usize], n_classes: usize) -> Self {
+        let per = fp_tensor::numel(sample_shape);
+        assert!(per > 0, "empty sample shape");
+        assert_eq!(data.len(), labels.len() * per, "data/label size mismatch");
+        assert!(
+            labels.iter().all(|&y| y < n_classes),
+            "label out of range"
+        );
+        Dataset {
+            data,
+            labels,
+            sample_shape: sample_shape.to_vec(),
+            n_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-sample shape `[c, h, w]`.
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.sample_shape
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies sample `i` into a `[c, h, w]` tensor.
+    pub fn x(&self, i: usize) -> Tensor {
+        let per = fp_tensor::numel(&self.sample_shape);
+        Tensor::from_vec(
+            self.data[i * per..(i + 1) * per].to_vec(),
+            &self.sample_shape,
+        )
+    }
+
+    /// Assembles the samples at `indices` into a batch
+    /// `([b, c, h, w], labels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let per = fp_tensor::numel(&self.sample_shape);
+        let mut data = Vec::with_capacity(indices.len() * per);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of range");
+            data.extend_from_slice(&self.data[i * per..(i + 1) * per]);
+            labels.push(self.labels[i]);
+        }
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(&self.sample_shape);
+        (Tensor::from_vec(data, &shape), labels)
+    }
+
+    /// Indices of all samples with class `y`.
+    pub fn indices_of_class(&self, y: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == y)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        // 3 samples of shape [1,2,2], classes {0,1}.
+        Dataset::new(
+            (0..12).map(|v| v as f32).collect(),
+            vec![0, 1, 0],
+            &[1, 2, 2],
+            2,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.label(1), 1);
+        assert_eq!(d.x(1).data(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn batch_assembles_in_order() {
+        let d = tiny();
+        let (x, y) = d.batch(&[2, 0]);
+        assert_eq!(x.shape(), &[2, 1, 2, 2]);
+        assert_eq!(&x.data()[0..4], &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(y, vec![0, 0]);
+    }
+
+    #[test]
+    fn class_indices() {
+        let d = tiny();
+        assert_eq!(d.indices_of_class(0), vec![0, 2]);
+        assert_eq!(d.indices_of_class(1), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        Dataset::new(vec![0.0; 4], vec![5], &[1, 2, 2], 2);
+    }
+}

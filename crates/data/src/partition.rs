@@ -1,0 +1,217 @@
+//! Federated data partitioning.
+
+use crate::dataset::Dataset;
+use fp_tensor::seeded_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One client's share of a dataset: sample indices into the shared
+/// [`Dataset`] plus the FedAvg weight `q_k = |D_k| / Σ|D_i|` (paper Eq. 1).
+#[derive(Debug, Clone)]
+pub struct ClientSplit {
+    /// Indices into the parent dataset.
+    pub indices: Vec<usize>,
+    /// Aggregation weight `q_k`.
+    pub weight: f32,
+}
+
+impl ClientSplit {
+    /// Number of local samples.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the client holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// IID partition: shuffles all indices and deals them round-robin.
+pub fn partition_iid(ds: &Dataset, n_clients: usize, seed: u64) -> Vec<ClientSplit> {
+    assert!(n_clients > 0, "need at least one client");
+    let mut rng = seeded_rng(seed ^ 0x11D);
+    let mut idx: Vec<usize> = (0..ds.len()).collect();
+    idx.shuffle(&mut rng);
+    let mut splits = vec![Vec::new(); n_clients];
+    for (i, s) in idx.into_iter().enumerate() {
+        splits[i % n_clients].push(s);
+    }
+    finalize(splits, ds.len())
+}
+
+/// The paper's pathological non-IID partition (§7.1, after Shah et al.
+/// 2021): each client draws `major_frac` (80 %) of its data from
+/// `class_frac` (20 %) of the classes — its "major" classes — and the rest
+/// uniformly from the remaining classes.
+///
+/// Major classes rotate across clients so every class is somebody's major
+/// class; sampling within a class is without replacement per client but
+/// classes may be shared between clients (as in the reference protocol).
+///
+/// # Panics
+///
+/// Panics on degenerate arguments (no clients, fractions outside `(0,1)`).
+pub fn partition_pathological(
+    ds: &Dataset,
+    n_clients: usize,
+    major_frac: f32,
+    class_frac: f32,
+    seed: u64,
+) -> Vec<ClientSplit> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!((0.0..=1.0).contains(&major_frac), "major_frac in [0,1]");
+    assert!(class_frac > 0.0 && class_frac <= 1.0, "class_frac in (0,1]");
+    let n_classes = ds.n_classes();
+    let majors_per_client = ((n_classes as f32 * class_frac).round() as usize)
+        .clamp(1, n_classes);
+    let per_client = ds.len() / n_clients;
+    assert!(per_client > 0, "more clients than samples");
+
+    let mut rng = seeded_rng(seed ^ NON_IID_SEED);
+    // Per-class pools, shuffled; consumed round-robin with wrap-around so
+    // every client gets its quota even when counts don't divide evenly.
+    let mut pools: Vec<Vec<usize>> = (0..n_classes)
+        .map(|y| {
+            let mut v = ds.indices_of_class(y);
+            v.shuffle(&mut rng);
+            v
+        })
+        .collect();
+    let mut cursors = vec![0usize; n_classes];
+    let mut draw = |y: usize, rng: &mut rand::rngs::StdRng| -> usize {
+        let pool = &mut pools[y];
+        if cursors[y] >= pool.len() {
+            pool.shuffle(rng);
+            cursors[y] = 0;
+        }
+        let s = pool[cursors[y]];
+        cursors[y] += 1;
+        s
+    };
+
+    let mut splits = Vec::with_capacity(n_clients);
+    for k in 0..n_clients {
+        // Rotate major classes across clients.
+        let majors: Vec<usize> = (0..majors_per_client)
+            .map(|j| (k * majors_per_client + j) % n_classes)
+            .collect();
+        let n_major = ((per_client as f32) * major_frac).round() as usize;
+        let n_minor = per_client - n_major;
+        let mut indices = Vec::with_capacity(per_client);
+        for i in 0..n_major {
+            let y = majors[i % majors.len()];
+            indices.push(draw(y, &mut rng));
+        }
+        for _ in 0..n_minor {
+            let mut y = rng.gen_range(0..n_classes);
+            while majors.contains(&y) && majors.len() < n_classes {
+                y = rng.gen_range(0..n_classes);
+            }
+            indices.push(draw(y, &mut rng));
+        }
+        indices.shuffle(&mut rng);
+        splits.push(indices);
+    }
+    finalize(splits, n_clients * per_client)
+}
+
+/// Domain-separation constant for the non-IID partition RNG.
+const NON_IID_SEED: u64 = 0x8020;
+
+fn finalize(splits: Vec<Vec<usize>>, total: usize) -> Vec<ClientSplit> {
+    splits
+        .into_iter()
+        .map(|indices| {
+            let weight = indices.len() as f32 / total as f32;
+            ClientSplit { indices, weight }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    fn data() -> Dataset {
+        generate(&SynthConfig::tiny(5, 8), 1).train
+    }
+
+    #[test]
+    fn iid_covers_everything_once() {
+        let ds = data();
+        let parts = partition_iid(&ds, 4, 0);
+        let mut seen = vec![false; ds.len()];
+        for p in &parts {
+            for &i in &p.indices {
+                assert!(!seen[i], "index {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all samples assigned");
+        let wsum: f32 = parts.iter().map(|p| p.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pathological_is_skewed() {
+        let ds = data();
+        let parts = partition_pathological(&ds, 5, 0.8, 0.2, 3);
+        // With 5 classes and class_frac 0.2, each client has 1 major class
+        // holding ~80 % of its samples.
+        for p in &parts {
+            let mut counts = vec![0usize; 5];
+            for &i in &p.indices {
+                counts[ds.label(i)] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            let frac = max as f32 / p.len() as f32;
+            assert!(frac > 0.7, "major-class share {frac} too even");
+        }
+    }
+
+    #[test]
+    fn pathological_weights_sum_to_one() {
+        let ds = data();
+        let parts = partition_pathological(&ds, 3, 0.8, 0.2, 1);
+        let wsum: f32 = parts.iter().map(|p| p.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-5);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn pathological_is_deterministic() {
+        let ds = data();
+        let a = partition_pathological(&ds, 4, 0.8, 0.2, 9);
+        let b = partition_pathological(&ds, 4, 0.8, 0.2, 9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.indices, y.indices);
+        }
+    }
+
+    #[test]
+    fn majors_rotate_across_clients() {
+        let ds = data();
+        let parts = partition_pathological(&ds, 5, 0.8, 0.2, 5);
+        // Each of the 5 clients majors a different single class (5 classes,
+        // 20 % → 1 class each, rotating).
+        let mut majors = Vec::new();
+        for p in &parts {
+            let mut counts = vec![0usize; 5];
+            for &i in &p.indices {
+                counts[ds.label(i)] += 1;
+            }
+            let major = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .unwrap()
+                .0;
+            majors.push(major);
+        }
+        majors.sort_unstable();
+        majors.dedup();
+        assert_eq!(majors.len(), 5, "every class is some client's major");
+    }
+}

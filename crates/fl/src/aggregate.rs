@@ -1,0 +1,148 @@
+//! Model aggregation.
+
+/// Weighted average of flat parameter vectors (FedAvg, paper Eq. 1).
+///
+/// Weights are renormalized over the participating clients.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty, lengths disagree, or total weight is not
+/// positive.
+pub fn weighted_average(updates: &[(Vec<f32>, f32)]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "no updates to aggregate");
+    let len = updates[0].0.len();
+    let total: f64 = updates.iter().map(|(_, w)| *w as f64).sum();
+    assert!(total > 0.0, "total weight must be positive");
+    let mut out = vec![0.0f64; len];
+    for (vals, w) in updates {
+        assert_eq!(vals.len(), len, "update length mismatch");
+        let wn = *w as f64 / total;
+        for (o, &v) in out.iter_mut().zip(vals.iter()) {
+            *o += wn * v as f64;
+        }
+    }
+    out.into_iter().map(|v| v as f32).collect()
+}
+
+/// Entry-wise partial averaging (paper Eq. 16–17, after
+/// HeteroFL/FedRolex): each global entry is the weighted mean over the
+/// clients that actually held it; uncovered entries keep their previous
+/// value.
+///
+/// Clients deposit their (scattered) contributions with
+/// [`PartialAccumulator::add`]; [`PartialAccumulator::finish`] divides by
+/// accumulated weight.
+#[derive(Debug, Clone)]
+pub struct PartialAccumulator {
+    sum: Vec<f64>,
+    weight: Vec<f64>,
+}
+
+impl PartialAccumulator {
+    /// Creates an accumulator for a flat global vector of length `len`.
+    pub fn new(len: usize) -> Self {
+        PartialAccumulator {
+            sum: vec![0.0; len],
+            weight: vec![0.0; len],
+        }
+    }
+
+    /// Length of the underlying vector.
+    pub fn len(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Whether the accumulator is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.sum.is_empty()
+    }
+
+    /// Adds `value · weight` at global position `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn add(&mut self, idx: usize, value: f32, weight: f32) {
+        self.sum[idx] += value as f64 * weight as f64;
+        self.weight[idx] += weight as f64;
+    }
+
+    /// Adds a whole dense slice starting at `offset` (convenience for
+    /// fully covered tensors).
+    pub fn add_dense(&mut self, offset: usize, values: &[f32], weight: f32) {
+        for (i, &v) in values.iter().enumerate() {
+            self.add(offset + i, v, weight);
+        }
+    }
+
+    /// Resolves the average: covered entries become
+    /// `sum/weight`, uncovered entries copy `prev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` has the wrong length.
+    pub fn finish(&self, prev: &[f32]) -> Vec<f32> {
+        assert_eq!(prev.len(), self.sum.len(), "prev length mismatch");
+        self.sum
+            .iter()
+            .zip(self.weight.iter())
+            .zip(prev.iter())
+            .map(|((&s, &w), &p)| if w > 0.0 { (s / w) as f32 } else { p })
+            .collect()
+    }
+
+    /// Fraction of entries covered by at least one client.
+    pub fn coverage(&self) -> f32 {
+        if self.weight.is_empty() {
+            return 0.0;
+        }
+        let covered = self.weight.iter().filter(|&&w| w > 0.0).count();
+        covered as f32 / self.weight.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_average_respects_weights() {
+        let avg = weighted_average(&[(vec![0.0, 10.0], 1.0), (vec![10.0, 0.0], 3.0)]);
+        assert_eq!(avg, vec![7.5, 2.5]);
+    }
+
+    #[test]
+    fn weighted_average_of_identical_is_identity() {
+        let v = vec![1.0, -2.0, 3.5];
+        let avg = weighted_average(&[(v.clone(), 0.3), (v.clone(), 0.7)]);
+        for (a, b) in avg.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn partial_average_keeps_uncovered_entries() {
+        let mut acc = PartialAccumulator::new(3);
+        acc.add(0, 4.0, 1.0);
+        acc.add(0, 8.0, 1.0);
+        acc.add(2, 5.0, 2.0);
+        let out = acc.finish(&[9.0, 9.0, 9.0]);
+        assert_eq!(out, vec![6.0, 9.0, 5.0]);
+        assert!((acc.coverage() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_average_weighted_entries() {
+        let mut acc = PartialAccumulator::new(1);
+        acc.add(0, 1.0, 1.0);
+        acc.add(0, 4.0, 3.0);
+        let out = acc.finish(&[0.0]);
+        assert!((out[0] - 3.25).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no updates")]
+    fn empty_average_rejected() {
+        weighted_average(&[]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Knowledge-distillation baselines: FedDF-AT and FedET-AT.
+
+use super::{eval_cadence, fedavg_into, init_global, parallel_clients};
+use crate::engine::{FlAlgorithm, FlEnv};
+use crate::local::{local_train, LocalTrainConfig};
+use crate::metrics::{FlOutcome, RoundRecord};
+use fp_attack::PgdConfig;
+use fp_hwsim::model_mem_req;
+use fp_nn::spec::AtomSpec;
+use fp_nn::{CascadeModel, Mode, Sgd};
+use fp_tensor::{seeded_rng, softmax_rows, Tensor};
+
+/// Which ensemble-transfer rule the server uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistillVariant {
+    /// FedDF (Lin et al. 2020): uniform average of teacher logits.
+    FedDf,
+    /// FedET (Cho et al. 2022): confidence-weighted ensemble — each
+    /// teacher's per-sample weight is proportional to its prediction
+    /// confidence (inverse-entropy; a simplification of FedET's
+    /// uncertainty weighting, recorded in DESIGN.md).
+    FedEt,
+}
+
+/// Knowledge-distillation FAT: each client trains the **largest zoo model
+/// that fits its memory budget** (Appendix B.2: {CNN3, VGG11, VGG13,
+/// VGG16}); same-architecture models are FedAvg'd, and the large global
+/// model is updated by ensemble distillation on a public dataset (we use
+/// the validation split as the public set).
+pub struct Distill {
+    /// Ensemble rule.
+    pub variant: DistillVariant,
+    /// Zoo of architectures, ascending by memory requirement. The last
+    /// entry must be the reference (large) architecture.
+    pub zoo: Vec<Vec<AtomSpec>>,
+    /// Distillation iterations per round (paper §B.4: 128).
+    pub distill_iters: usize,
+}
+
+impl Distill {
+    /// Creates a distillation baseline with the given zoo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zoo is empty.
+    pub fn new(variant: DistillVariant, zoo: Vec<Vec<AtomSpec>>, distill_iters: usize) -> Self {
+        assert!(!zoo.is_empty(), "zoo must not be empty");
+        Distill {
+            variant,
+            zoo,
+            distill_iters,
+        }
+    }
+}
+
+impl FlAlgorithm for Distill {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            DistillVariant::FedDf => "FedDF-AT",
+            DistillVariant::FedEt => "FedET-AT",
+        }
+    }
+
+    fn run(&self, env: &FlEnv) -> FlOutcome {
+        let cfg = &env.cfg;
+        let n_classes = env.data.train.n_classes();
+        let mut global = init_global(env);
+        // One persistent prototype per zoo architecture.
+        let mut prototypes: Vec<CascadeModel> = self
+            .zoo
+            .iter()
+            .enumerate()
+            .map(|(i, specs)| {
+                let mut rng = seeded_rng(cfg.seed ^ 0x200 ^ i as u64);
+                fp_nn::models::instantiate(specs, &env.input_shape, n_classes, &mut rng)
+            })
+            .collect();
+        let zoo_mem: Vec<u64> = self
+            .zoo
+            .iter()
+            .map(|s| model_mem_req(s, &env.input_shape, cfg.batch_size).total())
+            .collect();
+        let mut history = Vec::with_capacity(cfg.rounds);
+        let cadence = eval_cadence(cfg.rounds);
+        for t in 0..cfg.rounds {
+            let ids = env.sample_round(t);
+            let lr = cfg.lr.at(t);
+            let results = parallel_clients(&ids, |k| {
+                // Largest zoo member that fits; the smallest as fallback.
+                let arch = zoo_mem
+                    .iter()
+                    .rposition(|&m| m <= env.mem_budget(k))
+                    .unwrap_or(0);
+                let mut model = prototypes[arch].clone();
+                let ltc = LocalTrainConfig {
+                    iters: cfg.local_iters,
+                    batch_size: cfg.batch_size,
+                    lr,
+                    momentum: cfg.momentum,
+                    weight_decay: cfg.weight_decay,
+                    pgd: Some(PgdConfig {
+                        steps: cfg.pgd_steps,
+                        ..PgdConfig::train_linf(cfg.eps0)
+                    }),
+                    seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
+                };
+                let loss = local_train(&mut model, &env.data.train, &env.splits[k].indices, &ltc);
+                (arch, model, env.splits[k].weight, loss)
+            });
+            let mean_loss =
+                results.iter().map(|(_, _, _, l)| *l).sum::<f32>() / results.len() as f32;
+            // Per-architecture FedAvg.
+            for arch in 0..self.zoo.len() {
+                let members: Vec<(CascadeModel, f32)> = results
+                    .iter()
+                    .filter(|(a, _, _, _)| *a == arch)
+                    .map(|(_, m, w, _)| (m.clone(), *w))
+                    .collect();
+                if !members.is_empty() {
+                    fedavg_into(&mut prototypes[arch], &members);
+                }
+            }
+            // Server-side ensemble distillation into the global model.
+            self.distill(&mut global, &prototypes, env, t);
+            let (mut vc, mut va) = (None, None);
+            if t % cadence == cadence - 1 || t + 1 == cfg.rounds {
+                vc = Some(env.val_clean(&mut global, 64));
+                va = Some(env.val_adv(&mut global, 64));
+            }
+            history.push(RoundRecord {
+                round: t,
+                train_loss: mean_loss,
+                val_clean: vc,
+                val_adv: va,
+            });
+        }
+        FlOutcome {
+            model: global,
+            history,
+        }
+    }
+}
+
+impl Distill {
+    fn distill(
+        &self,
+        student: &mut CascadeModel,
+        teachers: &[CascadeModel],
+        env: &FlEnv,
+        round: usize,
+    ) {
+        let cfg = &env.cfg;
+        let public = &env.data.val;
+        let idx: Vec<usize> = (0..public.len()).collect();
+        let mut it = fp_data::BatchIter::new(
+            public,
+            &idx,
+            cfg.batch_size,
+            cfg.seed ^ 0xD157 ^ round as u64,
+        );
+        let mut teachers: Vec<CascadeModel> = teachers.to_vec();
+        let mut opt = Sgd::new(cfg.momentum, cfg.weight_decay);
+        let lr = cfg.lr.at(round);
+        for _ in 0..self.distill_iters {
+            let (x, _) = it.next_batch();
+            let target = self.ensemble_probs(&mut teachers, &x);
+            // Soft cross-entropy: L = −Σ p_T · log_softmax(student).
+            let logits = student.forward(&x, Mode::Train);
+            let batch = logits.shape()[0];
+            let probs = softmax_rows(&logits);
+            let grad = probs.sub(&target).scale(1.0 / batch as f32);
+            student.zero_grad();
+            student.backward(&grad);
+            opt.step(&mut student.params_mut(), lr);
+        }
+    }
+
+    /// The ensemble's target distribution for a public batch.
+    fn ensemble_probs(&self, teachers: &mut [CascadeModel], x: &Tensor) -> Tensor {
+        let per_teacher: Vec<Tensor> = teachers
+            .iter_mut()
+            .map(|m| softmax_rows(&m.forward(x, Mode::Eval)))
+            .collect();
+        let (batch, classes) = (
+            per_teacher[0].shape()[0],
+            per_teacher[0].shape()[1],
+        );
+        let mut out = Tensor::zeros(&[batch, classes]);
+        match self.variant {
+            DistillVariant::FedDf => {
+                for p in &per_teacher {
+                    out.axpy(1.0 / per_teacher.len() as f32, p);
+                }
+            }
+            DistillVariant::FedEt => {
+                // Per-sample inverse-entropy weights.
+                for r in 0..batch {
+                    let mut weights = Vec::with_capacity(per_teacher.len());
+                    for p in &per_teacher {
+                        let row = &p.data()[r * classes..(r + 1) * classes];
+                        let ent: f32 = -row
+                            .iter()
+                            .map(|&q| if q > 1e-12 { q * q.ln() } else { 0.0 })
+                            .sum::<f32>();
+                        weights.push((-ent).exp());
+                    }
+                    let wsum: f32 = weights.iter().sum::<f32>().max(1e-12);
+                    for (p, w) in per_teacher.iter().zip(&weights) {
+                        let row = &p.data()[r * classes..(r + 1) * classes];
+                        let o = &mut out.data_mut()[r * classes..(r + 1) * classes];
+                        for (ov, &pv) in o.iter_mut().zip(row) {
+                            *ov += pv * w / wsum;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testenv::make_env;
+    use super::*;
+    use fp_nn::models::{cnn_atom_specs, vgg_atom_specs, CnnConfig, VggConfig};
+
+    fn tiny_zoo() -> Vec<Vec<AtomSpec>> {
+        vec![
+            cnn_atom_specs(&CnnConfig {
+                in_channels: 3,
+                input_hw: 8,
+                n_classes: 4,
+                widths: vec![4],
+                first_stride: 1,
+            }),
+            vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[4, 8])),
+            vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16])),
+        ]
+    }
+
+    #[test]
+    fn feddf_runs_and_produces_history() {
+        let env = make_env(4, 31);
+        let alg = Distill::new(DistillVariant::FedDf, tiny_zoo(), 16);
+        let outcome = alg.run(&env);
+        assert_eq!(outcome.history.len(), 4);
+        assert!(outcome.final_val_clean().is_some());
+    }
+
+    #[test]
+    fn fedet_weighted_ensemble_is_a_distribution() {
+        let env = make_env(1, 3);
+        let alg = Distill::new(DistillVariant::FedEt, tiny_zoo(), 2);
+        let mut teachers: Vec<CascadeModel> = alg
+            .zoo
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut rng = fp_tensor::seeded_rng(i as u64);
+                fp_nn::models::instantiate(s, &[3, 8, 8], 4, &mut rng)
+            })
+            .collect();
+        let x = Tensor::rand_uniform(&[3, 3, 8, 8], 0.0, 1.0, &mut fp_tensor::seeded_rng(5));
+        let probs = alg.ensemble_probs(&mut teachers, &x);
+        for r in 0..3 {
+            let sum: f32 = probs.data()[r * 4..(r + 1) * 4].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+        }
+        let _ = env;
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(
+            Distill::new(DistillVariant::FedDf, tiny_zoo(), 1).name(),
+            "FedDF-AT"
+        );
+        assert_eq!(
+            Distill::new(DistillVariant::FedEt, tiny_zoo(), 1).name(),
+            "FedET-AT"
+        );
+    }
+}

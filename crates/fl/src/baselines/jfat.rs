@@ -1,0 +1,136 @@
+//! jFAT: joint (end-to-end) federated adversarial training.
+
+use super::{eval_cadence, fedavg_into, init_global, parallel_clients};
+use crate::engine::{FlAlgorithm, FlEnv};
+use crate::local::{local_train, LocalTrainConfig};
+use crate::metrics::{FlOutcome, RoundRecord};
+use fp_attack::PgdConfig;
+
+/// Joint federated adversarial training (Zizzo et al. 2020): every client
+/// adversarially trains the **whole** model end-to-end with PGD, and the
+/// server runs FedAvg.
+///
+/// This is the paper's accuracy/robustness gold standard; its cost is that
+/// memory-constrained clients need swapping (Figure 2/7), which the
+/// latency model in `fp-hwsim` charges separately.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JFat {
+    /// Train without the adversarial inner loop (plain FedAvg). Used by
+    /// ablations and Table-1 style comparisons.
+    pub standard_training: bool,
+}
+
+impl JFat {
+    /// The standard adversarial configuration.
+    pub fn new() -> Self {
+        JFat {
+            standard_training: false,
+        }
+    }
+}
+
+impl FlAlgorithm for JFat {
+    fn name(&self) -> &'static str {
+        if self.standard_training {
+            "jFed (ST)"
+        } else {
+            "jFAT"
+        }
+    }
+
+    fn run(&self, env: &FlEnv) -> FlOutcome {
+        let cfg = &env.cfg;
+        let mut global = init_global(env);
+        let mut history = Vec::with_capacity(cfg.rounds);
+        let cadence = eval_cadence(cfg.rounds);
+        for t in 0..cfg.rounds {
+            let ids = env.sample_round(t);
+            let lr = cfg.lr.at(t);
+            let locals = parallel_clients(&ids, |k| {
+                let mut model = global.clone();
+                let pgd = (!self.standard_training).then(|| PgdConfig {
+                    steps: cfg.pgd_steps,
+                    ..PgdConfig::train_linf(cfg.eps0)
+                });
+                let ltc = LocalTrainConfig {
+                    iters: cfg.local_iters,
+                    batch_size: cfg.batch_size,
+                    lr,
+                    momentum: cfg.momentum,
+                    weight_decay: cfg.weight_decay,
+                    pgd,
+                    seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
+                };
+                let loss = local_train(
+                    &mut model,
+                    &env.data.train,
+                    &env.splits[k].indices,
+                    &ltc,
+                );
+                (model, env.splits[k].weight, loss)
+            });
+            let mean_loss =
+                locals.iter().map(|(_, _, l)| *l).sum::<f32>() / locals.len() as f32;
+            let weighted: Vec<_> = locals.into_iter().map(|(m, w, _)| (m, w)).collect();
+            fedavg_into(&mut global, &weighted);
+            let (mut vc, mut va) = (None, None);
+            if t % cadence == cadence - 1 || t + 1 == cfg.rounds {
+                vc = Some(env.val_clean(&mut global, 64));
+                va = Some(env.val_adv(&mut global, 64));
+            }
+            history.push(RoundRecord {
+                round: t,
+                train_loss: mean_loss,
+                val_clean: vc,
+                val_adv: va,
+            });
+        }
+        FlOutcome {
+            model: global,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testenv::make_env;
+    use super::*;
+
+    #[test]
+    fn jfat_learns_a_robust_model() {
+        let env = make_env(10, 42);
+        let outcome = JFat::new().run(&env);
+        assert_eq!(outcome.history.len(), 10);
+        let clean = outcome.final_val_clean().unwrap();
+        let adv = outcome.final_val_adv().unwrap();
+        assert!(clean > 0.5, "clean accuracy {clean} too low");
+        assert!(adv > 0.3, "adversarial accuracy {adv} too low");
+    }
+
+    #[test]
+    fn standard_training_gets_higher_clean_lower_adv() {
+        // Table 1's premise: ST has better clean accuracy, AT better
+        // robustness. With tiny budgets we only assert the robust gap.
+        let env = make_env(10, 7);
+        let at = JFat::new().run(&env);
+        let st = JFat {
+            standard_training: true,
+        }
+        .run(&env);
+        let at_adv = at.final_val_adv().unwrap();
+        let st_adv = st.final_val_adv().unwrap();
+        assert!(
+            at_adv >= st_adv,
+            "AT robustness {at_adv} below ST {st_adv}"
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let env = make_env(3, 5);
+        let a = JFat::new().run(&env);
+        let b = JFat::new().run(&env);
+        assert_eq!(a.model.flat_params(), b.model.flat_params());
+    }
+}

@@ -1,0 +1,132 @@
+//! The paper's baseline methods (Appendix B.2).
+
+mod distill;
+mod fedrbn;
+mod jfat;
+mod partial;
+
+pub use distill::{Distill, DistillVariant};
+pub use fedrbn::FedRbn;
+pub use jfat::JFat;
+pub use partial::PartialTraining;
+pub use crate::submodel::SubmodelScheme;
+
+use crate::engine::FlEnv;
+use fp_nn::CascadeModel;
+use fp_tensor::Tensor;
+
+/// How often baselines measure validation metrics (every `rounds/8`
+/// rounds, at least once).
+pub(crate) fn eval_cadence(rounds: usize) -> usize {
+    (rounds / 8).max(1)
+}
+
+/// Runs `f(client_id)` for every selected client on its own thread and
+/// collects results in order.
+pub(crate) fn parallel_clients<T, F>(ids: &[usize], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = ids.iter().map(|&k| s.spawn(move || f(k))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    })
+}
+
+/// Weighted-averages full local models (parameters and BN statistics) into
+/// `global`.
+pub(crate) fn fedavg_into(global: &mut CascadeModel, locals: &[(CascadeModel, f32)]) {
+    assert!(!locals.is_empty(), "no local models");
+    let updates: Vec<(Vec<f32>, f32)> = locals
+        .iter()
+        .map(|(m, w)| (m.flat_params(), *w))
+        .collect();
+    let avg = crate::aggregate::weighted_average(&updates);
+    global.set_flat_params(&avg);
+    average_bn_into(global, locals);
+}
+
+/// Weighted-averages only BN running statistics into `global`.
+pub(crate) fn average_bn_into(global: &mut CascadeModel, locals: &[(CascadeModel, f32)]) {
+    let total: f32 = locals.iter().map(|(_, w)| *w).sum();
+    if total <= 0.0 {
+        return;
+    }
+    let template = locals[0].0.bn_stats();
+    if template.is_empty() {
+        return;
+    }
+    let mut means: Vec<Tensor> = template.iter().map(|(m, _)| Tensor::zeros(m.shape())).collect();
+    let mut vars: Vec<Tensor> = template.iter().map(|(_, v)| Tensor::zeros(v.shape())).collect();
+    for (m, w) in locals {
+        let wn = *w / total;
+        for (i, (mean, var)) in m.bn_stats().iter().enumerate() {
+            means[i].axpy(wn, mean);
+            vars[i].axpy(wn, var);
+        }
+    }
+    let stats: Vec<(Tensor, Tensor)> = means.into_iter().zip(vars).collect();
+    global.set_bn_stats(&stats);
+}
+
+/// Builds the freshly initialized reference (global) model of an
+/// environment.
+pub(crate) fn init_global(env: &FlEnv) -> CascadeModel {
+    let mut rng = fp_tensor::seeded_rng(env.cfg.seed ^ 0x610BA1);
+    fp_nn::models::instantiate(
+        &env.reference_specs,
+        &env.input_shape,
+        env.data.train.n_classes(),
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+pub(crate) mod testenv {
+    use super::*;
+    use crate::config::FlConfig;
+    use fp_data::{generate, partition_pathological, SynthConfig};
+    use fp_hwsim::{sample_fleet, SamplingMode, CIFAR_POOL};
+    use fp_nn::models::{vgg_atom_specs, VggConfig};
+
+    /// A small but learnable environment shared by baseline tests.
+    pub fn make_env(rounds: usize, seed: u64) -> FlEnv {
+        let cfg = FlConfig::fast(rounds, seed);
+        let data = generate(&SynthConfig::tiny(4, 8), seed);
+        let splits = partition_pathological(&data.train, cfg.n_clients, 0.8, 0.25, seed);
+        let mut rng = fp_tensor::seeded_rng(seed ^ 0xF1EE7);
+        let fleet = sample_fleet(&CIFAR_POOL, cfg.n_clients, SamplingMode::Balanced, &mut rng);
+        let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16]));
+        FlEnv::new(data, splits, fleet, specs, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_clients_preserves_order() {
+        let out = parallel_clients(&[3, 1, 4, 1, 5], |k| k * 2);
+        assert_eq!(out, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn fedavg_of_identical_models_is_identity() {
+        let env = testenv::make_env(1, 0);
+        let global = init_global(&env);
+        let mut merged = global.clone();
+        fedavg_into(
+            &mut merged,
+            &[(global.clone(), 0.5), (global.clone(), 0.5)],
+        );
+        for (a, b) in merged.flat_params().iter().zip(global.flat_params()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

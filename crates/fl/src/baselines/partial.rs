@@ -1,0 +1,144 @@
+//! Partial-training baselines: HeteroFL-AT, FedDrop-AT, FedRolex-AT.
+
+use super::{eval_cadence, init_global, parallel_clients};
+use crate::engine::{FlAlgorithm, FlEnv};
+use crate::local::{local_train, LocalTrainConfig};
+use crate::metrics::{FlOutcome, RoundRecord};
+use crate::submodel::{
+    channel_groups, extract_submodel, keep_sets, SubmodelAccumulator, SubmodelScheme,
+};
+use fp_attack::PgdConfig;
+use fp_tensor::seeded_rng;
+
+/// Partial-training federated adversarial training: each client trains a
+/// width-sliced sub-model sized to its memory budget
+/// (`ratio = R_k / R_max`, Appendix B.2) and the server partial-averages
+/// the updates (Eq. 16).
+///
+/// The [`SubmodelScheme`] selects the baseline: `Static` = HeteroFL,
+/// `Rolling` = FedRolex, `Random` = FedDrop.
+#[derive(Debug, Clone, Copy)]
+pub struct PartialTraining {
+    /// Channel-selection scheme.
+    pub scheme: SubmodelScheme,
+}
+
+impl PartialTraining {
+    /// HeteroFL-AT.
+    pub fn heterofl() -> Self {
+        PartialTraining {
+            scheme: SubmodelScheme::Static,
+        }
+    }
+
+    /// FedRolex-AT.
+    pub fn fedrolex() -> Self {
+        PartialTraining {
+            scheme: SubmodelScheme::Rolling,
+        }
+    }
+
+    /// FedDrop-AT.
+    pub fn feddrop() -> Self {
+        PartialTraining {
+            scheme: SubmodelScheme::Random,
+        }
+    }
+}
+
+impl FlAlgorithm for PartialTraining {
+    fn name(&self) -> &'static str {
+        match self.scheme {
+            SubmodelScheme::Static => "HeteroFL-AT",
+            SubmodelScheme::Rolling => "FedRolex-AT",
+            SubmodelScheme::Random => "FedDrop-AT",
+        }
+    }
+
+    fn run(&self, env: &FlEnv) -> FlOutcome {
+        let cfg = &env.cfg;
+        let mut global = init_global(env);
+        let groups = channel_groups(&env.reference_specs);
+        let full_mem = env.full_mem_req() as f64;
+        let mut history = Vec::with_capacity(cfg.rounds);
+        let cadence = eval_cadence(cfg.rounds);
+        for t in 0..cfg.rounds {
+            let ids = env.sample_round(t);
+            let lr = cfg.lr.at(t);
+            let scheme = self.scheme;
+            let results = parallel_clients(&ids, |k| {
+                let ratio = ((env.mem_budget(k) as f64 / full_mem) as f32).clamp(0.1, 1.0);
+                let mut rng = seeded_rng(cfg.seed ^ 0x5B_0000 ^ (t as u64) << 20 ^ k as u64);
+                let keep = keep_sets(&groups, ratio, scheme, t, &mut rng);
+                let mut sub = extract_submodel(&global, &keep, &mut rng);
+                let ltc = LocalTrainConfig {
+                    iters: cfg.local_iters,
+                    batch_size: cfg.batch_size,
+                    lr,
+                    momentum: cfg.momentum,
+                    weight_decay: cfg.weight_decay,
+                    pgd: Some(PgdConfig {
+                        steps: cfg.pgd_steps,
+                        ..PgdConfig::train_linf(cfg.eps0)
+                    }),
+                    seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
+                };
+                let loss = local_train(&mut sub, &env.data.train, &env.splits[k].indices, &ltc);
+                (sub, keep, env.splits[k].weight, loss)
+            });
+            let mean_loss =
+                results.iter().map(|(_, _, _, l)| *l).sum::<f32>() / results.len() as f32;
+            let mut acc = SubmodelAccumulator::new(&global);
+            for (sub, keep, w, _) in &results {
+                acc.add(sub, keep, *w);
+            }
+            acc.apply(&mut global);
+            let (mut vc, mut va) = (None, None);
+            if t % cadence == cadence - 1 || t + 1 == cfg.rounds {
+                vc = Some(env.val_clean(&mut global, 64));
+                va = Some(env.val_adv(&mut global, 64));
+            }
+            history.push(RoundRecord {
+                round: t,
+                train_loss: mean_loss,
+                val_clean: vc,
+                val_adv: va,
+            });
+        }
+        FlOutcome {
+            model: global,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testenv::make_env;
+    use super::*;
+
+    #[test]
+    fn all_three_schemes_run_and_learn() {
+        for alg in [
+            PartialTraining::heterofl(),
+            PartialTraining::fedrolex(),
+            PartialTraining::feddrop(),
+        ] {
+            let env = make_env(8, 21);
+            let outcome = alg.run(&env);
+            let clean = outcome.final_val_clean().unwrap();
+            assert!(
+                clean > 0.3,
+                "{} failed to learn: clean {clean}",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scheme_names_match_paper() {
+        assert_eq!(PartialTraining::heterofl().name(), "HeteroFL-AT");
+        assert_eq!(PartialTraining::fedrolex().name(), "FedRolex-AT");
+        assert_eq!(PartialTraining::feddrop().name(), "FedDrop-AT");
+    }
+}

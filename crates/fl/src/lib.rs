@@ -1,0 +1,42 @@
+//! Federated-learning engine and the paper's baseline methods.
+//!
+//! This crate provides the substrate FedProphet is evaluated against
+//! (paper §7.1 "Baselines", Appendix B.2):
+//!
+//! | Baseline | Family | Module |
+//! |---|---|---|
+//! | jFAT (Zizzo et al. 2020) | joint end-to-end FAT | [`baselines::JFat`] |
+//! | FedDF-AT (Lin et al. 2020) | knowledge distillation | [`baselines::Distill`] |
+//! | FedET-AT (Cho et al. 2022) | knowledge distillation | [`baselines::Distill`] |
+//! | HeteroFL-AT (Diao et al. 2020) | partial training (static slice) | [`baselines::PartialTraining`] |
+//! | FedDrop-AT (Wen et al. 2022) | partial training (random mask) | [`baselines::PartialTraining`] |
+//! | FedRolex-AT (Alam et al. 2022) | partial training (rolling window) | [`baselines::PartialTraining`] |
+//! | FedRBN (Hong et al. 2023) | robustness propagation via BN | [`baselines::FedRbn`] |
+//!
+//! Shared infrastructure:
+//!
+//! * [`FlConfig`]/[`FlEnv`] — the simulation environment: dataset splits,
+//!   per-client device samples (from `fp-hwsim`), per-round client
+//!   sampling, and per-client memory budgets;
+//! * [`local_train`] — the local SGD/adversarial-training loop;
+//! * [`aggregate`] — weighted FedAvg and the partial-average accumulator
+//!   (paper Eq. 16–17);
+//! * [`submodel`] — channel-group based sub-model extraction and
+//!   aggregation used by the partial-training family.
+//!
+//! Every algorithm implements [`FlAlgorithm`] and returns an [`FlOutcome`]
+//! with the final global model and the per-round history.
+
+pub mod aggregate;
+pub mod baselines;
+mod config;
+mod engine;
+mod local;
+pub mod metrics;
+pub mod submodel;
+
+pub use baselines::{Distill, DistillVariant, FedRbn, JFat, PartialTraining, SubmodelScheme};
+pub use config::FlConfig;
+pub use engine::{scale_budgets, FlAlgorithm, FlEnv};
+pub use local::{local_train, LocalTrainConfig};
+pub use metrics::{FlOutcome, RoundRecord};

@@ -1,0 +1,68 @@
+//! Run outcomes and per-round records.
+
+use fp_nn::CascadeModel;
+use serde::{Deserialize, Serialize};
+
+/// One communication round's record.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index.
+    pub round: usize,
+    /// Mean local training loss over participating clients.
+    pub train_loss: f32,
+    /// Validation clean accuracy, when measured this round.
+    pub val_clean: Option<f32>,
+    /// Validation adversarial (PGD) accuracy, when measured this round.
+    pub val_adv: Option<f32>,
+}
+
+/// The result of a federated training run.
+pub struct FlOutcome {
+    /// Final global model.
+    pub model: CascadeModel,
+    /// Per-round history.
+    pub history: Vec<RoundRecord>,
+}
+
+impl FlOutcome {
+    /// The last measured validation clean accuracy, if any.
+    pub fn final_val_clean(&self) -> Option<f32> {
+        self.history.iter().rev().find_map(|r| r.val_clean)
+    }
+
+    /// The last measured validation adversarial accuracy, if any.
+    pub fn final_val_adv(&self) -> Option<f32> {
+        self.history.iter().rev().find_map(|r| r.val_adv)
+    }
+}
+
+impl std::fmt::Debug for FlOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlOutcome")
+            .field("rounds", &self.history.len())
+            .field("final_val_clean", &self.final_val_clean())
+            .field("final_val_adv", &self.final_val_adv())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_metrics_pick_last_measurement() {
+        let mut rng = fp_tensor::seeded_rng(0);
+        let model = fp_nn::models::tiny_vgg(3, 8, 4, &[4], &mut rng);
+        let outcome = FlOutcome {
+            model,
+            history: vec![
+                RoundRecord { round: 0, train_loss: 1.0, val_clean: Some(0.3), val_adv: Some(0.1) },
+                RoundRecord { round: 1, train_loss: 0.9, val_clean: None, val_adv: None },
+                RoundRecord { round: 2, train_loss: 0.8, val_clean: Some(0.5), val_adv: None },
+            ],
+        };
+        assert_eq!(outcome.final_val_clean(), Some(0.5));
+        assert_eq!(outcome.final_val_adv(), Some(0.1));
+    }
+}

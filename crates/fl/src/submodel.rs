@@ -1,0 +1,655 @@
+//! Channel-structured sub-model extraction and aggregation.
+//!
+//! The partial-training FL family (HeteroFL, FedDrop, FedRolex) lets a
+//! memory-constrained client train a *narrow* version of the global model:
+//! every hidden channel group keeps only a subset of its channels, and the
+//! server partial-averages the trained entries back into the global model
+//! (paper §2.1, Eq. 16-17).
+//!
+//! The three methods differ only in **which** channels are kept
+//! ([`SubmodelScheme`]): HeteroFL keeps a fixed prefix, FedRolex rolls the
+//! window by one channel per round, FedDrop samples randomly.
+//!
+//! Extraction is spec-driven: the channel-group labels on
+//! [`LayerSpec`](fp_nn::spec::LayerSpec) identify which slice of each
+//! weight tensor belongs to which group, so slicing and scatter-aggregation
+//! are generic over architectures (VGG, CNN, and ResNet cascades all work).
+
+use crate::aggregate::PartialAccumulator;
+use fp_nn::models::instantiate;
+use fp_nn::spec::{AtomSpec, LayerKind, LayerSpec, GROUP_INPUT, GROUP_OUTPUT};
+use fp_nn::CascadeModel;
+use fp_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// How a sub-model's channels are chosen each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubmodelScheme {
+    /// Fixed prefix `0..k` (HeteroFL).
+    Static,
+    /// Rolling window starting at `round mod C` (FedRolex).
+    Rolling,
+    /// Random subset each round (FedDrop / federated dropout).
+    Random,
+}
+
+/// Channel counts per group id, collected from specs.
+///
+/// # Panics
+///
+/// Panics if two layers disagree about a group's width.
+pub fn channel_groups(specs: &[AtomSpec]) -> BTreeMap<usize, usize> {
+    let mut groups = BTreeMap::new();
+    for atom in specs {
+        for l in &atom.layers {
+            record_layer_groups(l, &mut groups);
+        }
+    }
+    groups
+}
+
+fn record(groups: &mut BTreeMap<usize, usize>, g: usize, c: usize) {
+    match groups.get(&g) {
+        Some(&prev) => assert_eq!(prev, c, "group {g} has inconsistent widths {prev} vs {c}"),
+        None => {
+            groups.insert(g, c);
+        }
+    }
+}
+
+fn record_layer_groups(l: &LayerSpec, groups: &mut BTreeMap<usize, usize>) {
+    match &l.kind {
+        LayerKind::Conv2d { c_in, c_out, .. } => {
+            record(groups, l.in_group, *c_in);
+            record(groups, l.out_group, *c_out);
+        }
+        LayerKind::Linear {
+            d_in,
+            d_out,
+            in_spatial,
+        } => {
+            record(groups, l.in_group, d_in / in_spatial);
+            record(groups, l.out_group, *d_out);
+        }
+        LayerKind::BatchNorm2d { c } => record(groups, l.out_group, *c),
+        LayerKind::Residual { block, shortcut } => {
+            for b in block.iter().chain(shortcut.iter()) {
+                record_layer_groups(b, groups);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Builds the kept-channel sets for a width `ratio ∈ (0, 1]`.
+///
+/// Groups `GROUP_INPUT` and `GROUP_OUTPUT` always keep all channels.
+pub fn keep_sets(
+    groups: &BTreeMap<usize, usize>,
+    ratio: f32,
+    scheme: SubmodelScheme,
+    round: usize,
+    rng: &mut StdRng,
+) -> HashMap<usize, Vec<usize>> {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
+    let mut keep = HashMap::new();
+    for (&g, &c) in groups {
+        if g == GROUP_INPUT || g == GROUP_OUTPUT {
+            keep.insert(g, (0..c).collect());
+            continue;
+        }
+        let k = ((c as f32 * ratio).round() as usize).clamp(1, c);
+        let set: Vec<usize> = match scheme {
+            SubmodelScheme::Static => (0..k).collect(),
+            SubmodelScheme::Rolling => {
+                let start = round % c;
+                let mut v: Vec<usize> = (0..k).map(|i| (start + i) % c).collect();
+                v.sort_unstable();
+                v
+            }
+            SubmodelScheme::Random => {
+                let mut all: Vec<usize> = (0..c).collect();
+                all.shuffle(rng);
+                let mut v = all[..k].to_vec();
+                v.sort_unstable();
+                v
+            }
+        };
+        keep.insert(g, set);
+    }
+    keep
+}
+
+fn kept(keep: &HashMap<usize, Vec<usize>>, g: usize, orig: usize) -> Vec<usize> {
+    keep.get(&g).cloned().unwrap_or_else(|| (0..orig).collect())
+}
+
+fn kept_len(keep: &HashMap<usize, Vec<usize>>, g: usize, orig: usize) -> usize {
+    keep.get(&g).map(|v| v.len()).unwrap_or(orig)
+}
+
+/// Rewrites specs with sliced channel counts.
+pub fn slice_specs(specs: &[AtomSpec], keep: &HashMap<usize, Vec<usize>>) -> Vec<AtomSpec> {
+    specs
+        .iter()
+        .map(|a| AtomSpec::new(a.name.clone(), a.layers.iter().map(|l| slice_layer_spec(l, keep)).collect()))
+        .collect()
+}
+
+fn slice_layer_spec(l: &LayerSpec, keep: &HashMap<usize, Vec<usize>>) -> LayerSpec {
+    let kind = match &l.kind {
+        LayerKind::Conv2d {
+            c_in,
+            c_out,
+            k,
+            stride,
+            pad,
+            bias,
+        } => LayerKind::Conv2d {
+            c_in: kept_len(keep, l.in_group, *c_in),
+            c_out: kept_len(keep, l.out_group, *c_out),
+            k: *k,
+            stride: *stride,
+            pad: *pad,
+            bias: *bias,
+        },
+        LayerKind::Linear {
+            d_in,
+            d_out,
+            in_spatial,
+        } => LayerKind::Linear {
+            d_in: kept_len(keep, l.in_group, d_in / in_spatial) * in_spatial,
+            d_out: kept_len(keep, l.out_group, *d_out),
+            in_spatial: *in_spatial,
+        },
+        LayerKind::BatchNorm2d { c } => LayerKind::BatchNorm2d {
+            c: kept_len(keep, l.out_group, *c),
+        },
+        LayerKind::Residual { block, shortcut } => LayerKind::Residual {
+            block: block.iter().map(|b| slice_layer_spec(b, keep)).collect(),
+            shortcut: shortcut.iter().map(|b| slice_layer_spec(b, keep)).collect(),
+        },
+        other => other.clone(),
+    };
+    LayerSpec::new(kind, l.in_group, l.out_group)
+}
+
+/// A parameter tensor's slicing rule.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// Conv weight `[c_out, c_in, k, k]`.
+    ConvW {
+        c_out: usize,
+        c_in: usize,
+        k: usize,
+        out_g: usize,
+        in_g: usize,
+    },
+    /// Per-channel vector `[c]` (bias, BN γ/β).
+    VecC { c: usize, g: usize },
+    /// Linear weight `[d_out, c_in·spatial]`.
+    LinearW {
+        d_out: usize,
+        c_in: usize,
+        spatial: usize,
+        out_g: usize,
+        in_g: usize,
+    },
+}
+
+impl Slot {
+    fn numel(&self) -> usize {
+        match *self {
+            Slot::ConvW { c_out, c_in, k, .. } => c_out * c_in * k * k,
+            Slot::VecC { c, .. } => c,
+            Slot::LinearW {
+                d_out, c_in, spatial, ..
+            } => d_out * c_in * spatial,
+        }
+    }
+}
+
+/// Parameter slots of one layer spec, in the order the concrete layers
+/// expose their `params()`.
+fn layer_slots(l: &LayerSpec, out: &mut Vec<Slot>) {
+    match &l.kind {
+        LayerKind::Conv2d {
+            c_in,
+            c_out,
+            k,
+            bias,
+            ..
+        } => {
+            out.push(Slot::ConvW {
+                c_out: *c_out,
+                c_in: *c_in,
+                k: *k,
+                out_g: l.out_group,
+                in_g: l.in_group,
+            });
+            if *bias {
+                out.push(Slot::VecC {
+                    c: *c_out,
+                    g: l.out_group,
+                });
+            }
+        }
+        LayerKind::Linear {
+            d_in,
+            d_out,
+            in_spatial,
+        } => {
+            out.push(Slot::LinearW {
+                d_out: *d_out,
+                c_in: d_in / in_spatial,
+                spatial: *in_spatial,
+                out_g: l.out_group,
+                in_g: l.in_group,
+            });
+            out.push(Slot::VecC {
+                c: *d_out,
+                g: l.out_group,
+            });
+        }
+        LayerKind::BatchNorm2d { c } => {
+            out.push(Slot::VecC { c: *c, g: l.out_group });
+            out.push(Slot::VecC { c: *c, g: l.out_group });
+        }
+        LayerKind::Residual { block, shortcut } => {
+            for b in block.iter().chain(shortcut.iter()) {
+                layer_slots(b, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// All parameter slots of a spec cascade (global model layout).
+fn model_slots(specs: &[AtomSpec]) -> Vec<Slot> {
+    let mut out = Vec::new();
+    for a in specs {
+        for l in &a.layers {
+            layer_slots(l, &mut out);
+        }
+    }
+    out
+}
+
+/// BN groups `(group, channels)` in stats-traversal order.
+fn bn_groups(specs: &[AtomSpec]) -> Vec<(usize, usize)> {
+    fn walk(l: &LayerSpec, out: &mut Vec<(usize, usize)>) {
+        match &l.kind {
+            LayerKind::BatchNorm2d { c } => out.push((l.out_group, *c)),
+            LayerKind::Residual { block, shortcut } => {
+                for b in block.iter().chain(shortcut.iter()) {
+                    walk(b, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    for a in specs {
+        for l in &a.layers {
+            walk(l, &mut out);
+        }
+    }
+    out
+}
+
+/// Extracts a trainable sub-model of `global` keeping the channels in
+/// `keep`; parameters and BN running statistics are copied from the
+/// corresponding global slices.
+pub fn extract_submodel(
+    global: &CascadeModel,
+    keep: &HashMap<usize, Vec<usize>>,
+    rng: &mut StdRng,
+) -> CascadeModel {
+    let specs = global.specs();
+    let sliced = slice_specs(&specs, keep);
+    let mut sub = instantiate(&sliced, global.input_shape(), global.n_classes(), rng);
+
+    // Copy parameters slot by slot.
+    let slots = model_slots(&specs);
+    let g_params = global.params();
+    assert_eq!(g_params.len(), slots.len(), "slot/param walk mismatch");
+    {
+        let mut s_params = sub.params_mut();
+        assert_eq!(s_params.len(), slots.len(), "sub slot/param walk mismatch");
+        for ((slot, gp), sp) in slots.iter().zip(g_params.iter()).zip(s_params.iter_mut()) {
+            assert_eq!(gp.numel(), slot.numel(), "global param/slot shape mismatch");
+            let sliced_vals = slice_tensor(slot, gp.value(), keep);
+            assert_eq!(sliced_vals.numel(), sp.numel(), "sliced size mismatch");
+            sp.value_mut().data_mut().copy_from_slice(sliced_vals.data());
+        }
+    }
+
+    // Copy BN running statistics.
+    let bn = bn_groups(&specs);
+    let g_stats = global.bn_stats();
+    assert_eq!(bn.len(), g_stats.len(), "bn walk mismatch");
+    let sliced_stats: Vec<(Tensor, Tensor)> = bn
+        .iter()
+        .zip(g_stats.iter())
+        .map(|(&(g, c), (mean, var))| {
+            let ks = kept(keep, g, c);
+            (gather_vec(mean, &ks), gather_vec(var, &ks))
+        })
+        .collect();
+    sub.set_bn_stats(&sliced_stats);
+    sub
+}
+
+/// Accumulators for partial-averaging sub-model updates back into the
+/// global model: one per parameter tensor plus per-BN-stat pairs.
+pub struct SubmodelAccumulator {
+    params: Vec<PartialAccumulator>,
+    bn_means: Vec<PartialAccumulator>,
+    bn_vars: Vec<PartialAccumulator>,
+    specs: Vec<AtomSpec>,
+}
+
+impl SubmodelAccumulator {
+    /// Creates zeroed accumulators shaped like `global`.
+    pub fn new(global: &CascadeModel) -> Self {
+        let specs = global.specs();
+        let params = global
+            .params()
+            .iter()
+            .map(|p| PartialAccumulator::new(p.numel()))
+            .collect();
+        let stats = global.bn_stats();
+        SubmodelAccumulator {
+            params,
+            bn_means: stats
+                .iter()
+                .map(|(m, _)| PartialAccumulator::new(m.numel()))
+                .collect(),
+            bn_vars: stats
+                .iter()
+                .map(|(_, v)| PartialAccumulator::new(v.numel()))
+                .collect(),
+            specs,
+        }
+    }
+
+    /// Scatters one client's trained sub-model into the accumulators with
+    /// FedAvg weight `weight`.
+    pub fn add(&mut self, sub: &CascadeModel, keep: &HashMap<usize, Vec<usize>>, weight: f32) {
+        let slots = model_slots(&self.specs);
+        let s_params = sub.params();
+        assert_eq!(s_params.len(), slots.len(), "sub walk mismatch");
+        for ((slot, acc), sp) in slots.iter().zip(self.params.iter_mut()).zip(s_params.iter()) {
+            scatter_tensor(slot, acc, sp.value(), keep, weight);
+        }
+        let bn = bn_groups(&self.specs);
+        let s_stats = sub.bn_stats();
+        for (((g, c), (mean, var)), (acc_m, acc_v)) in bn
+            .iter()
+            .zip(s_stats.iter())
+            .zip(self.bn_means.iter_mut().zip(self.bn_vars.iter_mut()))
+        {
+            let ks = kept(keep, *g, *c);
+            for (j, &gi) in ks.iter().enumerate() {
+                acc_m.add(gi, mean.data()[j], weight);
+                acc_v.add(gi, var.data()[j], weight);
+            }
+        }
+    }
+
+    /// Resolves into `global`: covered entries averaged, uncovered kept.
+    pub fn apply(&self, global: &mut CascadeModel) {
+        for (acc, p) in self.params.iter().zip(global.params_mut()) {
+            let merged = acc.finish(p.value().data());
+            p.value_mut().data_mut().copy_from_slice(&merged);
+        }
+        let prev = global.bn_stats();
+        let merged: Vec<(Tensor, Tensor)> = prev
+            .iter()
+            .zip(self.bn_means.iter().zip(self.bn_vars.iter()))
+            .map(|((m, v), (am, av))| {
+                (
+                    Tensor::from_vec(am.finish(m.data()), m.shape()),
+                    Tensor::from_vec(av.finish(v.data()), v.shape()),
+                )
+            })
+            .collect();
+        global.set_bn_stats(&merged);
+    }
+}
+
+fn gather_vec(t: &Tensor, idx: &[usize]) -> Tensor {
+    Tensor::from_vec(idx.iter().map(|&i| t.data()[i]).collect(), &[idx.len()])
+}
+
+fn slice_tensor(slot: &Slot, t: &Tensor, keep: &HashMap<usize, Vec<usize>>) -> Tensor {
+    match *slot {
+        Slot::VecC { c, g } => gather_vec(t, &kept(keep, g, c)),
+        Slot::ConvW {
+            c_out,
+            c_in,
+            k,
+            out_g,
+            in_g,
+        } => {
+            let rows = kept(keep, out_g, c_out);
+            let cols = kept(keep, in_g, c_in);
+            let kk = k * k;
+            let mut out = Vec::with_capacity(rows.len() * cols.len() * kk);
+            for &ro in &rows {
+                for &ci in &cols {
+                    let base = (ro * c_in + ci) * kk;
+                    out.extend_from_slice(&t.data()[base..base + kk]);
+                }
+            }
+            Tensor::from_vec(out, &[rows.len(), cols.len(), k, k])
+        }
+        Slot::LinearW {
+            d_out,
+            c_in,
+            spatial,
+            out_g,
+            in_g,
+        } => {
+            let rows = kept(keep, out_g, d_out);
+            let cols = kept(keep, in_g, c_in);
+            let d_in = c_in * spatial;
+            let mut out = Vec::with_capacity(rows.len() * cols.len() * spatial);
+            for &ro in &rows {
+                for &ci in &cols {
+                    let base = ro * d_in + ci * spatial;
+                    out.extend_from_slice(&t.data()[base..base + spatial]);
+                }
+            }
+            Tensor::from_vec(out, &[rows.len(), cols.len() * spatial])
+        }
+    }
+}
+
+fn scatter_tensor(
+    slot: &Slot,
+    acc: &mut PartialAccumulator,
+    sub: &Tensor,
+    keep: &HashMap<usize, Vec<usize>>,
+    weight: f32,
+) {
+    match *slot {
+        Slot::VecC { c, g } => {
+            for (j, &gi) in kept(keep, g, c).iter().enumerate() {
+                acc.add(gi, sub.data()[j], weight);
+            }
+        }
+        Slot::ConvW {
+            c_out,
+            c_in,
+            k,
+            out_g,
+            in_g,
+        } => {
+            let rows = kept(keep, out_g, c_out);
+            let cols = kept(keep, in_g, c_in);
+            let kk = k * k;
+            let mut s = 0usize;
+            for &ro in &rows {
+                for &ci in &cols {
+                    let base = (ro * c_in + ci) * kk;
+                    for off in 0..kk {
+                        acc.add(base + off, sub.data()[s], weight);
+                        s += 1;
+                    }
+                }
+            }
+        }
+        Slot::LinearW {
+            d_out,
+            c_in,
+            spatial,
+            out_g,
+            in_g,
+        } => {
+            let rows = kept(keep, out_g, d_out);
+            let cols = kept(keep, in_g, c_in);
+            let d_in = c_in * spatial;
+            let mut s = 0usize;
+            for &ro in &rows {
+                for &ci in &cols {
+                    let base = ro * d_in + ci * spatial;
+                    for off in 0..spatial {
+                        acc.add(base + off, sub.data()[s], weight);
+                        s += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_nn::models;
+    use fp_nn::Mode;
+    use fp_tensor::seeded_rng;
+
+    fn tiny() -> CascadeModel {
+        let mut rng = seeded_rng(0);
+        models::tiny_vgg(3, 8, 4, &[6, 10], &mut rng)
+    }
+
+    #[test]
+    fn groups_collect_widths() {
+        let m = tiny();
+        let groups = channel_groups(&m.specs());
+        assert_eq!(groups[&GROUP_INPUT], 3);
+        assert_eq!(groups[&1], 6);
+        assert_eq!(groups[&2], 10);
+        assert_eq!(groups[&GROUP_OUTPUT], 4);
+    }
+
+    #[test]
+    fn keep_sets_schemes() {
+        let m = tiny();
+        let groups = channel_groups(&m.specs());
+        let mut rng = seeded_rng(1);
+        let s = keep_sets(&groups, 0.5, SubmodelScheme::Static, 0, &mut rng);
+        assert_eq!(s[&1], vec![0, 1, 2]);
+        assert_eq!(s[&GROUP_OUTPUT].len(), 4, "output never sliced");
+        let r3 = keep_sets(&groups, 0.5, SubmodelScheme::Rolling, 3, &mut rng);
+        assert_eq!(r3[&1], vec![3, 4, 5]);
+        let r5 = keep_sets(&groups, 0.5, SubmodelScheme::Rolling, 5, &mut rng);
+        assert_eq!(r5[&1], vec![0, 1, 5], "window wraps");
+        let rand = keep_sets(&groups, 0.5, SubmodelScheme::Random, 0, &mut rng);
+        assert_eq!(rand[&1].len(), 3);
+        assert!(rand[&1].windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    #[test]
+    fn full_ratio_extraction_is_identity() {
+        let global = tiny();
+        let groups = channel_groups(&global.specs());
+        let mut rng = seeded_rng(2);
+        let keep = keep_sets(&groups, 1.0, SubmodelScheme::Static, 0, &mut rng);
+        let sub = extract_submodel(&global, &keep, &mut rng);
+        assert_eq!(sub.flat_params(), global.flat_params());
+    }
+
+    #[test]
+    fn submodel_forward_runs_and_differs() {
+        let global = tiny();
+        let groups = channel_groups(&global.specs());
+        let mut rng = seeded_rng(3);
+        let keep = keep_sets(&groups, 0.5, SubmodelScheme::Static, 0, &mut rng);
+        let mut sub = extract_submodel(&global, &keep, &mut rng);
+        assert!(sub.param_count() < global.param_count());
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = sub.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 4], "logit width never sliced");
+    }
+
+    #[test]
+    fn extract_then_scatter_roundtrips() {
+        // Scattering an unmodified sub-model back must reproduce the
+        // global values on covered entries and keep the rest.
+        let global = tiny();
+        let groups = channel_groups(&global.specs());
+        let mut rng = seeded_rng(4);
+        let keep = keep_sets(&groups, 0.5, SubmodelScheme::Rolling, 7, &mut rng);
+        let sub = extract_submodel(&global, &keep, &mut rng);
+        let mut acc = SubmodelAccumulator::new(&global);
+        acc.add(&sub, &keep, 1.0);
+        let mut merged = global.clone();
+        acc.apply(&mut merged);
+        let a = global.flat_params();
+        let b = merged.flat_params();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6, "roundtrip changed a value");
+        }
+    }
+
+    #[test]
+    fn two_clients_average_on_overlap() {
+        let global = tiny();
+        let groups = channel_groups(&global.specs());
+        let mut rng = seeded_rng(5);
+        let keep = keep_sets(&groups, 1.0, SubmodelScheme::Static, 0, &mut rng);
+        let mut sub_a = extract_submodel(&global, &keep, &mut rng);
+        let mut sub_b = extract_submodel(&global, &keep, &mut rng);
+        // Shift all params of a by +1 and b by +3; average must be +2.
+        for p in sub_a.params_mut() {
+            p.value_mut().map_inplace(|v| v + 1.0);
+        }
+        for p in sub_b.params_mut() {
+            p.value_mut().map_inplace(|v| v + 3.0);
+        }
+        let mut acc = SubmodelAccumulator::new(&global);
+        acc.add(&sub_a, &keep, 1.0);
+        acc.add(&sub_b, &keep, 1.0);
+        let mut merged = global.clone();
+        acc.apply(&mut merged);
+        for (m, g) in merged.flat_params().iter().zip(global.flat_params()) {
+            assert!((m - (g + 2.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn resnet_submodels_work() {
+        let mut rng = seeded_rng(6);
+        let global = models::tiny_resnet(3, 8, 4, &[4, 8], &mut rng);
+        let groups = channel_groups(&global.specs());
+        let keep = keep_sets(&groups, 0.5, SubmodelScheme::Static, 0, &mut rng);
+        let mut sub = extract_submodel(&global, &keep, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        assert_eq!(sub.forward(&x, Mode::Eval).shape(), &[2, 4]);
+        // Round-trip property holds for residual architectures too.
+        let mut acc = SubmodelAccumulator::new(&global);
+        acc.add(&sub, &keep, 2.0);
+        let mut merged = global.clone();
+        acc.apply(&mut merged);
+        for (x, y) in global.flat_params().iter().zip(merged.flat_params()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

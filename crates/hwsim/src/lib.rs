@@ -1,0 +1,32 @@
+//! Edge-device hardware simulator.
+//!
+//! The paper's systems results (Figures 2, 6, 7; Tables 4, 7, 8) are
+//! latency and memory measurements on a pool of real edge devices. This
+//! crate reproduces them analytically:
+//!
+//! * [`memory`] — a ZeRO-style training-memory estimator
+//!   (`12 B/param` model states + `4 B · batch · stored activations`),
+//!   calibrated against the paper's Table 8 (see `DESIGN.md`);
+//! * [`flops`] — MACs accounting matching the paper's Table 7/8 convention
+//!   (`FLOPs of one forward = per-sample MACs × batch`), plus the
+//!   adversarial-training multiplier (`PGD-n` costs `n` extra
+//!   forward+backward pairs per iteration);
+//! * [`devices`] — the exact device pools of Appendix B.1 (Tables 5–6)
+//!   with real-time availability degradation and balanced/unbalanced
+//!   sampling;
+//! * [`latency`] — the training-latency model: compute time from available
+//!   TFLOPS, data-access time from memory-swap traffic over storage I/O
+//!   bandwidth (Rajbhandari et al. 2020-style offload accounting).
+//!
+//! Everything here operates on weight-free [`fp_nn::spec`] descriptions, so
+//! full-scale VGG16/ResNet34 are costed without allocating their weights.
+
+pub mod devices;
+pub mod flops;
+pub mod latency;
+pub mod memory;
+
+pub use devices::{sample_fleet, Device, DeviceSample, SamplingMode, CIFAR_POOL, CALTECH_POOL};
+pub use flops::{forward_macs, forward_macs_range, training_flops_per_iter, TrainingPassProfile};
+pub use latency::{ClientLatency, LatencyModel};
+pub use memory::{model_mem_req, module_mem_req, AuxHeadSpec, MemoryBreakdown, BYTES_PER_PARAM_STATE};

@@ -1,0 +1,271 @@
+//! 2-D convolution via im2col.
+
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::spec::{LayerKind, LayerSpec};
+use fp_tensor::{col2im, im2col, matmul_into, matmul_nt_into, matmul_tn_into, Conv2dGeometry, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution with square kernels, symmetric zero padding, and an
+/// optional bias.
+///
+/// Input `[batch, c_in, h, w]`, output `[batch, c_out, h', w']`. The weight
+/// is `[c_out, c_in, k, k]`. Forward lowers each sample with `im2col` and
+/// performs one `[c_out, c_in·k²] × [c_in·k², h'·w']` multiply; backward
+/// reuses the cached `cols` buffers.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    w: Param,
+    b: Option<Param>,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    in_group: usize,
+    out_group: usize,
+    cached: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    cols: Vec<Vec<f32>>,
+    geo: Conv2dGeometry,
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        in_group: usize,
+        out_group: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(c_in > 0 && c_out > 0 && k > 0 && stride > 0, "conv dims must be positive");
+        let fan_in = c_in * k * k;
+        let w = crate::init::kaiming_normal(&[c_out, c_in, k, k], fan_in, rng);
+        Conv2d {
+            w: Param::new(format!("{name}.w"), w),
+            b: bias.then(|| Param::new(format!("{name}.b"), Tensor::zeros(&[c_out]))),
+            c_in,
+            c_out,
+            k,
+            stride,
+            pad,
+            in_group,
+            out_group,
+            cached: None,
+        }
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            c_in: self.c_in,
+            h,
+            w,
+            k: self.k,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "conv input must be [b,c,h,w]");
+        assert_eq!(x.shape()[1], self.c_in, "conv channel mismatch");
+        let (batch, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let geo = self.geometry(h, w);
+        let (h_out, w_out) = (geo.h_out(), geo.w_out());
+        let (rows, n_cols) = (geo.col_rows(), geo.col_cols());
+        let mut out = Tensor::zeros(&[batch, self.c_out, h_out, w_out]);
+        let img_elems = self.c_in * h * w;
+        let out_elems = self.c_out * n_cols;
+        let mut cols_cache = Vec::with_capacity(batch);
+        for s in 0..batch {
+            let mut cols = vec![0.0f32; rows * n_cols];
+            im2col(&x.data()[s * img_elems..(s + 1) * img_elems], &geo, &mut cols);
+            let out_s = &mut out.data_mut()[s * out_elems..(s + 1) * out_elems];
+            matmul_into(self.w.value().data(), &cols, out_s, self.c_out, rows, n_cols);
+            if let Some(b) = &self.b {
+                for c in 0..self.c_out {
+                    let bv = b.value().data()[c];
+                    for o in &mut out_s[c * n_cols..(c + 1) * n_cols] {
+                        *o += bv;
+                    }
+                }
+            }
+            cols_cache.push(cols);
+        }
+        self.cached = Some(Cache {
+            cols: cols_cache,
+            geo,
+            batch,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cached.as_ref().expect("backward called before forward");
+        let geo = cache.geo;
+        let (rows, n_cols) = (geo.col_rows(), geo.col_cols());
+        let batch = cache.batch;
+        assert_eq!(
+            grad_out.shape(),
+            [batch, self.c_out, geo.h_out(), geo.w_out()],
+            "grad_out shape mismatch"
+        );
+        let out_elems = self.c_out * n_cols;
+        let img_elems = self.c_in * geo.h * geo.w;
+        let mut dx = Tensor::zeros(&[batch, self.c_in, geo.h, geo.w]);
+        let mut dcols = vec![0.0f32; rows * n_cols];
+        for s in 0..batch {
+            let g_s = &grad_out.data()[s * out_elems..(s + 1) * out_elems];
+            // dW += dY · colsᵀ   (dY: [c_out, n_cols], cols: [rows, n_cols])
+            matmul_nt_into(
+                g_s,
+                &cache.cols[s],
+                self.w.grad_mut().data_mut(),
+                self.c_out,
+                n_cols,
+                rows,
+            );
+            // dcols = Wᵀ · dY
+            dcols.fill(0.0);
+            matmul_tn_into(
+                self.w.value().data(),
+                g_s,
+                &mut dcols,
+                self.c_out,
+                rows,
+                n_cols,
+            );
+            col2im(
+                &dcols,
+                &geo,
+                &mut dx.data_mut()[s * img_elems..(s + 1) * img_elems],
+            );
+            if let Some(b) = &mut self.b {
+                let db = b.grad_mut().data_mut();
+                for c in 0..self.c_out {
+                    db[c] += g_s[c * n_cols..(c + 1) * n_cols].iter().sum::<f32>();
+                }
+            }
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.w];
+        if let Some(b) = &self.b {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.w];
+        if let Some(b) = &mut self.b {
+            v.push(b);
+        }
+        v
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::new(
+            LayerKind::Conv2d {
+                c_in: self.c_in,
+                c_out: self.c_out,
+                k: self.k,
+                stride: self.stride,
+                pad: self.pad,
+                bias: self.b.is_some(),
+            },
+            self.in_group,
+            self.out_group,
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn forward_identity_kernel() {
+        // A 1x1 conv with identity weights reproduces the input.
+        let mut rng = fp_tensor::seeded_rng(0);
+        let mut conv = Conv2d::new("c", 2, 2, 1, 1, 0, false, 0, 1, &mut rng);
+        conv.params_mut()[0].set_value(Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]));
+        let x = Tensor::rand_uniform(&[1, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), x.shape());
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn forward_known_sum_kernel() {
+        // 3x3 all-ones kernel over an all-ones 3x3 input with pad 1:
+        // corners see 4 ones, edges 6, center 9.
+        let mut rng = fp_tensor::seeded_rng(0);
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, false, 0, 1, &mut rng);
+        conv.params_mut()[0].set_value(Tensor::ones(&[1, 1, 3, 3]));
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(
+            y.data(),
+            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn strided_output_shape() {
+        let mut rng = fp_tensor::seeded_rng(0);
+        let mut conv = Conv2d::new("c", 3, 5, 3, 2, 1, true, 0, 1, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        assert_eq!(conv.forward(&x, Mode::Eval).shape(), &[2, 5, 4, 4]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = fp_tensor::seeded_rng(5);
+        let mut conv = Conv2d::new("c", 2, 3, 3, 1, 1, true, 0, 1, &mut rng);
+        check_layer_gradients(&mut conv, &[2, 2, 4, 4], &mut rng);
+    }
+
+    #[test]
+    fn gradients_with_stride_and_no_bias() {
+        let mut rng = fp_tensor::seeded_rng(6);
+        let mut conv = Conv2d::new("c", 2, 2, 3, 2, 1, false, 0, 1, &mut rng);
+        check_layer_gradients(&mut conv, &[1, 2, 5, 5], &mut rng);
+    }
+
+    #[test]
+    fn bias_gradient_is_spatial_sum() {
+        let mut rng = fp_tensor::seeded_rng(7);
+        let mut conv = Conv2d::new("c", 1, 1, 1, 1, 0, true, 0, 1, &mut rng);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        conv.forward(&x, Mode::Train);
+        conv.backward(&Tensor::ones(&[1, 1, 2, 2]));
+        assert_eq!(conv.params()[1].grad().data(), &[4.0]);
+    }
+}

@@ -1,0 +1,11 @@
+//! Concrete layer implementations.
+
+pub mod basic_block;
+pub mod bn;
+pub mod conv;
+pub mod dropout;
+pub mod flatten;
+pub mod linear;
+pub mod pool;
+pub mod relu;
+pub mod sequential;

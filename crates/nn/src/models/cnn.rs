@@ -1,0 +1,158 @@
+//! Plain small CNNs (the paper's CNN3/CNN4 "small model" baselines and the
+//! FedDF client-zoo members).
+
+use crate::cascade::CascadeModel;
+use crate::spec::{AtomSpec, LayerKind, LayerSpec, GROUP_INPUT, GROUP_OUTPUT};
+use rand::Rng;
+
+/// Configuration of a plain CNN: `n` conv–BN–ReLU–pool atoms followed by a
+/// global-average-pool classifier.
+#[derive(Debug, Clone)]
+pub struct CnnConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Square input resolution.
+    pub input_hw: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Conv widths, one per conv atom (a 2× pool follows each).
+    pub widths: Vec<usize>,
+    /// Stride of the first convolution (2 halves large inputs early,
+    /// keeping edge-device activation memory sane at 224²).
+    pub first_stride: usize,
+}
+
+impl CnnConfig {
+    /// The paper's CNN3 small model for CIFAR-10.
+    pub fn cnn3(n_classes: usize) -> Self {
+        CnnConfig {
+            in_channels: 3,
+            input_hw: 32,
+            n_classes,
+            widths: vec![32, 64, 128],
+            first_stride: 1,
+        }
+    }
+
+    /// The paper's CNN4 small model for Caltech-256 (stride-2 stem).
+    pub fn cnn4(n_classes: usize) -> Self {
+        CnnConfig {
+            in_channels: 3,
+            input_hw: 224,
+            n_classes,
+            widths: vec![32, 64, 128, 256],
+            first_stride: 2,
+        }
+    }
+}
+
+/// Builds atom specs for a plain CNN.
+///
+/// # Panics
+///
+/// Panics if the input is not divisible by `2^len(widths)`.
+pub fn cnn_atom_specs(cfg: &CnnConfig) -> Vec<AtomSpec> {
+    assert!(!cfg.widths.is_empty(), "cnn needs at least one conv");
+    assert!(cfg.first_stride >= 1, "first stride must be >= 1");
+    assert_eq!(
+        (cfg.input_hw / cfg.first_stride) % (1 << cfg.widths.len()),
+        0,
+        "input {} (after stride {}) not divisible by 2^{}",
+        cfg.input_hw,
+        cfg.first_stride,
+        cfg.widths.len()
+    );
+    let mut atoms = Vec::new();
+    let mut c_in = cfg.in_channels;
+    let mut group = GROUP_INPUT;
+    let mut next_group = 1usize;
+    for (i, &w) in cfg.widths.iter().enumerate() {
+        let out_group = next_group;
+        next_group += 1;
+        let stride = if i == 0 { cfg.first_stride } else { 1 };
+        atoms.push(AtomSpec::new(
+            format!("conv{}", i + 1),
+            vec![
+                LayerSpec::new(
+                    LayerKind::Conv2d {
+                        c_in,
+                        c_out: w,
+                        k: 3,
+                        stride,
+                        pad: 1,
+                        bias: false,
+                    },
+                    group,
+                    out_group,
+                ),
+                LayerSpec::same_group(LayerKind::BatchNorm2d { c: w }, out_group),
+                LayerSpec::same_group(LayerKind::Relu, out_group),
+                LayerSpec::same_group(LayerKind::MaxPool2d { k: 2, stride: 2 }, out_group),
+            ],
+        ));
+        c_in = w;
+        group = out_group;
+    }
+    atoms.push(AtomSpec::new(
+        "classifier",
+        vec![
+            LayerSpec::same_group(LayerKind::GlobalAvgPool, group),
+            LayerSpec::new(
+                LayerKind::Linear {
+                    d_in: c_in,
+                    d_out: cfg.n_classes,
+                    in_spatial: 1,
+                },
+                group,
+                GROUP_OUTPUT,
+            ),
+        ],
+    ));
+    atoms
+}
+
+/// Builds a tiny trainable plain CNN.
+pub fn tiny_cnn<R: Rng + ?Sized>(
+    in_channels: usize,
+    input_hw: usize,
+    n_classes: usize,
+    widths: &[usize],
+    rng: &mut R,
+) -> CascadeModel {
+    let cfg = CnnConfig {
+        in_channels,
+        input_hw,
+        n_classes,
+        widths: widths.to_vec(),
+        first_stride: 1,
+    };
+    let specs = cnn_atom_specs(&cfg);
+    super::instantiate(&specs, &[in_channels, input_hw, input_hw], n_classes, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::cascade_output_shape;
+
+    #[test]
+    fn cnn3_shape_flow() {
+        let specs = cnn_atom_specs(&CnnConfig::cnn3(10));
+        assert_eq!(specs.len(), 4);
+        assert_eq!(cascade_output_shape(&specs, &[3, 32, 32]), vec![10]);
+    }
+
+    #[test]
+    fn cnn_is_much_smaller_than_vgg16() {
+        // Table 1 motivates: small model ≈ 1× memory, VGG16 ≈ 5×.
+        let small: usize = cnn_atom_specs(&CnnConfig::cnn3(10))
+            .iter()
+            .map(AtomSpec::param_count)
+            .sum();
+        let large: usize = super::super::vgg16_spec_cifar()
+            .iter()
+            .map(AtomSpec::param_count)
+            .sum();
+        assert!(large > 10 * small, "vgg {large} vs cnn {small}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the NN layer stack: spec/layer agreement,
+//! optimizer behaviour, and model-zoo structural invariants.
+
+use fp_nn::models::{
+    self, cnn_atom_specs, resnet_atom_specs, vgg_atom_specs, CnnConfig, ResNetConfig, VggConfig,
+};
+use fp_nn::spec::cascade_output_shape;
+use fp_nn::{Mode, Param, Sgd};
+use fp_tensor::{seeded_rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The weight-free spec's output shape always agrees with the real
+    /// forward pass, for random VGG-style architectures.
+    #[test]
+    fn spec_shape_matches_forward_vgg(
+        w1 in 2usize..10,
+        w2 in 2usize..10,
+        classes in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let cfg = VggConfig::tiny(3, 8, classes, &[w1, w2]);
+        let specs = vgg_atom_specs(&cfg);
+        let spec_out = cascade_output_shape(&specs, &[3, 8, 8]);
+        prop_assert_eq!(&spec_out, &vec![classes]);
+        let mut rng = seeded_rng(seed);
+        let mut model = models::instantiate(&specs, &[3, 8, 8], classes, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = model.forward(&x, Mode::Eval);
+        prop_assert_eq!(y.shape(), &[2, classes]);
+        prop_assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// Same for ResNet-style cascades, including the per-atom feature
+    /// shapes used by the partitioner.
+    #[test]
+    fn spec_shape_matches_forward_resnet(
+        w1 in 2usize..8,
+        w2 in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        let cfg = ResNetConfig::tiny(3, 8, 4, &[w1, w2]);
+        let specs = resnet_atom_specs(&cfg);
+        let mut rng = seeded_rng(seed);
+        let mut model = models::instantiate(&specs, &[3, 8, 8], 4, &mut rng);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut rng);
+        for k in 1..=model.num_atoms() {
+            let z = model.forward_range(&x, 0, k, Mode::Eval);
+            let expect = model.feature_shape(k);
+            prop_assert_eq!(&z.shape()[1..], expect.as_slice());
+        }
+    }
+
+    /// Every model's parameter count equals its spec's parameter count —
+    /// the invariant that spec-driven slicing and memory costing rely on.
+    #[test]
+    fn param_counts_agree_across_zoo(
+        w in 2usize..10,
+        classes in 2usize..8,
+        seed in 0u64..50,
+    ) {
+        let mut rng = seeded_rng(seed);
+        for specs in [
+            vgg_atom_specs(&VggConfig::tiny(3, 8, classes, &[w, w * 2])),
+            cnn_atom_specs(&CnnConfig {
+                in_channels: 3,
+                input_hw: 8,
+                n_classes: classes,
+                widths: vec![w],
+                first_stride: 1,
+            }),
+            resnet_atom_specs(&ResNetConfig::tiny(3, 8, classes, &[w])),
+        ] {
+            let spec_count: usize = specs.iter().map(|a| a.param_count()).sum();
+            let model = models::instantiate(&specs, &[3, 8, 8], classes, &mut rng);
+            prop_assert_eq!(model.param_count(), spec_count);
+        }
+    }
+
+    /// SGD on a quadratic bowl `½‖θ‖²` converges toward zero for any
+    /// stable learning rate and momentum.
+    #[test]
+    fn sgd_descends_quadratic(
+        init in proptest::collection::vec(-3.0f32..3.0, 4),
+        lr in 0.01f32..0.5,
+        momentum in 0.0f32..0.9,
+    ) {
+        let mut p = Param::new("theta", Tensor::from_vec(init.clone(), &[4]));
+        let mut opt = Sgd::new(momentum, 0.0);
+        let start = p.value().norm_l2();
+        for _ in 0..60 {
+            let grad = p.value().clone();
+            p.grad_mut().data_mut().copy_from_slice(grad.data());
+            opt.step(&mut [&mut p], lr);
+        }
+        let end = p.value().norm_l2();
+        prop_assert!(end <= start + 1e-4, "diverged: {} -> {}", start, end);
+    }
+
+    /// Weight decay strictly shrinks parameters under zero gradients.
+    #[test]
+    fn weight_decay_shrinks(
+        init in proptest::collection::vec(0.5f32..3.0, 3),
+        wd in 0.01f32..0.3,
+    ) {
+        let mut p = Param::new("theta", Tensor::from_vec(init, &[3]));
+        let mut opt = Sgd::new(0.0, wd);
+        let before = p.value().norm_l2();
+        p.zero_grad();
+        opt.step(&mut [&mut p], 0.1);
+        prop_assert!(p.value().norm_l2() < before);
+    }
+
+    /// Cloned models evolve independently: training the clone never
+    /// mutates the original (the federated-client invariant).
+    #[test]
+    fn clones_are_independent(seed in 0u64..100) {
+        let mut rng = seeded_rng(seed);
+        let original = models::tiny_vgg(3, 8, 4, &[4, 8], &mut rng);
+        let before = original.flat_params();
+        let mut clone = original.clone();
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = clone.forward(&x, Mode::Train);
+        clone.backward(&Tensor::ones(y.shape()));
+        let mut opt = Sgd::new(0.9, 0.0);
+        opt.step(&mut clone.params_mut(), 0.1);
+        prop_assert_eq!(original.flat_params(), before.clone());
+        prop_assert!(clone.flat_params() != before);
+    }
+
+    /// Eval-mode forward passes are pure: repeated calls give identical
+    /// outputs (dropout off, BN running stats frozen).
+    #[test]
+    fn eval_forward_is_pure(seed in 0u64..100) {
+        let mut rng = seeded_rng(seed);
+        let mut model = models::tiny_resnet(3, 8, 4, &[4, 8], &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let a = model.forward(&x, Mode::Eval);
+        let b = model.forward(&x, Mode::Eval);
+        prop_assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,37 @@
+//! Dense `f32` tensors and the numeric kernels used by the FedProphet
+//! reproduction.
+//!
+//! This crate is the lowest layer of the workspace: a small, dependency-light
+//! tensor library with exactly the operations a from-scratch convolutional
+//! network trainer needs — elementwise arithmetic, reductions, norms, a
+//! blocked matrix multiply (plus transposed variants for backward passes),
+//! and `im2col`/`col2im` for convolutions.
+//!
+//! Tensors are row-major, contiguous `Vec<f32>` buffers with an explicit
+//! shape. There is no autograd here; gradients are computed by the layer
+//! implementations in `fp-nn`.
+//!
+//! # Example
+//!
+//! ```
+//! use fp_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod im2col;
+mod matmul;
+mod ops;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
+pub use ops::{argmax_rows, log_softmax_rows, softmax_rows};
+pub use rng::{seeded_rng, NormalSampler};
+pub use shape::{numel, Shape};
+pub use tensor::Tensor;

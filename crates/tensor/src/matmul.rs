@@ -1,0 +1,172 @@
+//! Blocked matrix-multiply kernels.
+//!
+//! Three variants cover the needs of a layer-based trainer without ever
+//! materializing a transposed copy:
+//!
+//! * [`matmul_into`]   — `C += A·B`      (forward)
+//! * [`matmul_tn_into`] — `C += Aᵀ·B`    (weight gradients)
+//! * [`matmul_nt_into`] — `C += A·Bᵀ`    (input gradients)
+//!
+//! All kernels accumulate into `out`, which callers zero when they need a
+//! plain product. The loops are ordered i-k-j so the innermost loop is a
+//! contiguous AXPY over the output row, which auto-vectorizes well.
+
+/// `out[m×n] += a[m×k] · b[k×n]`.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs buffer size");
+    assert_eq!(b.len(), k * n, "rhs buffer size");
+    assert_eq!(out.len(), m * n, "out buffer size");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `out[k×n] += aᵀ · b` where `a` is `m×k` and `b` is `m×n`.
+///
+/// Used for weight gradients: `dW = Xᵀ·dY`.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs buffer size");
+    assert_eq!(b.len(), m * n, "rhs buffer size");
+    assert_eq!(out.len(), k * n, "out buffer size");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[p * n..(p + 1) * n];
+            for (o, &b_ij) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_ij;
+            }
+        }
+    }
+}
+
+/// `out[m×k] += a · bᵀ` where `a` is `m×n` and `b` is `k×n`.
+///
+/// Used for input gradients: `dX = dY·Wᵀ`.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * n, "lhs buffer size");
+    assert_eq!(b.len(), k * n, "rhs buffer size");
+    assert_eq!(out.len(), m * k, "out buffer size");
+    for i in 0..m {
+        let a_row = &a[i * n..(i + 1) * n];
+        let out_row = &mut out[i * k..(i + 1) * k];
+        for (p, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn transpose(x: &[f32], r: usize, c: usize) -> Vec<f32> {
+        let mut t = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                t[j * r + i] = x[i * c + j];
+            }
+        }
+        t
+    }
+
+    fn arb(len: usize, seed: u64) -> Vec<f32> {
+        // Small deterministic pseudo-random values; avoids pulling rand here.
+        (0..len)
+            .map(|i| {
+                let v = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                ((v >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let (m, k, n) = (5, 7, 3);
+        let a = arb(m * k, 1);
+        let b = arb(k * n, 2);
+        let mut out = vec![0.0; m * n];
+        matmul_into(&a, &b, &mut out, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for (x, y) in out.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let (m, k, n) = (6, 4, 5);
+        let a = arb(m * k, 3);
+        let b = arb(m * n, 4);
+        let mut out = vec![0.0; k * n];
+        matmul_tn_into(&a, &b, &mut out, m, k, n);
+        let want = naive(&transpose(&a, m, k), &b, k, m, n);
+        for (x, y) in out.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let (m, n, k) = (4, 6, 3);
+        let a = arb(m * n, 5);
+        let b = arb(k * n, 6);
+        let mut out = vec![0.0; m * k];
+        matmul_nt_into(&a, &b, &mut out, m, n, k);
+        let want = naive(&a, &transpose(&b, k, n), m, n, k);
+        for (x, y) in out.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn kernels_accumulate() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [2.0, 0.0, 0.0, 2.0];
+        let mut out = vec![1.0; 4];
+        matmul_into(&a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+}

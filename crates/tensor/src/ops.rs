@@ -1,0 +1,111 @@
+//! Row-wise softmax-family operations used by classification losses.
+
+use crate::Tensor;
+
+/// Row-wise softmax of a `[rows, cols]` tensor.
+///
+/// Numerically stabilized by subtracting the row maximum.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-2.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let mut out = log_softmax_rows(logits);
+    out.map_inplace(f32::exp);
+    out
+}
+
+/// Row-wise log-softmax of a `[rows, cols]` tensor.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-2.
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "log_softmax expects [rows, cols]");
+    let (rows, cols) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for r in 0..rows {
+        let row = &logits.data()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+        let out_row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        for (o, &x) in out_row.iter_mut().zip(row.iter()) {
+            *o = x - lse;
+        }
+    }
+    out
+}
+
+/// Index of the maximum element of every row of a `[rows, cols]` tensor.
+///
+/// Ties resolve to the first maximal index.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-2 or has zero columns.
+pub fn argmax_rows(t: &Tensor) -> Vec<usize> {
+    assert_eq!(t.shape().len(), 2, "argmax expects [rows, cols]");
+    let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    assert!(cols > 0, "argmax over zero columns");
+    (0..rows)
+        .map(|r| {
+            let row = &t.data()[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = softmax_rows(&t);
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = a.map(|x| x + 100.0);
+        let (sa, sb) = (softmax_rows(&a), softmax_rows(&b));
+        for (x, y) in sa.data().iter().zip(sb.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 0.0, -1000.0], &[1, 3]);
+        let s = softmax_rows(&t);
+        assert!((s.data()[0] - 1.0).abs() < 1e-5);
+        assert!(s.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -0.25, 2.0, 0.0], &[2, 2]);
+        let ls = log_softmax_rows(&t);
+        let s = softmax_rows(&t);
+        for (a, b) in ls.data().iter().zip(s.data()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_picks_first_on_ties() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 5.0, 0.0, -1.0, -1.0], &[2, 3]);
+        assert_eq!(argmax_rows(&t), vec![1, 0]);
+    }
+}

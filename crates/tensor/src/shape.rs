@@ -1,0 +1,146 @@
+//! Shape bookkeeping for dense row-major tensors.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of elements implied by a dimension list.
+///
+/// ```
+/// assert_eq!(fp_tensor::numel(&[2, 3, 4]), 24);
+/// assert_eq!(fp_tensor::numel(&[]), 1);
+/// ```
+pub fn numel(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+/// An owned tensor shape (dimension list) with helpers for row-major
+/// index arithmetic.
+///
+/// `Shape` is deliberately tiny: the tensor code mostly works with raw
+/// `&[usize]` slices, and `Shape` exists to give those slices a name, a
+/// `Display`, and validated constructors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    ///
+    /// A zero-length list denotes a scalar. Zero-sized dimensions are
+    /// allowed (the tensor is then empty).
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        numel(&self.0)
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// ```
+    /// use fp_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds (debug builds only for the bounds check).
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for i in (0..self.0.len()).rev() {
+            debug_assert!(index[i] < self.0[i], "index out of bounds");
+            off += index[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_scalar_is_one() {
+        assert_eq!(numel(&[]), 1);
+    }
+
+    #[test]
+    fn numel_of_zero_dim_is_zero() {
+        assert_eq!(numel(&[3, 0, 2]), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[4, 2, 3]).strides(), vec![6, 3, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::new(&[]).strides().is_empty());
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[1, 0, 1]), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "index rank mismatch")]
+    fn offset_rejects_wrong_rank() {
+        Shape::new(&[2, 2]).offset(&[1]);
+    }
+
+    #[test]
+    fn display_is_bracketed() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+}

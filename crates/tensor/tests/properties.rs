@@ -1,0 +1,143 @@
+//! Property-based tests for the tensor kernels: algebraic laws that must
+//! hold for arbitrary shapes and values.
+
+use fp_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Elementwise addition is commutative and subtraction is its inverse.
+    #[test]
+    fn add_commutes_and_sub_inverts(a in finite_vec(12), b in finite_vec(12)) {
+        let ta = Tensor::from_vec(a, &[3, 4]);
+        let tb = Tensor::from_vec(b, &[3, 4]);
+        let ab = ta.add(&tb);
+        let ba = tb.add(&ta);
+        prop_assert_eq!(ab.data(), ba.data());
+        let back = ab.sub(&tb);
+        for (x, y) in back.data().iter().zip(ta.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Scaling distributes over addition: k·(a+b) = k·a + k·b.
+    #[test]
+    fn scale_distributes(a in finite_vec(8), b in finite_vec(8), k in -5.0f32..5.0) {
+        let ta = Tensor::from_vec(a, &[8]);
+        let tb = Tensor::from_vec(b, &[8]);
+        let lhs = ta.add(&tb).scale(k);
+        let rhs = ta.scale(k).add(&tb.scale(k));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    /// Matmul is linear in its left argument:
+    /// (a1 + a2)·b = a1·b + a2·b.
+    #[test]
+    fn matmul_left_linear(
+        a1 in finite_vec(6),
+        a2 in finite_vec(6),
+        b in finite_vec(6),
+    ) {
+        let ta1 = Tensor::from_vec(a1, &[2, 3]);
+        let ta2 = Tensor::from_vec(a2, &[2, 3]);
+        let tb = Tensor::from_vec(b, &[3, 2]);
+        let lhs = ta1.add(&ta2).matmul(&tb);
+        let rhs = ta1.matmul(&tb).add(&ta2.matmul(&tb));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 0.5, "{} vs {}", x, y);
+        }
+    }
+
+    /// Identity is neutral for matmul on both sides.
+    #[test]
+    fn matmul_identity_neutral(a in finite_vec(9)) {
+        let ta = Tensor::from_vec(a, &[3, 3]);
+        let i = Tensor::eye(3);
+        for prod in [ta.matmul(&i), i.matmul(&ta)] {
+            for (x, y) in prod.data().iter().zip(ta.data()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Transposition is an involution and swaps matmul order:
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_antihomomorphism(a in finite_vec(6), b in finite_vec(6)) {
+        let ta = Tensor::from_vec(a, &[2, 3]);
+        let tb = Tensor::from_vec(b, &[3, 2]);
+        let lhs = ta.matmul(&tb).transpose2();
+        let rhs = tb.transpose2().matmul(&ta.transpose2());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 0.5);
+        }
+    }
+
+    /// ‖a‖₂² equals ⟨a, a⟩, and the ℓ∞ norm bounds all coordinates.
+    #[test]
+    fn norm_laws(a in finite_vec(16)) {
+        let t = Tensor::from_vec(a, &[16]);
+        let n2 = t.norm_l2();
+        prop_assert!((n2 * n2 - t.dot(&t)).abs() < 0.3 + 1e-3 * n2 * n2);
+        let ninf = t.norm_linf();
+        prop_assert!(t.data().iter().all(|v| v.abs() <= ninf + 1e-6));
+    }
+
+    /// `im2col`/`col2im` satisfy the adjoint identity
+    /// ⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩ for random geometry.
+    #[test]
+    fn im2col_adjoint(
+        c in 1usize..4,
+        h in 3usize..8,
+        w in 3usize..8,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let geo = Conv2dGeometry { c_in: c, h, w, k: 3, stride, pad };
+        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+        let mut rng = fp_tensor::seeded_rng(seed);
+        let x = Tensor::rand_uniform(&[c * h * w], -1.0, 1.0, &mut rng);
+        let ylen = geo.col_rows() * geo.col_cols();
+        let y = Tensor::rand_uniform(&[ylen], -1.0, 1.0, &mut rng);
+        let mut ax = vec![0.0; ylen];
+        im2col(x.data(), &geo, &mut ax);
+        let mut aty = vec![0.0; x.numel()];
+        col2im(y.data(), &geo, &mut aty);
+        let lhs: f32 = ax.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    /// Stacking then indexing is the identity on batches.
+    #[test]
+    fn stack_index_roundtrip(seed in 0u64..500, n in 1usize..5) {
+        let mut rng = fp_tensor::seeded_rng(seed);
+        let parts: Vec<Tensor> = (0..n)
+            .map(|_| Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng))
+            .collect();
+        let stacked = Tensor::stack(&parts);
+        prop_assert_eq!(stacked.shape(), &[n, 2, 3]);
+        for (i, p) in parts.iter().enumerate() {
+            let slice = stacked.index_batch(i);
+            prop_assert_eq!(slice.data(), p.data());
+        }
+    }
+
+    /// Clamp really bounds, and is idempotent.
+    #[test]
+    fn clamp_bounds_and_idempotent(a in finite_vec(10), lo in -2.0f32..0.0, hi in 0.0f32..2.0) {
+        let t = Tensor::from_vec(a, &[10]);
+        let c = t.clamp(lo, hi);
+        prop_assert!(c.min() >= lo && c.max() <= hi);
+        let twice = c.clamp(lo, hi);
+        prop_assert_eq!(twice.data(), c.data());
+    }
+}

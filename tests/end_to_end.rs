@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the full FedProphet pipeline against its
+//! baselines on a shared environment.
+
+use fedprophet_repro::attack::{evaluate_robustness, ApgdConfig, PgdConfig};
+use fedprophet_repro::data::{generate, partition_pathological, SynthConfig};
+use fedprophet_repro::fedprophet::{FedProphet, ProphetConfig};
+use fedprophet_repro::fl::{FlAlgorithm, FlConfig, FlEnv, JFat, PartialTraining};
+use fedprophet_repro::hwsim::{sample_fleet, SamplingMode, CIFAR_POOL};
+use fedprophet_repro::nn::models::{vgg_atom_specs, VggConfig};
+
+fn env(rounds: usize, seed: u64) -> FlEnv {
+    let cfg = FlConfig::fast(rounds, seed);
+    let data = generate(&SynthConfig::tiny(4, 8), seed);
+    let splits = partition_pathological(&data.train, cfg.n_clients, 0.8, 0.25, seed);
+    let mut rng = fedprophet_repro::tensor::seeded_rng(seed ^ 0xF1EE7);
+    let fleet = sample_fleet(&CIFAR_POOL, cfg.n_clients, SamplingMode::Balanced, &mut rng);
+    let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16, 24]));
+    FlEnv::new(data, splits, fleet, specs, cfg)
+}
+
+#[test]
+fn fedprophet_full_pipeline_learns_robustly() {
+    let env = env(20, 99);
+    let outcome = FedProphet::new(ProphetConfig::default()).run_detailed(&env);
+
+    // Memory claim: every module fits the minimum budget (modulo the
+    // single-atom exception), and the largest module is well under the
+    // full model.
+    assert!(outcome.partition.num_modules() >= 2);
+    assert!(
+        outcome.partition.max_module_mem() < env.full_mem_req(),
+        "cascade must reduce peak memory"
+    );
+
+    // Robustness: the trained model beats an untrained one under attack.
+    let mut model = outcome.model;
+    let report = evaluate_robustness(
+        &mut model,
+        &env.data.test,
+        &PgdConfig::fast(env.cfg.eps0),
+        &ApgdConfig::fast(env.cfg.eps0),
+        32,
+        1,
+    );
+    assert!(report.clean_acc > 0.45, "clean too low: {report}");
+    assert!(report.pgd_acc > 0.25, "adv too low: {report}");
+    assert!(
+        report.clean_acc + 0.05 >= report.pgd_acc,
+        "attack ordering violated: {report}"
+    );
+    assert!(
+        report.pgd_acc + 0.08 >= report.apgd_acc,
+        "AA should not exceed PGD by much: {report}"
+    );
+}
+
+#[test]
+fn fedprophet_outperforms_partial_training_on_robustness() {
+    // The paper's central comparative claim (Table 2): FedProphet attains
+    // higher adversarial accuracy than partial-training baselines under
+    // the same memory constraints.
+    let env = env(12, 5);
+    let fp = FedProphet::new(ProphetConfig::default()).run(&env);
+    let pt = PartialTraining::heterofl().run(&env);
+    let fp_adv = fp.final_val_adv().unwrap();
+    let pt_adv = pt.final_val_adv().unwrap();
+    assert!(
+        fp_adv + 0.02 >= pt_adv,
+        "FedProphet adv {fp_adv} should not trail HeteroFL {pt_adv}"
+    );
+}
+
+#[test]
+fn cascade_with_one_module_matches_joint_training_shape() {
+    // Figure 9's right edge: with unconstrained memory FedProphet
+    // degenerates to a single module — i.e. joint end-to-end FAT.
+    let base = env(8, 13);
+    let mut fleet = base.fleet.clone();
+    for d in &mut fleet {
+        d.avail_mem_bytes = 1 << 40;
+    }
+    let env1 = FlEnv::new(
+        base.data.clone(),
+        base.splits.clone(),
+        fleet,
+        base.reference_specs.clone(),
+        base.cfg,
+    );
+    let fp = FedProphet::new(ProphetConfig::default()).run_detailed(&env1);
+    assert_eq!(fp.partition.num_modules(), 1);
+    // And a jFAT run on the same env learns comparably.
+    let j = JFat::new().run(&env1);
+    let fp_clean = fp.rounds.last().unwrap().val_clean;
+    let j_clean = j.final_val_clean().unwrap();
+    assert!(
+        (fp_clean - j_clean).abs() < 0.35,
+        "degenerate cascade {fp_clean} vs jFAT {j_clean}"
+    );
+}
+
+#[test]
+fn all_methods_run_on_one_environment() {
+    let env = env(3, 21);
+    let zoo = vec![
+        vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[4, 8])),
+        env.reference_specs.clone(),
+    ];
+    let algs: Vec<Box<dyn FlAlgorithm>> = vec![
+        Box::new(JFat::new()),
+        Box::new(PartialTraining::heterofl()),
+        Box::new(PartialTraining::feddrop()),
+        Box::new(PartialTraining::fedrolex()),
+        Box::new(fedprophet_repro::fl::FedRbn::new()),
+        Box::new(fedprophet_repro::fl::Distill::new(
+            fedprophet_repro::fl::DistillVariant::FedDf,
+            zoo.clone(),
+            8,
+        )),
+        Box::new(fedprophet_repro::fl::Distill::new(
+            fedprophet_repro::fl::DistillVariant::FedEt,
+            zoo,
+            8,
+        )),
+        Box::new(FedProphet::new(ProphetConfig::default())),
+    ];
+    for alg in algs {
+        let out = alg.run(&env);
+        assert_eq!(out.history.len() >= 3, true, "{} too few rounds", alg.name());
+        assert!(
+            out.history.iter().all(|r| r.train_loss.is_finite()),
+            "{} produced non-finite loss",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn latency_accounting_is_consistent_between_runs() {
+    let env = env(6, 33);
+    let a = FedProphet::new(ProphetConfig::default()).run_detailed(&env);
+    let b = FedProphet::new(ProphetConfig::default()).run_detailed(&env);
+    assert_eq!(
+        a.total_latency().total(),
+        b.total_latency().total(),
+        "latency model must be deterministic"
+    );
+    assert!(a.total_latency().compute_s > 0.0);
+}

@@ -1,0 +1,209 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary shapes, seeds, and configurations.
+
+use fedprophet_repro::attack::{AttackTarget, ModelTarget, NormBall, Pgd, PgdConfig};
+use fedprophet_repro::fedprophet::partition_model;
+use fedprophet_repro::fl::aggregate::{weighted_average, PartialAccumulator};
+use fedprophet_repro::fl::submodel::{
+    channel_groups, extract_submodel, keep_sets, SubmodelAccumulator, SubmodelScheme,
+};
+use fedprophet_repro::nn::models::{self, vgg_atom_specs, VggConfig};
+use fedprophet_repro::nn::Mode;
+use fedprophet_repro::tensor::{seeded_rng, softmax_rows, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PGD never leaves the ℓ∞ ball or the data range, for any ε, step
+    /// count, and seed.
+    #[test]
+    fn pgd_linf_stays_in_ball(
+        eps in 0.005f32..0.2,
+        steps in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let mut model = models::tiny_vgg(3, 8, 4, &[4, 8], &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let pgd = Pgd::new(PgdConfig {
+            steps,
+            alpha: None,
+            ball: NormBall::Linf(eps),
+            random_start: true,
+            restarts: 1,
+            clamp: Some((0.0, 1.0)),
+        });
+        let mut target = ModelTarget::new(&mut model);
+        let adv = pgd.attack(&mut target, &x, &[0, 1], &mut rng);
+        prop_assert!(adv.sub(&x).norm_linf() <= eps + 1e-5);
+        prop_assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    /// Per-sample ℓ2 projections bound every sample independently.
+    #[test]
+    fn pgd_l2_per_sample_ball(
+        eps in 0.05f32..2.0,
+        seed in 0u64..50,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let mut model = models::tiny_vgg(3, 8, 4, &[4, 8], &mut rng);
+        let x = Tensor::rand_uniform(&[3, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let pgd = Pgd::new(PgdConfig {
+            steps: 3,
+            alpha: None,
+            ball: NormBall::L2(eps),
+            random_start: true,
+            restarts: 1,
+            clamp: None,
+        });
+        let mut target = ModelTarget::new(&mut model);
+        let adv = pgd.attack(&mut target, &x, &[0, 1, 2], &mut rng);
+        let delta = adv.sub(&x);
+        let per: usize = 3 * 8 * 8;
+        for s in 0..3 {
+            let n: f32 = delta.data()[s * per..(s + 1) * per]
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt();
+            prop_assert!(n <= eps + 1e-4, "sample {} norm {} > {}", s, n, eps);
+        }
+    }
+
+    /// The greedy partition covers every atom exactly once, in order, for
+    /// any budget.
+    #[test]
+    fn partition_covers_atoms(
+        budget_kb in 1u64..100_000,
+        w1 in 2usize..12,
+        w2 in 2usize..12,
+        w3 in 2usize..12,
+    ) {
+        let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[w1, w2, w3]));
+        let p = partition_model(&specs, &[3, 8, 8], 8, 4, budget_kb * 1024);
+        let mut next = 0;
+        for &(f, t) in &p.windows {
+            prop_assert_eq!(f, next);
+            prop_assert!(t > f);
+            next = t;
+        }
+        prop_assert_eq!(next, specs.len());
+        // Memory and MACs are reported for every module.
+        prop_assert_eq!(p.mem_bytes.len(), p.windows.len());
+        prop_assert_eq!(p.fwd_macs.len(), p.windows.len());
+    }
+
+    /// Sub-model extraction followed by scatter-aggregation of the
+    /// unmodified sub-model reproduces the global parameters exactly,
+    /// for any ratio and scheme.
+    #[test]
+    fn submodel_roundtrip(
+        ratio in 0.15f32..1.0,
+        scheme_idx in 0usize..3,
+        round in 0usize..20,
+        seed in 0u64..30,
+    ) {
+        let scheme = [
+            SubmodelScheme::Static,
+            SubmodelScheme::Rolling,
+            SubmodelScheme::Random,
+        ][scheme_idx];
+        let mut rng = seeded_rng(seed);
+        let global = models::tiny_vgg(3, 8, 4, &[6, 10], &mut rng);
+        let groups = channel_groups(&global.specs());
+        let keep = keep_sets(&groups, ratio, scheme, round, &mut rng);
+        let sub = extract_submodel(&global, &keep, &mut rng);
+        let mut acc = SubmodelAccumulator::new(&global);
+        acc.add(&sub, &keep, 1.0);
+        let mut merged = global.clone();
+        acc.apply(&mut merged);
+        let a = global.flat_params();
+        let b = merged.flat_params();
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    /// A sliced sub-model still produces valid logits.
+    #[test]
+    fn submodel_forward_valid(
+        ratio in 0.15f32..1.0,
+        seed in 0u64..30,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let global = models::tiny_resnet(3, 8, 5, &[4, 8], &mut rng);
+        let groups = channel_groups(&global.specs());
+        let keep = keep_sets(&groups, ratio, SubmodelScheme::Static, 0, &mut rng);
+        let mut sub = extract_submodel(&global, &keep, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = sub.forward(&x, Mode::Eval);
+        prop_assert_eq!(y.shape(), &[2usize, 5]);
+        prop_assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// Weighted averaging is a convex combination: the result stays within
+    /// the per-coordinate min/max envelope of the inputs.
+    #[test]
+    fn weighted_average_is_convex(
+        a in proptest::collection::vec(-10.0f32..10.0, 4),
+        b in proptest::collection::vec(-10.0f32..10.0, 4),
+        w1 in 0.01f32..10.0,
+        w2 in 0.01f32..10.0,
+    ) {
+        let avg = weighted_average(&[(a.clone(), w1), (b.clone(), w2)]);
+        for i in 0..4 {
+            let lo = a[i].min(b[i]) - 1e-4;
+            let hi = a[i].max(b[i]) + 1e-4;
+            prop_assert!(avg[i] >= lo && avg[i] <= hi);
+        }
+    }
+
+    /// Partial averaging preserves uncovered coordinates bit-exactly.
+    #[test]
+    fn partial_average_preserves_uncovered(
+        prev in proptest::collection::vec(-5.0f32..5.0, 6),
+        idx in 0usize..6,
+        v in -5.0f32..5.0,
+    ) {
+        let mut acc = PartialAccumulator::new(6);
+        acc.add(idx, v, 1.0);
+        let out = acc.finish(&prev);
+        for i in 0..6 {
+            if i == idx {
+                prop_assert!((out[i] - v).abs() < 1e-6);
+            } else {
+                prop_assert_eq!(out[i], prev[i]);
+            }
+        }
+    }
+
+    /// Softmax rows always lie on the probability simplex.
+    #[test]
+    fn softmax_simplex(
+        vals in proptest::collection::vec(-30.0f32..30.0, 12),
+    ) {
+        let t = Tensor::from_vec(vals, &[3, 4]);
+        let s = softmax_rows(&t);
+        for r in 0..3 {
+            let row = &s.data()[r * 4..(r + 1) * 4];
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Attacks never mutate model parameters.
+    #[test]
+    fn attacks_leave_parameters_untouched(seed in 0u64..40) {
+        let mut rng = seeded_rng(seed);
+        let mut model = models::tiny_vgg(3, 8, 4, &[4, 8], &mut rng);
+        let before = model.flat_params();
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let pgd = Pgd::new(PgdConfig::fast(0.05));
+        let mut target = ModelTarget::new(&mut model);
+        let _ = pgd.attack(&mut target, &x, &[0, 1], &mut rng);
+        let _ = target.logits(&x);
+        prop_assert_eq!(model.flat_params(), before);
+    }
+}
