@@ -89,11 +89,7 @@ pub fn clean_accuracy(model: &mut CascadeModel, ds: &Dataset, batch_size: usize)
     ok as f32 / n as f32
 }
 
-fn count_correct(
-    target: &mut ModelTarget<'_>,
-    x: &fp_tensor::Tensor,
-    labels: &[usize],
-) -> usize {
+fn count_correct(target: &mut ModelTarget<'_>, x: &fp_tensor::Tensor, labels: &[usize]) -> usize {
     use crate::target::AttackTarget;
     let logits = target.logits(x);
     let preds = argmax_rows(&logits);
@@ -116,7 +112,8 @@ mod tests {
         // Quick training: a few SGD steps on clean data.
         let mut opt = fp_nn::Sgd::new(0.9, 0.0);
         let ce = fp_nn::CrossEntropyLoss::new();
-        let mut it = fp_data::BatchIter::new(&ds.train, &(0..ds.train.len()).collect::<Vec<_>>(), 16, 0);
+        let mut it =
+            fp_data::BatchIter::new(&ds.train, &(0..ds.train.len()).collect::<Vec<_>>(), 16, 0);
         for _ in 0..30 {
             let (x, y) = it.next_batch();
             let logits = model.forward(&x, fp_nn::Mode::Train);

@@ -404,7 +404,10 @@ mod tests {
         let loss1: f32 = target.per_sample_loss(&adv1, &labels).iter().sum();
         let advn = many.attack(&mut target, &x, &labels, &mut rng_b);
         let lossn: f32 = target.per_sample_loss(&advn, &labels).iter().sum();
-        assert!(lossn >= loss1 - 1e-5, "restarts lowered loss: {lossn} < {loss1}");
+        assert!(
+            lossn >= loss1 - 1e-5,
+            "restarts lowered loss: {lossn} < {loss1}"
+        );
     }
 
     #[test]

@@ -34,12 +34,17 @@ fn bench_cost_model(c: &mut Criterion) {
     });
     c.bench_function("cost_model_fedprophet_2500_rounds", |b| {
         b.iter(|| {
-            std::hint::black_box(method_cost(&w, Method::FedProphet, SamplingMode::Balanced, 0))
+            std::hint::black_box(method_cost(
+                &w,
+                Method::FedProphet,
+                SamplingMode::Balanced,
+                0,
+            ))
         });
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_training_rounds, bench_cost_model

@@ -1,19 +1,29 @@
 //! Criterion micro-benchmarks for the numeric kernels everything else is
 //! built on.
+//!
+//! The `matmul` group benches the `Scalar` reference against the
+//! `Parallel` backend at matched sizes — run with
+//! `FP_BENCH_JSON=BENCH_tensor.json cargo bench -p fp-bench --bench tensor_kernels`
+//! to refresh the committed throughput record (the 512×512×512 case is
+//! the PR gate: parallel must beat scalar by ≥ 2×).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fp_nn::{Conv2d, Layer, Mode};
-use fp_tensor::{seeded_rng, Tensor};
+use fp_tensor::{seeded_rng, Backend, Parallel, Scalar, Tensor};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
-    for &n in &[32usize, 64, 128] {
+    for &n in &[32usize, 128, 512] {
         let mut rng = seeded_rng(0);
         let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| std::hint::black_box(a.matmul(&b)));
-        });
+        let backends: [(&str, &dyn Backend); 2] =
+            [("scalar", &Scalar), ("parallel", &Parallel::new())];
+        for (name, backend) in backends {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
+                bench.iter(|| std::hint::black_box(a.matmul_on(&b, backend)));
+            });
+        }
     }
     group.finish();
 }
@@ -43,7 +53,7 @@ fn bench_softmax(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_matmul, bench_conv_forward_backward, bench_softmax

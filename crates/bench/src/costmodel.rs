@@ -12,8 +12,8 @@
 
 use fedprophet::{assign_modules, partition_model, ModuleAssignment, ModulePartition};
 use fp_hwsim::{
-    forward_macs, model_mem_req, sample_fleet, ClientLatency, Device, DeviceSample,
-    LatencyModel, SamplingMode, TrainingPassProfile, CALTECH_POOL, CIFAR_POOL,
+    forward_macs, model_mem_req, sample_fleet, ClientLatency, Device, DeviceSample, LatencyModel,
+    SamplingMode, TrainingPassProfile, CALTECH_POOL, CIFAR_POOL,
 };
 use fp_nn::models::{
     cnn_atom_specs, resnet10_spec, resnet18_spec, resnet34_spec_caltech, vgg11_spec, vgg13_spec,
@@ -224,8 +224,7 @@ fn generic_cost(
         let per: Vec<ClientLatency> = ids
             .iter()
             .map(|&k| {
-                let budget =
-                    (fleet.budgets[k] as f64 * (0.8 + 0.2 * rng.gen::<f64>())) as u64;
+                let budget = (fleet.budgets[k] as f64 * (0.8 + 0.2 * rng.gen::<f64>())) as u64;
                 let perf = fleet.samples[k].device.tflops * (0.2 + 0.8 * rng.gen::<f64>());
                 let (mem_req, macs, profile) = match method {
                     Method::JFat => (
@@ -304,8 +303,7 @@ fn prophet_cost(
             let avail: Vec<(u64, f64)> = ids
                 .iter()
                 .map(|&k| {
-                    let mem =
-                        (fleet.budgets[k] as f64 * (0.8 + 0.2 * rng.gen::<f64>())) as u64;
+                    let mem = (fleet.budgets[k] as f64 * (0.8 + 0.2 * rng.gen::<f64>())) as u64;
                     let perf = fleet.samples[k].device.tflops * (0.2 + 0.8 * rng.gen::<f64>());
                     (mem, perf)
                 })

@@ -175,10 +175,15 @@ pub fn widths_of(env: &FlEnv) -> Vec<usize> {
 
 /// A smaller "CNN3-like" backbone (Table 1's small model): half the
 /// stages at half the width.
-pub fn small_specs(in_channels: usize, hw: usize, n_classes: usize, widths: &[usize]) -> Vec<AtomSpec> {
+pub fn small_specs(
+    in_channels: usize,
+    hw: usize,
+    n_classes: usize,
+    widths: &[usize],
+) -> Vec<AtomSpec> {
     let half: Vec<usize> = widths
         .iter()
-        .take((widths.len() + 1) / 2)
+        .take(widths.len().div_ceil(2))
         .map(|w| (w / 2).max(2))
         .collect();
     // Fewer stages need a shallower pool pyramid; tiny config handles it.

@@ -15,8 +15,17 @@ use fp_tensor::seeded_rng;
 pub fn run(seed: u64) {
     for w in [cifar_workload(), caltech_workload()] {
         let mut t = Table::new(
-            format!("Figure 2 [{}] — overhead breakdown (one local round)", w.name),
-            &["Scenario", "Compute s", "Data-access s", "Data share", "Norm. latency"],
+            format!(
+                "Figure 2 [{}] — overhead breakdown (one local round)",
+                w.name
+            ),
+            &[
+                "Scenario",
+                "Compute s",
+                "Data-access s",
+                "Data share",
+                "Norm. latency",
+            ],
         );
         let full_mem = model_mem_req(&w.specs, &w.input_shape, w.batch).total();
         let full_macs = forward_macs(&w.specs, &w.input_shape);
@@ -67,7 +76,7 @@ fn mean_fleet_latency(
     full_macs: u64,
     seed: u64,
 ) -> ClientLatency {
-    let mut rng = seeded_rng(seed ^ 0xF16_2);
+    let mut rng = seeded_rng(seed ^ 0xF162);
     let fleet = sample_fleet(w.pool, 50, SamplingMode::Balanced, &mut rng);
     let (mem_req, macs) = if model_frac >= 1.0 {
         (full_mem, full_macs)

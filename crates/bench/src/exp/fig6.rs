@@ -13,21 +13,21 @@ pub fn run(seed: u64) {
     for w in [cifar_workload(), caltech_workload()] {
         let mut t = Table::new(
             format!("Figure 6 (upper) [{}] — sampled availability", w.name),
-            &["Sampling", "mem GB (min/mean/max)", "perf TFLOPS (min/mean/max)"],
+            &[
+                "Sampling",
+                "mem GB (min/mean/max)",
+                "perf TFLOPS (min/mean/max)",
+            ],
         );
         for het in [SamplingMode::Balanced, SamplingMode::Unbalanced] {
-            let mut rng = seeded_rng(seed ^ 0xF16_6);
+            let mut rng = seeded_rng(seed ^ 0xF166);
             let fleet = sample_fleet(w.pool, 100, het, &mut rng);
             let mems: Vec<f64> = fleet
                 .iter()
                 .map(|s| s.avail_mem_bytes as f64 / (1024.0f64).powi(3))
                 .collect();
             let perfs: Vec<f64> = fleet.iter().map(|s| s.avail_tflops).collect();
-            t.rowd(&[
-                format!("{het:?}"),
-                stats(&mems),
-                stats(&perfs),
-            ]);
+            t.rowd(&[format!("{het:?}"), stats(&mems), stats(&perfs)]);
         }
         t.print();
 

@@ -10,10 +10,26 @@ const PAPER_SPEEDUP: [f64; 4] = [2.4, 1.9, 10.8, 7.7];
 /// Simulates every method's total training time in all four settings.
 pub fn run(seed: u64) {
     let settings = [
-        (cifar_workload(), SamplingMode::Balanced, "CIFAR-10, balanced"),
-        (cifar_workload(), SamplingMode::Unbalanced, "CIFAR-10, unbalanced"),
-        (caltech_workload(), SamplingMode::Balanced, "Caltech-256, balanced"),
-        (caltech_workload(), SamplingMode::Unbalanced, "Caltech-256, unbalanced"),
+        (
+            cifar_workload(),
+            SamplingMode::Balanced,
+            "CIFAR-10, balanced",
+        ),
+        (
+            cifar_workload(),
+            SamplingMode::Unbalanced,
+            "CIFAR-10, unbalanced",
+        ),
+        (
+            caltech_workload(),
+            SamplingMode::Balanced,
+            "Caltech-256, balanced",
+        ),
+        (
+            caltech_workload(),
+            SamplingMode::Unbalanced,
+            "Caltech-256, unbalanced",
+        ),
     ];
     for (i, (w, het, label)) in settings.into_iter().enumerate() {
         let mut t = Table::new(

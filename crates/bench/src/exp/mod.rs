@@ -44,7 +44,10 @@ pub const ALL: [&str; 13] = [
 ];
 
 /// Attack configurations matched to a scale.
-pub(crate) fn eval_attacks(scale: Scale, eps0: f32) -> (fp_attack::PgdConfig, fp_attack::ApgdConfig) {
+pub(crate) fn eval_attacks(
+    scale: Scale,
+    eps0: f32,
+) -> (fp_attack::PgdConfig, fp_attack::ApgdConfig) {
     use fp_attack::{ApgdConfig, PgdConfig};
     match scale {
         Scale::Fast => (PgdConfig::fast(eps0), ApgdConfig::fast(eps0)),

@@ -1,6 +1,6 @@
 //! Table 1: FAT accuracy vs model size (small / large / large-PT).
 
-use crate::envs::{cifar_env, caltech_env, small_specs, Het, Scale};
+use crate::envs::{caltech_env, cifar_env, small_specs, Het, Scale};
 use crate::report::{pct, Table};
 use fp_attack::evaluate_robustness;
 use fp_fl::{FlAlgorithm, FlEnv, JFat, PartialTraining};
@@ -12,7 +12,10 @@ use fp_hwsim::model_mem_req;
 pub fn run(scale: Scale, seed: u64) {
     for (label, env_fn) in [
         ("CIFAR-10-like", cifar_env as fn(Scale, Het, u64) -> FlEnv),
-        ("Caltech-256-like", caltech_env as fn(Scale, Het, u64) -> FlEnv),
+        (
+            "Caltech-256-like",
+            caltech_env as fn(Scale, Het, u64) -> FlEnv,
+        ),
     ] {
         let env = env_fn(scale, Het::Balanced, seed);
         let mut t = Table::new(

@@ -45,13 +45,22 @@ fn evaluate(env: &FlEnv, alg: &dyn FlAlgorithm, scale: Scale, seed: u64) -> Robu
 pub fn run(scale: Scale, seed: u64) {
     for (label, env_fn) in [
         ("CIFAR-10-like", cifar_env as fn(Scale, Het, u64) -> FlEnv),
-        ("Caltech-256-like", caltech_env as fn(Scale, Het, u64) -> FlEnv),
+        (
+            "Caltech-256-like",
+            caltech_env as fn(Scale, Het, u64) -> FlEnv,
+        ),
     ] {
         for het in [Het::Balanced, Het::Unbalanced] {
             let env = env_fn(scale, het, seed);
             let mut t = Table::new(
                 format!("Table 2 [{label}, {het:?}] — utility and robustness"),
-                &["Method", "Clean Acc.", "PGD Acc.", "AA Acc.", "paper clean/pgd"],
+                &[
+                    "Method",
+                    "Clean Acc.",
+                    "PGD Acc.",
+                    "AA Acc.",
+                    "paper clean/pgd",
+                ],
             );
             let distill_iters = match scale {
                 Scale::Fast => 16,
@@ -60,8 +69,16 @@ pub fn run(scale: Scale, seed: u64) {
             };
             let algs: Vec<Box<dyn FlAlgorithm>> = vec![
                 Box::new(JFat::new()),
-                Box::new(Distill::new(DistillVariant::FedDf, zoo_for(&env), distill_iters)),
-                Box::new(Distill::new(DistillVariant::FedEt, zoo_for(&env), distill_iters)),
+                Box::new(Distill::new(
+                    DistillVariant::FedDf,
+                    zoo_for(&env),
+                    distill_iters,
+                )),
+                Box::new(Distill::new(
+                    DistillVariant::FedEt,
+                    zoo_for(&env),
+                    distill_iters,
+                )),
                 Box::new(PartialTraining::heterofl()),
                 Box::new(PartialTraining::feddrop()),
                 Box::new(PartialTraining::fedrolex()),

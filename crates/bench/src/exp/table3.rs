@@ -11,7 +11,10 @@ use fp_fl::FlEnv;
 pub fn run(scale: Scale, seed: u64) {
     for (label, env_fn) in [
         ("CIFAR-10-like", cifar_env as fn(Scale, Het, u64) -> FlEnv),
-        ("Caltech-256-like", caltech_env as fn(Scale, Het, u64) -> FlEnv),
+        (
+            "Caltech-256-like",
+            caltech_env as fn(Scale, Het, u64) -> FlEnv,
+        ),
     ] {
         for het in [Het::Balanced, Het::Unbalanced] {
             let env = env_fn(scale, het, seed);
@@ -29,14 +32,7 @@ pub fn run(scale: Scale, seed: u64) {
                 };
                 let mut out = FedProphet::new(cfg).run_detailed(&env);
                 let (pgd, apgd) = super::eval_attacks(scale, env.cfg.eps0);
-                let r = evaluate_robustness(
-                    &mut out.model,
-                    &env.data.test,
-                    &pgd,
-                    &apgd,
-                    32,
-                    seed,
-                );
+                let r = evaluate_robustness(&mut out.model, &env.data.test, &pgd, &apgd, 32, seed);
                 t.rowd(&[
                     tick(apa).to_string(),
                     tick(dma).to_string(),

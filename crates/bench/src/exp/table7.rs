@@ -23,7 +23,13 @@ pub fn run() {
             mb(r_min),
             mb(full)
         ),
-        &["Module", "Atoms", "Mem. Req.", "FLOPs (batch 64)", "paper mem/FLOPs"],
+        &[
+            "Module",
+            "Atoms",
+            "Mem. Req.",
+            "FLOPs (batch 64)",
+            "paper mem/FLOPs",
+        ],
     );
     for (i, &(f, to)) in p.windows.iter().enumerate() {
         let atoms: Vec<&str> = w.specs[f..to].iter().map(|a| a.name.as_str()).collect();

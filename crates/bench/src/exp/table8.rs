@@ -15,7 +15,13 @@ pub fn run() {
     let p = prophet_partition(&w, r_min);
     let mut t = Table::new(
         "Table 8 — ResNet34 partition (R_min = 224 MB, batch 32)",
-        &["Module", "Atoms", "Mem. Req.", "FLOPs (batch 32)", "paper mem/FLOPs"],
+        &[
+            "Module",
+            "Atoms",
+            "Mem. Req.",
+            "FLOPs (batch 32)",
+            "paper mem/FLOPs",
+        ],
     );
     for (i, &(f, to)) in p.windows.iter().enumerate() {
         let atoms: Vec<&str> = w.specs[f..to].iter().map(|a| a.name.as_str()).collect();

@@ -165,12 +165,8 @@ impl FedProphet {
             .unwrap_or((cfg.rounds / n_modules).max(1));
 
         let mut rng = seeded_rng(cfg.seed ^ 0x9120_9127);
-        let mut global = fp_nn::models::instantiate(
-            &env.reference_specs,
-            &env.input_shape,
-            n_classes,
-            &mut rng,
-        );
+        let mut global =
+            fp_nn::models::instantiate(&env.reference_specs, &env.input_shape, n_classes, &mut rng);
         // One auxiliary head per non-final module.
         let mut heads: Vec<Option<AuxHead>> = (0..n_modules)
             .map(|m| {
@@ -194,6 +190,7 @@ impl FedProphet {
         let mut eps_ref = cfg.eps0;
         let mut prev_ratio: Option<(f32, f32)> = None;
 
+        #[allow(clippy::needless_range_loop)] // index shared across several buffers
         for m in 0..n_modules {
             let mut apa = if m == 0 {
                 None
@@ -222,18 +219,14 @@ impl FedProphet {
                 let avail: Vec<(u64, f64)> = ids
                     .iter()
                     .map(|&k| {
-                        let mem = (env.mem_budget(k) as f64
-                            * (0.8 + 0.2 * avail_rng.gen::<f64>()))
+                        let mem = (env.mem_budget(k) as f64 * (0.8 + 0.2 * avail_rng.gen::<f64>()))
                             as u64;
-                        let perf = env.fleet[k].device.tflops
-                            * (0.2 + 0.8 * avail_rng.gen::<f64>());
+                        let perf =
+                            env.fleet[k].device.tflops * (0.2 + 0.8 * avail_rng.gen::<f64>());
                         (mem, perf)
                     })
                     .collect();
-                let perf_min = avail
-                    .iter()
-                    .map(|&(_, p)| p)
-                    .fold(f64::INFINITY, f64::min);
+                let perf_min = avail.iter().map(|&(_, p)| p).fold(f64::INFINITY, f64::min);
                 let assignments: Vec<ModuleAssignment> = avail
                     .iter()
                     .map(|&(mem, perf)| {
@@ -250,11 +243,18 @@ impl FedProphet {
 
                 let lr = cfg.lr.at(global_round);
                 let results = run_clients(
-                    env, &global, &heads, &partition, &assignments, &ids, m, eps, lr,
-                    global_round, pcfg,
+                    env,
+                    &global,
+                    &heads,
+                    &partition,
+                    &assignments,
+                    &ids,
+                    eps,
+                    lr,
+                    global_round,
+                    pcfg,
                 );
-                let mean_loss = results.iter().map(|r| r.loss).sum::<f32>()
-                    / results.len() as f32;
+                let mean_loss = results.iter().map(|r| r.loss).sum::<f32>() / results.len() as f32;
 
                 aggregate(&mut global, &mut heads, &partition, &results, m, n_modules);
 
@@ -276,10 +276,7 @@ impl FedProphet {
 
                 // Latency accounting (hwsim fleet model).
                 let lat = round_latency(env, &partition, &assignments, &ids, &avail, cfg);
-                let mean_assigned = assignments
-                    .iter()
-                    .map(|a| a.count() as f32)
-                    .sum::<f32>()
+                let mean_assigned = assignments.iter().map(|a| a.count() as f32).sum::<f32>()
                     / assignments.len() as f32;
                 records.push(ProphetRound {
                     round: global_round,
@@ -319,7 +316,8 @@ impl FedProphet {
             );
             prev_ratio = Some((c_star, a_star));
             if m + 1 < n_modules {
-                eps_ref = probe_delta_z(env, &mut global, &mut heads, &partition, m, last_eps, pcfg);
+                eps_ref =
+                    probe_delta_z(env, &mut global, &mut heads, &partition, m, last_eps, pcfg);
                 delta_z_refs.push(eps_ref);
             }
         }
@@ -344,10 +342,18 @@ impl FlAlgorithm for FedProphet {
     }
 }
 
+/// `(module index, window flat params, window BN stats)` as trained by
+/// one client.
+type ModuleUpdate = (usize, Vec<f32>, Vec<(Tensor, Tensor)>);
+
+/// A borrowed module contribution during aggregation: flat params, BN
+/// stats, FedAvg weight.
+type Contribution<'a> = (&'a Vec<f32>, &'a [(Tensor, Tensor)], f32);
+
 /// One client's round result.
 struct ClientResult {
-    /// `(module index, window flat params, window BN stats)`.
-    modules: Vec<(usize, Vec<f32>, Vec<(Tensor, Tensor)>)>,
+    /// Per-module updates of the assigned window.
+    modules: Vec<ModuleUpdate>,
     /// Trained aux head of the last assigned module (absent when it is
     /// the final module).
     aux: Option<(usize, Vec<f32>)>,
@@ -363,7 +369,6 @@ fn run_clients(
     partition: &ModulePartition,
     assignments: &[ModuleAssignment],
     ids: &[usize],
-    m: usize,
     eps: f32,
     lr: f32,
     round: usize,
@@ -375,63 +380,51 @@ fn run_clients(
         .copied()
         .zip(assignments.iter().copied())
         .collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(k, assign)| {
-                s.spawn(move || {
-                    let mut model = global.clone();
-                    let (from, to) = assign.atom_window(partition);
-                    let is_final = assign.last == partition.num_modules() - 1;
-                    let mut aux = if is_final {
-                        None
-                    } else {
-                        heads[assign.last].clone()
-                    };
-                    let wtc = WindowTrainConfig {
-                        from_atom: from,
-                        to_atom: to,
-                        epsilon: eps,
-                        mu: pcfg.mu,
-                        pgd_steps: cfg.pgd_steps,
-                        iters: cfg.local_iters,
-                        batch_size: cfg.batch_size,
-                        lr,
-                        momentum: cfg.momentum,
-                        weight_decay: cfg.weight_decay,
-                        seed: cfg.seed ^ (round as u64) << 24 ^ k as u64,
-                    };
-                    let loss = train_module_window(
-                        &mut model,
-                        aux.as_mut(),
-                        &env.data.train,
-                        &env.splits[k].indices,
-                        &wtc,
-                    );
-                    let modules = (assign.current..=assign.last)
-                        .map(|n| {
-                            let (f, t) = partition.windows[n];
-                            (
-                                n,
-                                model.flat_params_range(f, t),
-                                model.bn_stats_range(f, t),
-                            )
-                        })
-                        .collect();
-                    ClientResult {
-                        modules,
-                        aux: aux.map(|a| (assign.last, a.flat_params())),
-                        weight: env.splits[k].weight,
-                        loss,
-                    }
-                })
+    // Two-level parallelism: clients fan out over `outer` worker threads,
+    // and each client's kernels get the leftover `inner` thread budget.
+    let (outer, inner) = fp_tensor::parallel::thread_split(jobs.len());
+    fp_tensor::parallel::parallel_map(&jobs, outer, |_, &(k, assign)| {
+        let mut model = global.clone();
+        let (from, to) = assign.atom_window(partition);
+        let is_final = assign.last == partition.num_modules() - 1;
+        let mut aux = if is_final {
+            None
+        } else {
+            heads[assign.last].clone()
+        };
+        let wtc = WindowTrainConfig {
+            from_atom: from,
+            to_atom: to,
+            epsilon: eps,
+            mu: pcfg.mu,
+            pgd_steps: cfg.pgd_steps,
+            iters: cfg.local_iters,
+            batch_size: cfg.batch_size,
+            lr,
+            momentum: cfg.momentum,
+            weight_decay: cfg.weight_decay,
+            seed: cfg.seed ^ (round as u64) << 24 ^ k as u64,
+            backend_threads: inner,
+        };
+        let loss = train_module_window(
+            &mut model,
+            aux.as_mut(),
+            &env.data.train,
+            &env.splits[k].indices,
+            &wtc,
+        );
+        let modules = (assign.current..=assign.last)
+            .map(|n| {
+                let (f, t) = partition.windows[n];
+                (n, model.flat_params_range(f, t), model.bn_stats_range(f, t))
             })
             .collect();
-        let _ = m;
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread panicked"))
-            .collect()
+        ClientResult {
+            modules,
+            aux: aux.map(|a| (assign.last, a.flat_params())),
+            weight: env.splits[k].weight,
+            loss,
+        }
     })
 }
 
@@ -446,13 +439,13 @@ fn aggregate(
 ) {
     for n in m..n_modules {
         // Eq. 16: S_n = clients that trained module n (M_k ≥ n).
-        let contributions: Vec<(&Vec<f32>, &Vec<(Tensor, Tensor)>, f32)> = results
+        let contributions: Vec<Contribution<'_>> = results
             .iter()
             .flat_map(|r| {
                 r.modules
                     .iter()
                     .filter(|(idx, _, _)| *idx == n)
-                    .map(|(_, flat, bn)| (flat, bn, r.weight))
+                    .map(|(_, flat, bn)| (flat, bn.as_slice(), r.weight))
             })
             .collect();
         if contributions.is_empty() {
@@ -490,6 +483,7 @@ fn aggregate(
         }
     }
     // Eq. 17: K_n = clients whose *last* module is n.
+    #[allow(clippy::needless_range_loop)] // index shared across several buffers
     for n in m..n_modules.saturating_sub(1) {
         let aux_updates: Vec<(Vec<f32>, f32)> = results
             .iter()

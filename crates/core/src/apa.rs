@@ -105,7 +105,7 @@ mod tests {
     fn alpha_increases_when_too_clean() {
         let mut apa = Apa::paper_defaults(1.0);
         apa.set_reference_ratio(0.8, 0.6); // prev ratio ≈ 1.33
-        // Current ratio 2.0 > 1.05·1.33 → strengthen.
+                                           // Current ratio 2.0 > 1.05·1.33 → strengthen.
         apa.adjust(0.8, 0.4);
         assert!((apa.alpha() - 0.4).abs() < 1e-6);
     }
@@ -114,7 +114,7 @@ mod tests {
     fn alpha_decreases_when_too_robust() {
         let mut apa = Apa::paper_defaults(1.0);
         apa.set_reference_ratio(0.8, 0.4); // prev ratio = 2.0
-        // Current ratio 1.0 < 0.95·2.0 → weaken.
+                                           // Current ratio 1.0 < 0.95·2.0 → weaken.
         apa.adjust(0.7, 0.7);
         assert!((apa.alpha() - 0.2).abs() < 1e-6);
     }

@@ -30,7 +30,15 @@ impl AuxHead {
         let channels = feature[0];
         AuxHead {
             pool: GlobalAvgPool::new(0),
-            linear: Linear::new(name, channels, n_classes, 1, 0, fp_nn::spec::GROUP_OUTPUT, rng),
+            linear: Linear::new(
+                name,
+                channels,
+                n_classes,
+                1,
+                0,
+                fp_nn::spec::GROUP_OUTPUT,
+                rng,
+            ),
             pooled: feature.len() > 1,
         }
     }
@@ -64,6 +72,11 @@ impl AuxHead {
     /// Trainable parameters, mutable.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         self.linear.params_mut()
+    }
+
+    /// Points the head's linear layer at a compute backend.
+    pub fn set_backend(&mut self, backend: &fp_tensor::BackendHandle) {
+        self.linear.set_backend(backend);
     }
 
     /// Zeroes gradients.

@@ -54,7 +54,10 @@ pub fn assign_modules(
     perf: f64,
     perf_min: f64,
 ) -> ModuleAssignment {
-    assert!(current < partition.num_modules(), "module index out of range");
+    assert!(
+        current < partition.num_modules(),
+        "module index out of range"
+    );
     assert!(perf_min > 0.0, "perf_min must be positive");
     let flops_limit = (perf / perf_min) * partition.fwd_macs[current] as f64;
     let mut last = current;
@@ -98,7 +101,13 @@ mod tests {
     fn slowest_client_gets_only_current_module() {
         let p = partition();
         let a = assign_modules(&p, 1, 80, 1.0, 1.0);
-        assert_eq!(a, ModuleAssignment { current: 1, last: 1 });
+        assert_eq!(
+            a,
+            ModuleAssignment {
+                current: 1,
+                last: 1
+            }
+        );
         assert_eq!(a.count(), 1);
     }
 
@@ -132,13 +141,22 @@ mod tests {
         let p = partition();
         // Budget below even the current module: still assigned.
         let a = assign_modules(&p, 2, 1, 1.0, 1.0);
-        assert_eq!(a, ModuleAssignment { current: 2, last: 2 });
+        assert_eq!(
+            a,
+            ModuleAssignment {
+                current: 2,
+                last: 2
+            }
+        );
     }
 
     #[test]
     fn window_spans_modules() {
         let p = partition();
-        let a = ModuleAssignment { current: 1, last: 2 };
+        let a = ModuleAssignment {
+            current: 1,
+            last: 2,
+        };
         assert_eq!(a.atom_window(&p), (2, 5));
     }
 }

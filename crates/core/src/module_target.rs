@@ -35,7 +35,10 @@ impl<'a> ModuleTarget<'a> {
         to: usize,
         mu: f32,
     ) -> Self {
-        assert!(from < to && to <= model.num_atoms(), "bad window {from}..{to}");
+        assert!(
+            from < to && to <= model.num_atoms(),
+            "bad window {from}..{to}"
+        );
         assert!(mu >= 0.0, "mu must be non-negative");
         ModuleTarget {
             model,
@@ -88,7 +91,9 @@ impl AttackTarget for ModuleTarget<'_> {
     }
 
     fn logits(&mut self, z_in: &Tensor) -> Tensor {
-        let z_out = self.model.forward_range(z_in, self.from, self.to, Mode::Eval);
+        let z_out = self
+            .model
+            .forward_range(z_in, self.from, self.to, Mode::Eval);
         self.aux.forward(&z_out, Mode::Eval)
     }
 }
@@ -110,7 +115,11 @@ impl<'a> FinalWindowTarget<'a> {
     ///
     /// Panics unless `to == model.num_atoms()`.
     pub fn new(model: &'a mut CascadeModel, from: usize, to: usize) -> Self {
-        assert_eq!(to, model.num_atoms(), "final window must reach the model end");
+        assert_eq!(
+            to,
+            model.num_atoms(),
+            "final window must reach the model end"
+        );
         assert!(from < to, "bad window");
         FinalWindowTarget {
             model,
@@ -130,7 +139,9 @@ impl<'a> FinalWindowTarget<'a> {
     /// One training pass in `Train` mode: accumulates window gradients and
     /// returns the loss (the caller applies the optimizer step).
     pub fn train_step(&mut self, z_in: &Tensor, labels: &[usize]) -> f32 {
-        let logits = self.model.forward_range(z_in, self.from, self.to, Mode::Train);
+        let logits = self
+            .model
+            .forward_range(z_in, self.from, self.to, Mode::Train);
         let (loss, dlogits) = self.ce.forward(&logits, labels);
         self.model.backward_range(&dlogits, self.from, self.to);
         loss
@@ -139,7 +150,9 @@ impl<'a> FinalWindowTarget<'a> {
 
 impl AttackTarget for FinalWindowTarget<'_> {
     fn loss_and_input_grad(&mut self, z_in: &Tensor, labels: &[usize]) -> (f32, Tensor) {
-        let logits = self.model.forward_range(z_in, self.from, self.to, Mode::Eval);
+        let logits = self
+            .model
+            .forward_range(z_in, self.from, self.to, Mode::Eval);
         let (loss, dlogits) = self.ce.forward(&logits, labels);
         let dz = self.model.backward_range(&dlogits, self.from, self.to);
         self.zero_grad();
@@ -147,7 +160,8 @@ impl AttackTarget for FinalWindowTarget<'_> {
     }
 
     fn logits(&mut self, z_in: &Tensor) -> Tensor {
-        self.model.forward_range(z_in, self.from, self.to, Mode::Eval)
+        self.model
+            .forward_range(z_in, self.from, self.to, Mode::Eval)
     }
 }
 
@@ -178,7 +192,6 @@ mod tests {
         let mut t_reg = ModuleTarget::new(&mut model, &mut aux, 1, 2, 1.0);
         let (with_reg, _) = t_reg.loss_and_grads(&z0, &[0, 1], Mode::Eval);
         t_reg.zero_grad();
-        drop(t_reg);
         let mut t_noreg = ModuleTarget::new(&mut model, &mut aux, 1, 2, 0.0);
         let (without, _) = t_noreg.loss_and_grads(&z0, &[0, 1], Mode::Eval);
         assert!(

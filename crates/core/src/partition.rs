@@ -79,6 +79,7 @@ pub fn partition_model(
         module_mem_req(&specs[from..to], in_shape, batch, aux).total()
     };
 
+    #[allow(clippy::needless_range_loop)] // index shared across several buffers
     for i in 0..n {
         let candidate = mem_of(start, i + 1, &window_input);
         if candidate > r_min && i > start {

@@ -34,6 +34,12 @@ pub struct WindowTrainConfig {
     pub weight_decay: f32,
     /// Seed (per client and round).
     pub seed: u64,
+    /// Kernel threads for this client's GEMM/im2col traffic: `0` keeps the
+    /// process-default backend, `n` pins a `Parallel` backend capped at
+    /// `n` threads. Federated loops running clients on parallel worker
+    /// threads set this from `fp_tensor::parallel::thread_split` so the
+    /// two parallelism levels never oversubscribe the machine.
+    pub backend_threads: usize,
 }
 
 impl WindowTrainConfig {
@@ -85,6 +91,13 @@ pub fn train_module_window(
         })
     });
     let mut aux = aux;
+    if cfg.backend_threads > 0 {
+        let backend = fp_tensor::backend_for_threads(cfg.backend_threads);
+        model.set_backend(&backend);
+        if let Some(a) = aux.as_deref_mut() {
+            a.set_backend(&backend);
+        }
+    }
     let mut total = 0.0f64;
     for _ in 0..cfg.iters {
         let (x, y) = it.next_batch();
@@ -122,17 +135,14 @@ fn step_window(
     // Inner maximization on the window input feature.
     let (adv_z, loss) = match aux {
         Some(aux) => {
-            let mut target =
-                ModuleTarget::new(model, aux, cfg.from_atom, cfg.to_atom, cfg.mu);
+            let mut target = ModuleTarget::new(model, aux, cfg.from_atom, cfg.to_atom, cfg.mu);
             let adv_z = match attack {
                 Some(p) => p.attack(&mut target, z_in, y, rng),
                 None => z_in.clone(),
             };
             target.zero_grad();
             let (loss, _) = target.loss_and_grads(&adv_z, y, Mode::Train);
-            drop(target);
-            let mut params: Vec<&mut Param> =
-                model.params_range_mut(cfg.from_atom, cfg.to_atom);
+            let mut params: Vec<&mut Param> = model.params_range_mut(cfg.from_atom, cfg.to_atom);
             params.extend(aux.params_mut());
             opt.step(&mut params, cfg.lr);
             (adv_z, loss)
@@ -148,9 +158,7 @@ fn step_window(
             };
             target.zero_grad();
             let loss = target.train_step(&adv_z, y);
-            drop(target);
-            let mut params: Vec<&mut Param> =
-                model.params_range_mut(cfg.from_atom, cfg.to_atom);
+            let mut params: Vec<&mut Param> = model.params_range_mut(cfg.from_atom, cfg.to_atom);
             opt.step(&mut params, cfg.lr);
             (adv_z, loss)
         }
@@ -254,6 +262,7 @@ mod tests {
             momentum: 0.9,
             weight_decay: 1e-4,
             seed: 5,
+            backend_threads: 0,
         }
     }
 

@@ -23,14 +23,16 @@ impl Dataset {
     ///
     /// Panics if buffer/label sizes are inconsistent or a label is out of
     /// range.
-    pub fn new(data: Vec<f32>, labels: Vec<usize>, sample_shape: &[usize], n_classes: usize) -> Self {
+    pub fn new(
+        data: Vec<f32>,
+        labels: Vec<usize>,
+        sample_shape: &[usize],
+        n_classes: usize,
+    ) -> Self {
         let per = fp_tensor::numel(sample_shape);
         assert!(per > 0, "empty sample shape");
         assert_eq!(data.len(), labels.len() * per, "data/label size mismatch");
-        assert!(
-            labels.iter().all(|&y| y < n_classes),
-            "label out of range"
-        );
+        assert!(labels.iter().all(|&y| y < n_classes), "label out of range");
         Dataset {
             data,
             labels,

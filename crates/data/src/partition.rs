@@ -63,8 +63,7 @@ pub fn partition_pathological(
     assert!((0.0..=1.0).contains(&major_frac), "major_frac in [0,1]");
     assert!(class_frac > 0.0 && class_frac <= 1.0, "class_frac in (0,1]");
     let n_classes = ds.n_classes();
-    let majors_per_client = ((n_classes as f32 * class_frac).round() as usize)
-        .clamp(1, n_classes);
+    let majors_per_client = ((n_classes as f32 * class_frac).round() as usize).clamp(1, n_classes);
     let per_client = ds.len() / n_clients;
     assert!(per_client > 0, "more clients than samples");
 
@@ -161,7 +160,7 @@ mod tests {
         // With 5 classes and class_frac 0.2, each client has 1 major class
         // holding ~80 % of its samples.
         for p in &parts {
-            let mut counts = vec![0usize; 5];
+            let mut counts = [0usize; 5];
             for &i in &p.indices {
                 counts[ds.label(i)] += 1;
             }
@@ -198,16 +197,11 @@ mod tests {
         // 20 % → 1 class each, rotating).
         let mut majors = Vec::new();
         for p in &parts {
-            let mut counts = vec![0usize; 5];
+            let mut counts = [0usize; 5];
             for &i in &p.indices {
                 counts[ds.label(i)] += 1;
             }
-            let major = counts
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &c)| c)
-                .unwrap()
-                .0;
+            let major = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
             majors.push(major);
         }
         majors.sort_unstable();

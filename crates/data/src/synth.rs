@@ -117,24 +117,18 @@ pub fn generate(cfg: &SynthConfig, seed: u64) -> SynthDataset {
         let mut data = Vec::with_capacity(n * per_img);
         let mut labels = Vec::with_capacity(n);
         let mut normal = NormalSampler::new();
+        #[allow(clippy::needless_range_loop)] // index shared across several buffers
         for y in 0..cfg.n_classes {
             for _ in 0..per_class {
                 let nuisance = smooth_field(cfg, cfg.smooth_noise, rng, &mut normal, 0.0);
                 for i in 0..per_img {
-                    let px = templates[y][i]
-                        + nuisance[i]
-                        + cfg.pixel_noise * normal.sample(rng);
+                    let px = templates[y][i] + nuisance[i] + cfg.pixel_noise * normal.sample(rng);
                     data.push(px.clamp(0.0, 1.0));
                 }
                 labels.push(y);
             }
         }
-        Dataset::new(
-            data,
-            labels,
-            &[cfg.channels, cfg.hw, cfg.hw],
-            cfg.n_classes,
-        )
+        Dataset::new(data, labels, &[cfg.channels, cfg.hw, cfg.hw], cfg.n_classes)
     };
 
     let train = make_split(cfg.train_per_class, &mut rng);
@@ -233,6 +227,7 @@ mod tests {
         // Estimate templates from train means.
         let per = 3 * 8 * 8;
         let mut means = vec![vec![0.0f32; per]; 4];
+        #[allow(clippy::needless_range_loop)] // index shared across several buffers
         for y in 0..4 {
             let idx = ds.train.indices_of_class(y);
             for &i in &idx {
@@ -246,8 +241,16 @@ mod tests {
             let x = ds.test.x(i);
             let best = (0..4)
                 .min_by(|&a, &b| {
-                    let da: f32 = means[a].iter().zip(x.data()).map(|(m, v)| (m - v).powi(2)).sum();
-                    let db: f32 = means[b].iter().zip(x.data()).map(|(m, v)| (m - v).powi(2)).sum();
+                    let da: f32 = means[a]
+                        .iter()
+                        .zip(x.data())
+                        .map(|(m, v)| (m - v).powi(2))
+                        .sum();
+                    let db: f32 = means[b]
+                        .iter()
+                        .zip(x.data())
+                        .map(|(m, v)| (m - v).powi(2))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

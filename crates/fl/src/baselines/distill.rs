@@ -85,13 +85,14 @@ impl FlAlgorithm for Distill {
         for t in 0..cfg.rounds {
             let ids = env.sample_round(t);
             let lr = cfg.lr.at(t);
-            let results = parallel_clients(&ids, |k| {
+            let results = parallel_clients(&ids, |k, backend| {
                 // Largest zoo member that fits; the smallest as fallback.
                 let arch = zoo_mem
                     .iter()
                     .rposition(|&m| m <= env.mem_budget(k))
                     .unwrap_or(0);
                 let mut model = prototypes[arch].clone();
+                model.set_backend(&backend);
                 let ltc = LocalTrainConfig {
                     iters: cfg.local_iters,
                     batch_size: cfg.batch_size,
@@ -110,6 +111,7 @@ impl FlAlgorithm for Distill {
             let mean_loss =
                 results.iter().map(|(_, _, _, l)| *l).sum::<f32>() / results.len() as f32;
             // Per-architecture FedAvg.
+            #[allow(clippy::needless_range_loop)] // index shared across several buffers
             for arch in 0..self.zoo.len() {
                 let members: Vec<(CascadeModel, f32)> = results
                     .iter()
@@ -181,10 +183,7 @@ impl Distill {
             .iter_mut()
             .map(|m| softmax_rows(&m.forward(x, Mode::Eval)))
             .collect();
-        let (batch, classes) = (
-            per_teacher[0].shape()[0],
-            per_teacher[0].shape()[1],
-        );
+        let (batch, classes) = (per_teacher[0].shape()[0], per_teacher[0].shape()[1]);
         let mut out = Tensor::zeros(&[batch, classes]);
         match self.variant {
             DistillVariant::FedDf => {

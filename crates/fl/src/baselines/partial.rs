@@ -66,11 +66,12 @@ impl FlAlgorithm for PartialTraining {
             let ids = env.sample_round(t);
             let lr = cfg.lr.at(t);
             let scheme = self.scheme;
-            let results = parallel_clients(&ids, |k| {
+            let results = parallel_clients(&ids, |k, backend| {
                 let ratio = ((env.mem_budget(k) as f64 / full_mem) as f32).clamp(0.1, 1.0);
                 let mut rng = seeded_rng(cfg.seed ^ 0x5B_0000 ^ (t as u64) << 20 ^ k as u64);
                 let keep = keep_sets(&groups, ratio, scheme, t, &mut rng);
                 let mut sub = extract_submodel(&global, &keep, &mut rng);
+                sub.set_backend(&backend);
                 let ltc = LocalTrainConfig {
                     iters: cfg.local_iters,
                     batch_size: cfg.batch_size,
@@ -127,11 +128,7 @@ mod tests {
             let env = make_env(8, 21);
             let outcome = alg.run(&env);
             let clean = outcome.final_val_clean().unwrap();
-            assert!(
-                clean > 0.3,
-                "{} failed to learn: clean {clean}",
-                alg.name()
-            );
+            assert!(clean > 0.3, "{} failed to learn: clean {clean}", alg.name());
         }
     }
 

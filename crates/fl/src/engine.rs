@@ -8,8 +8,8 @@ use fp_hwsim::{model_mem_req, DeviceSample};
 use fp_nn::spec::AtomSpec;
 use fp_nn::CascadeModel;
 use fp_tensor::{argmax_rows, seeded_rng};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 
 /// A federated learning algorithm (jFAT, the baselines, FedProphet).
 pub trait FlAlgorithm {
@@ -92,7 +92,12 @@ impl FlEnv {
 
     /// Memory required to train the full reference model.
     pub fn full_mem_req(&self) -> u64 {
-        model_mem_req(&self.reference_specs, &self.input_shape, self.cfg.batch_size).total()
+        model_mem_req(
+            &self.reference_specs,
+            &self.input_shape,
+            self.cfg.batch_size,
+        )
+        .total()
     }
 
     /// Samples the participating clients of round `t` (uniform without

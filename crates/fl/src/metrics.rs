@@ -57,9 +57,24 @@ mod tests {
         let outcome = FlOutcome {
             model,
             history: vec![
-                RoundRecord { round: 0, train_loss: 1.0, val_clean: Some(0.3), val_adv: Some(0.1) },
-                RoundRecord { round: 1, train_loss: 0.9, val_clean: None, val_adv: None },
-                RoundRecord { round: 2, train_loss: 0.8, val_clean: Some(0.5), val_adv: None },
+                RoundRecord {
+                    round: 0,
+                    train_loss: 1.0,
+                    val_clean: Some(0.3),
+                    val_adv: Some(0.1),
+                },
+                RoundRecord {
+                    round: 1,
+                    train_loss: 0.9,
+                    val_clean: None,
+                    val_adv: None,
+                },
+                RoundRecord {
+                    round: 2,
+                    train_loss: 0.8,
+                    val_clean: Some(0.5),
+                    val_adv: None,
+                },
             ],
         };
         assert_eq!(outcome.final_val_clean(), Some(0.5));

@@ -20,8 +20,8 @@ use fp_nn::models::instantiate;
 use fp_nn::spec::{AtomSpec, LayerKind, LayerSpec, GROUP_INPUT, GROUP_OUTPUT};
 use fp_nn::CascadeModel;
 use fp_tensor::Tensor;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -135,7 +135,12 @@ fn kept_len(keep: &HashMap<usize, Vec<usize>>, g: usize, orig: usize) -> usize {
 pub fn slice_specs(specs: &[AtomSpec], keep: &HashMap<usize, Vec<usize>>) -> Vec<AtomSpec> {
     specs
         .iter()
-        .map(|a| AtomSpec::new(a.name.clone(), a.layers.iter().map(|l| slice_layer_spec(l, keep)).collect()))
+        .map(|a| {
+            AtomSpec::new(
+                a.name.clone(),
+                a.layers.iter().map(|l| slice_layer_spec(l, keep)).collect(),
+            )
+        })
         .collect()
 }
 
@@ -206,7 +211,10 @@ impl Slot {
             Slot::ConvW { c_out, c_in, k, .. } => c_out * c_in * k * k,
             Slot::VecC { c, .. } => c,
             Slot::LinearW {
-                d_out, c_in, spatial, ..
+                d_out,
+                c_in,
+                spatial,
+                ..
             } => d_out * c_in * spatial,
         }
     }
@@ -255,8 +263,14 @@ fn layer_slots(l: &LayerSpec, out: &mut Vec<Slot>) {
             });
         }
         LayerKind::BatchNorm2d { c } => {
-            out.push(Slot::VecC { c: *c, g: l.out_group });
-            out.push(Slot::VecC { c: *c, g: l.out_group });
+            out.push(Slot::VecC {
+                c: *c,
+                g: l.out_group,
+            });
+            out.push(Slot::VecC {
+                c: *c,
+                g: l.out_group,
+            });
         }
         LayerKind::Residual { block, shortcut } => {
             for b in block.iter().chain(shortcut.iter()) {
@@ -323,7 +337,9 @@ pub fn extract_submodel(
             assert_eq!(gp.numel(), slot.numel(), "global param/slot shape mismatch");
             let sliced_vals = slice_tensor(slot, gp.value(), keep);
             assert_eq!(sliced_vals.numel(), sp.numel(), "sliced size mismatch");
-            sp.value_mut().data_mut().copy_from_slice(sliced_vals.data());
+            sp.value_mut()
+                .data_mut()
+                .copy_from_slice(sliced_vals.data());
         }
     }
 
@@ -382,7 +398,11 @@ impl SubmodelAccumulator {
         let slots = model_slots(&self.specs);
         let s_params = sub.params();
         assert_eq!(s_params.len(), slots.len(), "sub walk mismatch");
-        for ((slot, acc), sp) in slots.iter().zip(self.params.iter_mut()).zip(s_params.iter()) {
+        for ((slot, acc), sp) in slots
+            .iter()
+            .zip(self.params.iter_mut())
+            .zip(s_params.iter())
+        {
             scatter_tensor(slot, acc, sp.value(), keep, weight);
         }
         let bn = bn_groups(&self.specs);

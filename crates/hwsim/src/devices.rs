@@ -21,30 +21,130 @@ pub struct Device {
 
 /// The CIFAR-10 device pool (paper Table 5).
 pub const CIFAR_POOL: [Device; 10] = [
-    Device { name: "GTX 1650m", tflops: 3.1, mem_gb: 4.0, io_gbps: 16.0 },
-    Device { name: "TX2", tflops: 1.3, mem_gb: 4.0, io_gbps: 1.5 },
-    Device { name: "KCU1500", tflops: 0.2, mem_gb: 2.0, io_gbps: 2.0 },
-    Device { name: "VC709", tflops: 0.1, mem_gb: 2.0, io_gbps: 1.5 },
-    Device { name: "Radeon HD 6870", tflops: 2.7, mem_gb: 1.0, io_gbps: 16.0 },
-    Device { name: "Quadro M2200", tflops: 2.1, mem_gb: 4.0, io_gbps: 1.5 },
-    Device { name: "A12 GPU", tflops: 0.5, mem_gb: 4.0, io_gbps: 1.5 },
-    Device { name: "Geforce 750", tflops: 1.1, mem_gb: 1.0, io_gbps: 16.0 },
-    Device { name: "Grid K240q", tflops: 2.3, mem_gb: 1.0, io_gbps: 16.0 },
-    Device { name: "Radeon RX 6300m", tflops: 3.7, mem_gb: 2.0, io_gbps: 16.0 },
+    Device {
+        name: "GTX 1650m",
+        tflops: 3.1,
+        mem_gb: 4.0,
+        io_gbps: 16.0,
+    },
+    Device {
+        name: "TX2",
+        tflops: 1.3,
+        mem_gb: 4.0,
+        io_gbps: 1.5,
+    },
+    Device {
+        name: "KCU1500",
+        tflops: 0.2,
+        mem_gb: 2.0,
+        io_gbps: 2.0,
+    },
+    Device {
+        name: "VC709",
+        tflops: 0.1,
+        mem_gb: 2.0,
+        io_gbps: 1.5,
+    },
+    Device {
+        name: "Radeon HD 6870",
+        tflops: 2.7,
+        mem_gb: 1.0,
+        io_gbps: 16.0,
+    },
+    Device {
+        name: "Quadro M2200",
+        tflops: 2.1,
+        mem_gb: 4.0,
+        io_gbps: 1.5,
+    },
+    Device {
+        name: "A12 GPU",
+        tflops: 0.5,
+        mem_gb: 4.0,
+        io_gbps: 1.5,
+    },
+    Device {
+        name: "Geforce 750",
+        tflops: 1.1,
+        mem_gb: 1.0,
+        io_gbps: 16.0,
+    },
+    Device {
+        name: "Grid K240q",
+        tflops: 2.3,
+        mem_gb: 1.0,
+        io_gbps: 16.0,
+    },
+    Device {
+        name: "Radeon RX 6300m",
+        tflops: 3.7,
+        mem_gb: 2.0,
+        io_gbps: 16.0,
+    },
 ];
 
 /// The Caltech-256 device pool (paper Table 6).
 pub const CALTECH_POOL: [Device; 10] = [
-    Device { name: "Radeon RX 7600", tflops: 21.8, mem_gb: 8.0, io_gbps: 16.0 },
-    Device { name: "Radeon RX 6800", tflops: 16.2, mem_gb: 16.0, io_gbps: 16.0 },
-    Device { name: "Arc A770", tflops: 19.7, mem_gb: 16.0, io_gbps: 16.0 },
-    Device { name: "Quadro P5000", tflops: 5.3, mem_gb: 16.0, io_gbps: 1.5 },
-    Device { name: "RTX 3080m", tflops: 19.0, mem_gb: 8.0, io_gbps: 16.0 },
-    Device { name: "RTX 4090m", tflops: 33.0, mem_gb: 16.0, io_gbps: 16.0 },
-    Device { name: "A17 GPU", tflops: 2.1, mem_gb: 8.0, io_gbps: 1.5 },
-    Device { name: "GTX 1650m", tflops: 3.1, mem_gb: 4.0, io_gbps: 16.0 },
-    Device { name: "TX2", tflops: 1.3, mem_gb: 4.0, io_gbps: 1.5 },
-    Device { name: "P104 101", tflops: 8.6, mem_gb: 4.0, io_gbps: 16.0 },
+    Device {
+        name: "Radeon RX 7600",
+        tflops: 21.8,
+        mem_gb: 8.0,
+        io_gbps: 16.0,
+    },
+    Device {
+        name: "Radeon RX 6800",
+        tflops: 16.2,
+        mem_gb: 16.0,
+        io_gbps: 16.0,
+    },
+    Device {
+        name: "Arc A770",
+        tflops: 19.7,
+        mem_gb: 16.0,
+        io_gbps: 16.0,
+    },
+    Device {
+        name: "Quadro P5000",
+        tflops: 5.3,
+        mem_gb: 16.0,
+        io_gbps: 1.5,
+    },
+    Device {
+        name: "RTX 3080m",
+        tflops: 19.0,
+        mem_gb: 8.0,
+        io_gbps: 16.0,
+    },
+    Device {
+        name: "RTX 4090m",
+        tflops: 33.0,
+        mem_gb: 16.0,
+        io_gbps: 16.0,
+    },
+    Device {
+        name: "A17 GPU",
+        tflops: 2.1,
+        mem_gb: 8.0,
+        io_gbps: 1.5,
+    },
+    Device {
+        name: "GTX 1650m",
+        tflops: 3.1,
+        mem_gb: 4.0,
+        io_gbps: 16.0,
+    },
+    Device {
+        name: "TX2",
+        tflops: 1.3,
+        mem_gb: 4.0,
+        io_gbps: 1.5,
+    },
+    Device {
+        name: "P104 101",
+        tflops: 8.6,
+        mem_gb: 4.0,
+        io_gbps: 16.0,
+    },
 ];
 
 /// Systematic-heterogeneity level (paper §7.1).
@@ -82,8 +182,7 @@ impl DeviceSample {
     pub fn resample_availability(&mut self, rng: &mut StdRng) {
         let mem_factor = 1.0 - 0.2 * rng.gen::<f64>();
         let perf_factor = 0.2 + 0.8 * rng.gen::<f64>();
-        self.avail_mem_bytes =
-            (self.device.mem_gb * mem_factor * 1024.0 * 1024.0 * 1024.0) as u64;
+        self.avail_mem_bytes = (self.device.mem_gb * mem_factor * 1024.0 * 1024.0 * 1024.0) as u64;
         self.avail_tflops = self.device.tflops * perf_factor;
     }
 }
@@ -101,10 +200,7 @@ pub fn sample_fleet(
     assert!(!pool.is_empty(), "empty device pool");
     let weights: Vec<f64> = match mode {
         SamplingMode::Balanced => vec![1.0; pool.len()],
-        SamplingMode::Unbalanced => pool
-            .iter()
-            .map(|d| 1.0 / (d.mem_gb * d.tflops))
-            .collect(),
+        SamplingMode::Unbalanced => pool.iter().map(|d| 1.0 / (d.mem_gb * d.tflops)).collect(),
     };
     let total: f64 = weights.iter().sum();
     (0..n)
@@ -179,8 +275,18 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic() {
-        let a = sample_fleet(&CALTECH_POOL, 10, SamplingMode::Balanced, &mut seeded_rng(7));
-        let b = sample_fleet(&CALTECH_POOL, 10, SamplingMode::Balanced, &mut seeded_rng(7));
+        let a = sample_fleet(
+            &CALTECH_POOL,
+            10,
+            SamplingMode::Balanced,
+            &mut seeded_rng(7),
+        );
+        let b = sample_fleet(
+            &CALTECH_POOL,
+            10,
+            SamplingMode::Balanced,
+            &mut seeded_rng(7),
+        );
         assert_eq!(a, b);
     }
 }

@@ -116,9 +116,7 @@ mod tests {
         // Table 7 quotes (batch 64): module1 2.6 G, module2 4.9 G (conv3-5),
         // module7 0.6 G (conv13+fc1..3). Allow ±15 %.
         let specs = vgg16_spec_cifar();
-        let at = |from: usize, to: usize| {
-            forward_macs_range(&specs, &[3, 32, 32], from, to) * 64
-        };
+        let at = |from: usize, to: usize| forward_macs_range(&specs, &[3, 32, 32], from, to) * 64;
         let m1 = at(0, 2) as f64;
         assert!((m1 / 2.6e9 - 1.0).abs() < 0.15, "module1 {m1}");
         let m2 = at(2, 5) as f64;

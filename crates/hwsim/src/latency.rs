@@ -189,8 +189,14 @@ mod tests {
 
     #[test]
     fn round_latency_is_max_of_clients() {
-        let a = ClientLatency { compute_s: 1.0, data_access_s: 0.0 };
-        let b = ClientLatency { compute_s: 0.5, data_access_s: 2.0 };
+        let a = ClientLatency {
+            compute_s: 1.0,
+            data_access_s: 0.0,
+        };
+        let b = ClientLatency {
+            compute_s: 0.5,
+            data_access_s: 2.0,
+        };
         let m = round_sync_latency(&[a, b]);
         assert_eq!(m, b);
     }

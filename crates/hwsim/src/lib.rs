@@ -26,7 +26,9 @@ pub mod flops;
 pub mod latency;
 pub mod memory;
 
-pub use devices::{sample_fleet, Device, DeviceSample, SamplingMode, CIFAR_POOL, CALTECH_POOL};
+pub use devices::{sample_fleet, Device, DeviceSample, SamplingMode, CALTECH_POOL, CIFAR_POOL};
 pub use flops::{forward_macs, forward_macs_range, training_flops_per_iter, TrainingPassProfile};
 pub use latency::{ClientLatency, LatencyModel};
-pub use memory::{model_mem_req, module_mem_req, AuxHeadSpec, MemoryBreakdown, BYTES_PER_PARAM_STATE};
+pub use memory::{
+    model_mem_req, module_mem_req, AuxHeadSpec, MemoryBreakdown, BYTES_PER_PARAM_STATE,
+};

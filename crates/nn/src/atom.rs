@@ -64,6 +64,12 @@ impl Atom {
         }
     }
 
+    /// Points every layer inside the atom at `backend`.
+    pub fn set_backend(&mut self, backend: &fp_tensor::BackendHandle) {
+        use crate::layer::Layer;
+        self.inner.set_backend(backend);
+    }
+
     /// Total trainable scalars.
     pub fn param_count(&self) -> usize {
         self.inner.params().iter().map(|p| p.numel()).sum()
@@ -126,7 +132,9 @@ mod tests {
     fn test_atom() -> Atom {
         let mut rng = fp_tensor::seeded_rng(0);
         let seq = Sequential::new()
-            .push(Box::new(Conv2d::new("c", 2, 4, 3, 1, 1, false, 0, 1, &mut rng)))
+            .push(Box::new(Conv2d::new(
+                "c", 2, 4, 3, 1, 1, false, 0, 1, &mut rng,
+            )))
             .push(Box::new(BatchNorm2d::new("bn", 4, 1)))
             .push(Box::new(ReLU::new(1)));
         Atom::new("conv1", seq)

@@ -68,6 +68,17 @@ impl CascadeModel {
         self.atoms.iter().map(Atom::spec).collect()
     }
 
+    /// Points every layer of every atom at `backend`.
+    ///
+    /// Federated loops call this on per-client model clones so that outer
+    /// (client) and inner (kernel) parallelism share the hardware budget
+    /// (see `fp_tensor::parallel::thread_split`).
+    pub fn set_backend(&mut self, backend: &fp_tensor::BackendHandle) {
+        for atom in &mut self.atoms {
+            atom.set_backend(backend);
+        }
+    }
+
     /// Full forward pass producing logits `[batch, n_classes]`.
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         self.forward_range(x, 0, self.atoms.len(), mode)
@@ -79,7 +90,10 @@ impl CascadeModel {
     ///
     /// Panics if the range is empty or out of bounds.
     pub fn forward_range(&mut self, x: &Tensor, from: usize, to: usize, mode: Mode) -> Tensor {
-        assert!(from < to && to <= self.atoms.len(), "bad atom range {from}..{to}");
+        assert!(
+            from < to && to <= self.atoms.len(),
+            "bad atom range {from}..{to}"
+        );
         let mut cur = x.clone();
         for atom in &mut self.atoms[from..to] {
             cur = atom.forward(&cur, mode);
@@ -91,7 +105,10 @@ impl CascadeModel {
     /// parameter gradients; returns the gradient with respect to the input
     /// of atom `from`.
     pub fn backward_range(&mut self, grad: &Tensor, from: usize, to: usize) -> Tensor {
-        assert!(from < to && to <= self.atoms.len(), "bad atom range {from}..{to}");
+        assert!(
+            from < to && to <= self.atoms.len(),
+            "bad atom range {from}..{to}"
+        );
         let mut g = grad.clone();
         for atom in self.atoms[from..to].iter_mut().rev() {
             g = atom.backward(&g);
@@ -163,7 +180,9 @@ impl CascadeModel {
             for p in a.params_mut() {
                 let n = p.numel();
                 assert!(off + n <= flat.len(), "flat parameter vector too short");
-                p.value_mut().data_mut().copy_from_slice(&flat[off..off + n]);
+                p.value_mut()
+                    .data_mut()
+                    .copy_from_slice(&flat[off..off + n]);
                 off += n;
             }
         }

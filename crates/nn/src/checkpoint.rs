@@ -96,12 +96,8 @@ impl Checkpoint {
     /// with the stored architecture (e.g. a hand-edited file).
     pub fn restore(&self) -> Result<CascadeModel, RestoreError> {
         let mut rng = fp_tensor::seeded_rng(0);
-        let mut model = crate::models::instantiate(
-            &self.specs,
-            &self.input_shape,
-            self.n_classes,
-            &mut rng,
-        );
+        let mut model =
+            crate::models::instantiate(&self.specs, &self.input_shape, self.n_classes, &mut rng);
         if model.param_count() != self.params.len() {
             return Err(RestoreError::ParamCountMismatch {
                 expected: model.param_count(),

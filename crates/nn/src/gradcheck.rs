@@ -61,6 +61,7 @@ pub fn check_layer_gradients_mode(
 
     // Numeric parameter gradients.
     let n_params = layer.params().len();
+    #[allow(clippy::needless_range_loop)] // index shared across several buffers
     for pi in 0..n_params {
         let base = layer.params()[pi].value().clone();
         let coords = pick_coords(base.numel());

@@ -81,6 +81,14 @@ pub trait Layer: Send + Sync {
     /// Drops cached activations (frees memory between rounds). Optional.
     fn clear_cache(&mut self) {}
 
+    /// Points this layer (and any nested layers) at a compute backend.
+    ///
+    /// Layers with GEMM/im2col traffic ([`crate::Conv2d`],
+    /// [`crate::Linear`]) store the handle; composite layers recurse;
+    /// parameter-free layers ignore it. Federated loops use this to budget
+    /// kernel threads per client (see `fp_tensor::parallel::thread_split`).
+    fn set_backend(&mut self, _backend: &fp_tensor::BackendHandle) {}
+
     /// Collects BN running statistics from this layer and any nested
     /// layers, in a stable traversal order. Composite layers override this
     /// to recurse.

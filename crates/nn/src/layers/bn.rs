@@ -58,6 +58,7 @@ impl BatchNorm2d {
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
         let hw = h * w;
+        #[allow(clippy::needless_range_loop)] // index addresses per-channel planes
         for s in 0..b {
             for ch in 0..c {
                 let plane = &x.data()[(s * c + ch) * hw..(s * c + ch + 1) * hw];
@@ -67,6 +68,7 @@ impl BatchNorm2d {
         for m in &mut mean {
             *m /= n;
         }
+        #[allow(clippy::needless_range_loop)] // index addresses per-channel planes
         for s in 0..b {
             for ch in 0..c {
                 let plane = &x.data()[(s * c + ch) * hw..(s * c + ch + 1) * hw];
@@ -169,8 +171,7 @@ impl Layer for BatchNorm2d {
                         for i in 0..hw {
                             let dy = grad_out.data()[off + i];
                             let xh = cache.x_hat.data()[off + i];
-                            dx.data_mut()[off + i] =
-                                k * (n * dy - dbeta[ch] - xh * dgamma[ch]);
+                            dx.data_mut()[off + i] = k * (n * dy - dbeta[ch] - xh * dgamma[ch]);
                         }
                     }
                 }
@@ -242,8 +243,8 @@ mod tests {
                 vals.extend_from_slice(&y.data()[off..off + 9]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

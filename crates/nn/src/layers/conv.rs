@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use crate::spec::{LayerKind, LayerSpec};
-use fp_tensor::{col2im, im2col, matmul_into, matmul_nt_into, matmul_tn_into, Conv2dGeometry, Tensor};
+use fp_tensor::{BackendHandle, Conv2dGeometry, Tensor};
 use rand::Rng;
 
 /// A 2-D convolution with square kernels, symmetric zero padding, and an
@@ -24,6 +24,7 @@ pub struct Conv2d {
     pad: usize,
     in_group: usize,
     out_group: usize,
+    backend: BackendHandle,
     cached: Option<Cache>,
 }
 
@@ -49,7 +50,10 @@ impl Conv2d {
         out_group: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(c_in > 0 && c_out > 0 && k > 0 && stride > 0, "conv dims must be positive");
+        assert!(
+            c_in > 0 && c_out > 0 && k > 0 && stride > 0,
+            "conv dims must be positive"
+        );
         let fan_in = c_in * k * k;
         let w = crate::init::kaiming_normal(&[c_out, c_in, k, k], fan_in, rng);
         Conv2d {
@@ -62,6 +66,7 @@ impl Conv2d {
             pad,
             in_group,
             out_group,
+            backend: fp_tensor::default_backend(),
             cached: None,
         }
     }
@@ -92,9 +97,20 @@ impl Layer for Conv2d {
         let mut cols_cache = Vec::with_capacity(batch);
         for s in 0..batch {
             let mut cols = vec![0.0f32; rows * n_cols];
-            im2col(&x.data()[s * img_elems..(s + 1) * img_elems], &geo, &mut cols);
+            self.backend.im2col(
+                &x.data()[s * img_elems..(s + 1) * img_elems],
+                &geo,
+                &mut cols,
+            );
             let out_s = &mut out.data_mut()[s * out_elems..(s + 1) * out_elems];
-            matmul_into(self.w.value().data(), &cols, out_s, self.c_out, rows, n_cols);
+            self.backend.matmul_into(
+                self.w.value().data(),
+                &cols,
+                out_s,
+                self.c_out,
+                rows,
+                n_cols,
+            );
             if let Some(b) = &self.b {
                 for c in 0..self.c_out {
                     let bv = b.value().data()[c];
@@ -114,7 +130,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cached.as_ref().expect("backward called before forward");
+        let cache = self
+            .cached
+            .as_ref()
+            .expect("backward called before forward");
         let geo = cache.geo;
         let (rows, n_cols) = (geo.col_rows(), geo.col_cols());
         let batch = cache.batch;
@@ -130,7 +149,7 @@ impl Layer for Conv2d {
         for s in 0..batch {
             let g_s = &grad_out.data()[s * out_elems..(s + 1) * out_elems];
             // dW += dY · colsᵀ   (dY: [c_out, n_cols], cols: [rows, n_cols])
-            matmul_nt_into(
+            self.backend.matmul_nt_into(
                 g_s,
                 &cache.cols[s],
                 self.w.grad_mut().data_mut(),
@@ -140,7 +159,7 @@ impl Layer for Conv2d {
             );
             // dcols = Wᵀ · dY
             dcols.fill(0.0);
-            matmul_tn_into(
+            self.backend.matmul_tn_into(
                 self.w.value().data(),
                 g_s,
                 &mut dcols,
@@ -148,7 +167,7 @@ impl Layer for Conv2d {
                 rows,
                 n_cols,
             );
-            col2im(
+            self.backend.col2im(
                 &dcols,
                 &geo,
                 &mut dx.data_mut()[s * img_elems..(s + 1) * img_elems],
@@ -201,6 +220,10 @@ impl Layer for Conv2d {
     fn clear_cache(&mut self) {
         self.cached = None;
     }
+
+    fn set_backend(&mut self, backend: &BackendHandle) {
+        self.backend = backend.clone();
+    }
 }
 
 #[cfg(test)]
@@ -231,10 +254,7 @@ mod tests {
         conv.params_mut()[0].set_value(Tensor::ones(&[1, 1, 3, 3]));
         let x = Tensor::ones(&[1, 1, 3, 3]);
         let y = conv.forward(&x, Mode::Eval);
-        assert_eq!(
-            y.data(),
-            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(y.data(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]

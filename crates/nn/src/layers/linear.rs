@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use crate::spec::{LayerKind, LayerSpec};
-use fp_tensor::{matmul_nt_into, matmul_tn_into, Tensor};
+use fp_tensor::{BackendHandle, Tensor};
 use rand::Rng;
 
 /// A fully connected layer: `y = x·Wᵀ + b`.
@@ -20,6 +20,7 @@ pub struct Linear {
     in_spatial: usize,
     in_group: usize,
     out_group: usize,
+    backend: BackendHandle,
     cached_input: Option<Tensor>,
 }
 
@@ -48,6 +49,7 @@ impl Linear {
             in_spatial,
             in_group,
             out_group,
+            backend: fp_tensor::default_backend(),
             cached_input: None,
         }
     }
@@ -70,7 +72,7 @@ impl Layer for Linear {
         let batch = x.shape()[0];
         let mut out = Tensor::zeros(&[batch, self.d_out]);
         // y = x · Wᵀ
-        matmul_nt_into(
+        self.backend.matmul_nt_into(
             x.data(),
             self.w.value().data(),
             out.data_mut(),
@@ -97,7 +99,7 @@ impl Layer for Linear {
         let batch = x.shape()[0];
         assert_eq!(grad_out.shape(), [batch, self.d_out]);
         // dW += dYᵀ·X  (i.e. for W[d_out,d_in]: dW = gradᵀ · x)
-        matmul_tn_into(
+        self.backend.matmul_tn_into(
             grad_out.data(),
             x.data(),
             self.w.grad_mut().data_mut(),
@@ -117,7 +119,7 @@ impl Layer for Linear {
         }
         // dX = dY · W
         let mut dx = Tensor::zeros(&[batch, self.d_in]);
-        fp_tensor::matmul_into(
+        self.backend.matmul_into(
             grad_out.data(),
             self.w.value().data(),
             dx.data_mut(),
@@ -154,6 +156,10 @@ impl Layer for Linear {
 
     fn clear_cache(&mut self) {
         self.cached_input = None;
+    }
+
+    fn set_backend(&mut self, backend: &BackendHandle) {
+        self.backend = backend.clone();
     }
 }
 

@@ -146,6 +146,12 @@ impl Layer for Sequential {
             l.clear_cache();
         }
     }
+
+    fn set_backend(&mut self, backend: &fp_tensor::BackendHandle) {
+        for l in &mut self.layers {
+            l.set_backend(backend);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +166,9 @@ mod tests {
         let mut rng = fp_tensor::seeded_rng(0);
         let mut l = Linear::new("fc", 2, 2, 1, 0, 1, &mut rng);
         l.params_mut()[0].set_value(Tensor::from_vec(vec![-1.0, 0.0, 0.0, -1.0], &[2, 2]));
-        let mut seq = Sequential::new().push(Box::new(l)).push(Box::new(ReLU::new(1)));
+        let mut seq = Sequential::new()
+            .push(Box::new(l))
+            .push(Box::new(ReLU::new(1)));
         let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]);
         // Linear: [-1, 2]; ReLU: [0, 2].
         assert_eq!(seq.forward(&x, Mode::Eval).data(), &[0.0, 2.0]);

@@ -66,6 +66,7 @@ pub fn cnn_atom_specs(cfg: &CnnConfig) -> Vec<AtomSpec> {
     let mut c_in = cfg.in_channels;
     let mut group = GROUP_INPUT;
     let mut next_group = 1usize;
+    #[allow(clippy::explicit_counter_loop)] // the counter outlives the loop
     for (i, &w) in cfg.widths.iter().enumerate() {
         let out_group = next_group;
         next_group += 1;

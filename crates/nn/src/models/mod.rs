@@ -16,7 +16,10 @@ mod resnet;
 mod vgg;
 
 pub use cnn::{cnn_atom_specs, tiny_cnn, CnnConfig};
-pub use resnet::{resnet10_spec, resnet18_spec, resnet34_spec_caltech, resnet_atom_specs, tiny_resnet, ResNetConfig};
+pub use resnet::{
+    resnet10_spec, resnet18_spec, resnet34_spec_caltech, resnet_atom_specs, tiny_resnet,
+    ResNetConfig,
+};
 pub use vgg::{tiny_vgg, vgg11_spec, vgg13_spec, vgg16_spec_cifar, vgg_atom_specs, VggConfig};
 
 use crate::atom::Atom;
@@ -65,11 +68,7 @@ pub fn instantiate<R: Rng + ?Sized>(
     CascadeModel::new(atoms, input_shape, n_classes)
 }
 
-fn instantiate_layer<R: Rng + ?Sized>(
-    spec: &LayerSpec,
-    name: &str,
-    rng: &mut R,
-) -> Box<dyn Layer> {
+fn instantiate_layer<R: Rng + ?Sized>(spec: &LayerSpec, name: &str, rng: &mut R) -> Box<dyn Layer> {
     match &spec.kind {
         LayerKind::Conv2d {
             c_in,
@@ -105,9 +104,7 @@ fn instantiate_layer<R: Rng + ?Sized>(
         )),
         LayerKind::BatchNorm2d { c } => Box::new(BatchNorm2d::new(name, *c, spec.out_group)),
         LayerKind::Relu => Box::new(ReLU::new(spec.out_group)),
-        LayerKind::MaxPool2d { k, stride } => {
-            Box::new(MaxPool2d::new(*k, *stride, spec.out_group))
-        }
+        LayerKind::MaxPool2d { k, stride } => Box::new(MaxPool2d::new(*k, *stride, spec.out_group)),
         LayerKind::GlobalAvgPool => Box::new(GlobalAvgPool::new(spec.out_group)),
         LayerKind::Flatten => Box::new(Flatten::new(spec.out_group)),
         LayerKind::Dropout { p } => Box::new(Dropout::new(*p, spec.out_group, rng.gen())),
@@ -140,7 +137,15 @@ fn basic_block_from_spec<R: Rng + ?Sized>(
         needs_projection,
         "shortcut presence must match shape change"
     );
-    BasicBlock::new(name, c_in, c_out, stride, spec.in_group, spec.out_group, rng)
+    BasicBlock::new(
+        name,
+        c_in,
+        c_out,
+        stride,
+        spec.in_group,
+        spec.out_group,
+        rng,
+    )
 }
 
 /// Total parameter count implied by a list of atom specs.

@@ -67,7 +67,15 @@ impl ResNetConfig {
     }
 }
 
-fn conv_spec(c_in: usize, c_out: usize, k: usize, stride: usize, pad: usize, g_in: usize, g_out: usize) -> LayerSpec {
+fn conv_spec(
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    g_in: usize,
+    g_out: usize,
+) -> LayerSpec {
     LayerSpec::new(
         LayerKind::Conv2d {
             c_in,

@@ -92,6 +92,7 @@ impl Sgd {
             let mu = self.momentum;
             // Split borrows: read grad, write value.
             let n = p.numel();
+            #[allow(clippy::needless_range_loop)] // index shared across several buffers
             for i in 0..n {
                 let g = p.grad().data()[i] + wd * p.value().data()[i];
                 v[i] = mu * v[i] + g;

@@ -209,9 +209,7 @@ impl LayerSpec {
     /// normalization and pooling are negligible).
     pub fn macs(&self, input: &[usize]) -> u64 {
         match &self.kind {
-            LayerKind::Conv2d {
-                c_in, c_out, k, ..
-            } => {
+            LayerKind::Conv2d { c_in, c_out, k, .. } => {
                 let out = self.output_shape(input);
                 (*c_out as u64)
                     * (*c_in as u64)

@@ -1,0 +1,915 @@
+//! The pluggable kernel backend.
+//!
+//! Every GEMM and convolution-lowering call in the workspace flows through
+//! a [`Backend`] trait object, so execution strategy is chosen once and
+//! inherited everywhere (layers, trainers, federated loops):
+//!
+//! * [`Scalar`] — the portable reference kernels (`matmul.rs`,
+//!   `im2col.rs`): simple loops, the ground truth the parallel backend is
+//!   property-tested against.
+//! * [`Parallel`] — cache-blocked, register-tiled kernels (AVX2+FMA when
+//!   the CPU has them, detected at runtime) that split output rows across
+//!   scoped threads for large problems. Thread count is configurable so
+//!   outer client-level parallelism can budget inner kernel threads (see
+//!   [`crate::parallel::thread_split`]).
+//!
+//! A process-wide default backend ([`default_backend`] /
+//! [`set_default_backend`]) seeds newly built layers; individual models
+//! can be re-pointed with `set_backend` in `fp-nn`.
+
+use crate::im2col::{col2im_channel_range, im2col_row_range, Conv2dGeometry};
+use crate::matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A shared, thread-safe backend handle.
+pub type BackendHandle = Arc<dyn Backend>;
+
+/// The kernel set a compute backend must provide.
+///
+/// All matrix kernels **accumulate** into `out` (callers zero it for a
+/// plain product), matching the reference kernels in `matmul.rs`.
+pub trait Backend: Send + Sync + std::fmt::Debug {
+    /// Human-readable backend name (used in logs and bench reports).
+    fn name(&self) -> &'static str;
+
+    /// `out[m×n] += a[m×k] · b[k×n]`.
+    fn matmul_into(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// `out[k×n] += aᵀ · b` with `a: [m×k]`, `b: [m×n]` (weight grads).
+    fn matmul_tn_into(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// `out[m×k] += a · bᵀ` with `a: [m×n]`, `b: [k×n]` (input grads).
+    fn matmul_nt_into(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize);
+
+    /// Lowers one `[c_in, h, w]` image into the im2col matrix.
+    fn im2col(&self, img: &[f32], geo: &Conv2dGeometry, cols: &mut [f32]);
+
+    /// Adjoint of [`Backend::im2col`]: scatter-adds a cols-shaped gradient
+    /// back into an image-shaped buffer.
+    fn col2im(&self, cols: &[f32], geo: &Conv2dGeometry, img_grad: &mut [f32]);
+}
+
+// ------------------------------------------------------------------ Scalar
+
+/// The single-threaded reference backend (the seed repository's original
+/// i-k-j kernels).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scalar;
+
+impl Backend for Scalar {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn matmul_into(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        matmul_into(a, b, out, m, k, n);
+    }
+
+    fn matmul_tn_into(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        matmul_tn_into(a, b, out, m, k, n);
+    }
+
+    fn matmul_nt_into(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+        matmul_nt_into(a, b, out, m, n, k);
+    }
+
+    fn im2col(&self, img: &[f32], geo: &Conv2dGeometry, cols: &mut [f32]) {
+        crate::im2col::im2col(img, geo, cols);
+    }
+
+    fn col2im(&self, cols: &[f32], geo: &Conv2dGeometry, img_grad: &mut [f32]) {
+        crate::im2col::col2im(cols, geo, img_grad);
+    }
+}
+
+// ---------------------------------------------------------------- Parallel
+
+/// Minimum multiply-accumulate count before a kernel will spawn threads;
+/// below this, scoped-thread setup costs more than it buys.
+const PAR_MACS_THRESHOLD: usize = 4 << 20;
+
+/// Minimum im2col/col2im buffer size before lowering is threaded.
+const PAR_COLS_THRESHOLD: usize = 1 << 17;
+
+/// The optimized backend: register-tiled SIMD kernels plus row-parallel
+/// execution across scoped threads.
+///
+/// Results are bit-identical for any thread count (rows are partitioned,
+/// never split), so changing the parallelism never changes numerics.
+#[derive(Debug, Clone, Copy)]
+pub struct Parallel {
+    threads: usize,
+}
+
+impl Parallel {
+    /// A backend using the full hardware thread budget.
+    pub fn new() -> Self {
+        Parallel {
+            threads: crate::parallel::max_threads(),
+        }
+    }
+
+    /// A backend capped at `threads` kernel threads (`0` means the full
+    /// hardware budget; `1` keeps the fast kernels but never spawns).
+    pub fn with_threads(threads: usize) -> Self {
+        Parallel {
+            threads: if threads == 0 {
+                crate::parallel::max_threads()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// The configured kernel-thread cap.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Threads to actually use for a problem with `rows` independent
+    /// output rows and `macs` multiply-accumulates.
+    fn plan(&self, rows: usize, macs: usize) -> usize {
+        if self.threads <= 1 || macs < PAR_MACS_THRESHOLD {
+            1
+        } else {
+            self.threads.min(rows.max(1))
+        }
+    }
+}
+
+impl Default for Parallel {
+    fn default() -> Self {
+        Parallel::new()
+    }
+}
+
+/// Splits `out` into per-thread contiguous row chunks and runs `body` on
+/// each chunk in a scoped thread. `body(r0, r1, chunk)` sees rows
+/// `[r0, r1)`.
+///
+/// Chunk boundaries are aligned to multiples of 4 rows so they coincide
+/// with the kernels' register-tile boundaries — that makes results
+/// bit-identical for every thread count (each row's arithmetic is
+/// independent of which chunk it lands in).
+fn for_row_chunks<F>(out: &mut [f32], rows: usize, row_len: usize, threads: usize, body: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * row_len);
+    if threads <= 1 || rows == 0 {
+        body(0, rows, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads).next_multiple_of(4);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + chunk_rows).min(rows);
+            let (chunk, tail) = rest.split_at_mut((r1 - r0) * row_len);
+            rest = tail;
+            let body = &body;
+            s.spawn(move || body(r0, r1, chunk));
+            r0 = r1;
+        }
+    });
+}
+
+impl Backend for Parallel {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn matmul_into(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        assert_eq!(a.len(), m * k, "lhs buffer size");
+        assert_eq!(b.len(), k * n, "rhs buffer size");
+        assert_eq!(out.len(), m * n, "out buffer size");
+        let threads = self.plan(m, m * k * n);
+        for_row_chunks(out, m, n, threads, |r0, r1, chunk| {
+            kernels::gemm_nn(&a[r0 * k..r1 * k], b, chunk, r1 - r0, k, n);
+        });
+    }
+
+    fn matmul_tn_into(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        assert_eq!(a.len(), m * k, "lhs buffer size");
+        assert_eq!(b.len(), m * n, "rhs buffer size");
+        assert_eq!(out.len(), k * n, "out buffer size");
+        let threads = self.plan(k, m * k * n);
+        for_row_chunks(out, k, n, threads, |p0, p1, chunk| {
+            kernels::gemm_tn(a, b, chunk, m, k, n, p0, p1);
+        });
+    }
+
+    fn matmul_nt_into(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+        assert_eq!(a.len(), m * n, "lhs buffer size");
+        assert_eq!(b.len(), k * n, "rhs buffer size");
+        assert_eq!(out.len(), m * k, "out buffer size");
+        let threads = self.plan(m, m * k * n);
+        for_row_chunks(out, m, k, threads, |r0, r1, chunk| {
+            kernels::gemm_nt(&a[r0 * n..r1 * n], b, chunk, r1 - r0, n, k);
+        });
+    }
+
+    fn im2col(&self, img: &[f32], geo: &Conv2dGeometry, cols: &mut [f32]) {
+        let rows = geo.col_rows();
+        let n_cols = geo.col_cols();
+        assert_eq!(img.len(), geo.c_in * geo.h * geo.w, "image buffer size");
+        assert_eq!(cols.len(), rows * n_cols, "cols buffer size");
+        let threads = if self.threads > 1 && cols.len() >= PAR_COLS_THRESHOLD {
+            self.threads.min(rows.max(1))
+        } else {
+            1
+        };
+        for_row_chunks(cols, rows, n_cols, threads, |r0, r1, chunk| {
+            im2col_row_range(img, geo, chunk, r0, r1);
+        });
+    }
+
+    fn col2im(&self, cols: &[f32], geo: &Conv2dGeometry, img_grad: &mut [f32]) {
+        let plane = geo.h * geo.w;
+        assert_eq!(img_grad.len(), geo.c_in * plane, "image buffer size");
+        assert_eq!(
+            cols.len(),
+            geo.col_rows() * geo.col_cols(),
+            "cols buffer size"
+        );
+        let threads = if self.threads > 1 && cols.len() >= PAR_COLS_THRESHOLD {
+            self.threads.min(geo.c_in.max(1))
+        } else {
+            1
+        };
+        for_row_chunks(img_grad, geo.c_in, plane, threads, |c0, c1, chunk| {
+            col2im_channel_range(cols, geo, chunk, c0, c1);
+        });
+    }
+}
+
+// ---------------------------------------------------------------- kernels
+
+/// The single-threaded compute kernels behind [`Parallel`].
+///
+/// On x86-64 with AVX2+FMA (detected once at runtime) these use
+/// register-tiled intrinsics; elsewhere they fall back to cache-blocked
+/// portable loops that still beat the naive reference through better
+/// register reuse.
+mod kernels {
+    /// k-dimension block so the streamed panel of `b` stays cache-resident.
+    const KC: usize = 256;
+
+    #[cfg(target_arch = "x86_64")]
+    fn use_fma() -> bool {
+        static FMA: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *FMA.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// `out[m×n] += a[m×k]·b[k×n]`.
+    pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if use_fma() {
+            // SAFETY: AVX2+FMA presence was verified by `use_fma`.
+            unsafe { x86::gemm_nn_fma(a, b, out, m, k, n) };
+            return;
+        }
+        portable::gemm_nn(a, b, out, m, k, n);
+    }
+
+    /// `out[p0..p1 rows of k×n] += (aᵀ·b)[p0..p1]` with `a: [m×k]`,
+    /// `b: [m×n]`; `out` holds only the `p1-p0` chunk rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_tn(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        p0: usize,
+        p1: usize,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if use_fma() {
+            // SAFETY: AVX2+FMA presence was verified by `use_fma`.
+            unsafe { x86::gemm_tn_fma(a, b, out, m, k, n, p0, p1) };
+            return;
+        }
+        portable::gemm_tn(a, b, out, m, k, n, p0, p1);
+    }
+
+    /// `out[m×k] += a[m×n]·bᵀ[k×n]` (row-chunked `a`/`out`).
+    pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if use_fma() {
+            // SAFETY: AVX2+FMA presence was verified by `use_fma`.
+            unsafe { x86::gemm_nt_fma(a, b, out, m, n, k) };
+            return;
+        }
+        portable::gemm_nt(a, b, out, m, n, k);
+    }
+
+    /// Cache-blocked portable fallbacks (also the non-x86 path).
+    mod portable {
+        use super::KC;
+
+        pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+            let mut pc = 0;
+            while pc < k {
+                let kb = KC.min(k - pc);
+                let mut rows = out.chunks_mut(n);
+                let mut i = 0;
+                // 4-row register tile: each loaded `b` row feeds 4 FMAs.
+                while i + 4 <= m {
+                    let o0 = rows.next().expect("row count");
+                    let o1 = rows.next().expect("row count");
+                    let o2 = rows.next().expect("row count");
+                    let o3 = rows.next().expect("row count");
+                    for p in 0..kb {
+                        let x0 = a[i * k + pc + p];
+                        let x1 = a[(i + 1) * k + pc + p];
+                        let x2 = a[(i + 2) * k + pc + p];
+                        let x3 = a[(i + 3) * k + pc + p];
+                        let b_row = &b[(pc + p) * n..(pc + p) * n + n];
+                        for (j, &bv) in b_row.iter().enumerate() {
+                            o0[j] += x0 * bv;
+                            o1[j] += x1 * bv;
+                            o2[j] += x2 * bv;
+                            o3[j] += x3 * bv;
+                        }
+                    }
+                    i += 4;
+                }
+                for o_row in rows {
+                    let a_row = &a[i * k + pc..i * k + pc + kb];
+                    for (p, &x) in a_row.iter().enumerate() {
+                        let b_row = &b[(pc + p) * n..(pc + p) * n + n];
+                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                            *o += x * bv;
+                        }
+                    }
+                    i += 1;
+                }
+                pc += kb;
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        pub fn gemm_tn(
+            a: &[f32],
+            b: &[f32],
+            out: &mut [f32],
+            m: usize,
+            k: usize,
+            n: usize,
+            p0: usize,
+            p1: usize,
+        ) {
+            for i in 0..m {
+                let b_row = &b[i * n..(i + 1) * n];
+                for (chunk_row, p) in (p0..p1).enumerate() {
+                    let x = a[i * k + p];
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let o_row = &mut out[chunk_row * n..(chunk_row + 1) * n];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                        *o += x * bv;
+                    }
+                }
+            }
+        }
+
+        pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+            for i in 0..m {
+                let a_row = &a[i * n..(i + 1) * n];
+                let o_row = &mut out[i * k..(i + 1) * k];
+                for (p, o) in o_row.iter_mut().enumerate() {
+                    let b_row = &b[p * n..(p + 1) * n];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    *o += acc;
+                }
+            }
+        }
+    }
+
+    /// AVX2+FMA register-tiled kernels.
+    ///
+    /// All of these are `unsafe` only because of the `target_feature`
+    /// attribute; every pointer access stays inside the slices whose
+    /// lengths the public [`super::super::Backend`] methods validated.
+    #[cfg(target_arch = "x86_64")]
+    mod x86 {
+        use super::KC;
+        use std::arch::x86_64::*;
+
+        #[inline]
+        unsafe fn hsum(v: __m256) -> f32 {
+            let lo = _mm256_castps256_ps128(v);
+            let hi = _mm256_extractf128_ps(v, 1);
+            let s = _mm_add_ps(lo, hi);
+            let s = _mm_hadd_ps(s, s);
+            let s = _mm_hadd_ps(s, s);
+            _mm_cvtss_f32(s)
+        }
+
+        /// 4×16 register tile over the output, k-blocked.
+        #[target_feature(enable = "avx2,fma")]
+        pub unsafe fn gemm_nn_fma(
+            a: &[f32],
+            b: &[f32],
+            out: &mut [f32],
+            m: usize,
+            k: usize,
+            n: usize,
+        ) {
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let op = out.as_mut_ptr();
+            let mut pc = 0;
+            while pc < k {
+                let kb = KC.min(k - pc);
+                let mut i = 0;
+                while i + 4 <= m {
+                    let a0 = ap.add(i * k + pc);
+                    let a1 = ap.add((i + 1) * k + pc);
+                    let a2 = ap.add((i + 2) * k + pc);
+                    let a3 = ap.add((i + 3) * k + pc);
+                    let mut j = 0;
+                    while j + 16 <= n {
+                        let o0 = op.add(i * n + j);
+                        let o1 = op.add((i + 1) * n + j);
+                        let o2 = op.add((i + 2) * n + j);
+                        let o3 = op.add((i + 3) * n + j);
+                        let mut c00 = _mm256_loadu_ps(o0);
+                        let mut c01 = _mm256_loadu_ps(o0.add(8));
+                        let mut c10 = _mm256_loadu_ps(o1);
+                        let mut c11 = _mm256_loadu_ps(o1.add(8));
+                        let mut c20 = _mm256_loadu_ps(o2);
+                        let mut c21 = _mm256_loadu_ps(o2.add(8));
+                        let mut c30 = _mm256_loadu_ps(o3);
+                        let mut c31 = _mm256_loadu_ps(o3.add(8));
+                        for p in 0..kb {
+                            let brow = bp.add((pc + p) * n + j);
+                            let b0 = _mm256_loadu_ps(brow);
+                            let b1 = _mm256_loadu_ps(brow.add(8));
+                            let x0 = _mm256_set1_ps(*a0.add(p));
+                            let x1 = _mm256_set1_ps(*a1.add(p));
+                            let x2 = _mm256_set1_ps(*a2.add(p));
+                            let x3 = _mm256_set1_ps(*a3.add(p));
+                            c00 = _mm256_fmadd_ps(x0, b0, c00);
+                            c01 = _mm256_fmadd_ps(x0, b1, c01);
+                            c10 = _mm256_fmadd_ps(x1, b0, c10);
+                            c11 = _mm256_fmadd_ps(x1, b1, c11);
+                            c20 = _mm256_fmadd_ps(x2, b0, c20);
+                            c21 = _mm256_fmadd_ps(x2, b1, c21);
+                            c30 = _mm256_fmadd_ps(x3, b0, c30);
+                            c31 = _mm256_fmadd_ps(x3, b1, c31);
+                        }
+                        _mm256_storeu_ps(o0, c00);
+                        _mm256_storeu_ps(o0.add(8), c01);
+                        _mm256_storeu_ps(o1, c10);
+                        _mm256_storeu_ps(o1.add(8), c11);
+                        _mm256_storeu_ps(o2, c20);
+                        _mm256_storeu_ps(o2.add(8), c21);
+                        _mm256_storeu_ps(o3, c30);
+                        _mm256_storeu_ps(o3.add(8), c31);
+                        j += 16;
+                    }
+                    while j < n {
+                        for r in 0..4 {
+                            let mut acc = 0.0f32;
+                            for p in 0..kb {
+                                acc += *ap.add((i + r) * k + pc + p) * *bp.add((pc + p) * n + j);
+                            }
+                            *op.add((i + r) * n + j) += acc;
+                        }
+                        j += 1;
+                    }
+                    i += 4;
+                }
+                while i < m {
+                    for j in 0..n {
+                        let mut acc = 0.0f32;
+                        for p in 0..kb {
+                            acc += *ap.add(i * k + pc + p) * *bp.add((pc + p) * n + j);
+                        }
+                        *op.add(i * n + j) += acc;
+                    }
+                    i += 1;
+                }
+                pc += kb;
+            }
+        }
+
+        /// 4 output rows (`p`) × 16 columns per tile; the reduction runs
+        /// over `m` with strided scalar loads from `a`.
+        #[target_feature(enable = "avx2,fma")]
+        #[allow(clippy::too_many_arguments)]
+        pub unsafe fn gemm_tn_fma(
+            a: &[f32],
+            b: &[f32],
+            out: &mut [f32],
+            m: usize,
+            k: usize,
+            n: usize,
+            p0: usize,
+            p1: usize,
+        ) {
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let op = out.as_mut_ptr();
+            let mut p = p0;
+            while p + 4 <= p1 {
+                let orow = (p - p0) * n;
+                let mut j = 0;
+                while j + 16 <= n {
+                    let o0 = op.add(orow + j);
+                    let o1 = op.add(orow + n + j);
+                    let o2 = op.add(orow + 2 * n + j);
+                    let o3 = op.add(orow + 3 * n + j);
+                    let mut c00 = _mm256_loadu_ps(o0);
+                    let mut c01 = _mm256_loadu_ps(o0.add(8));
+                    let mut c10 = _mm256_loadu_ps(o1);
+                    let mut c11 = _mm256_loadu_ps(o1.add(8));
+                    let mut c20 = _mm256_loadu_ps(o2);
+                    let mut c21 = _mm256_loadu_ps(o2.add(8));
+                    let mut c30 = _mm256_loadu_ps(o3);
+                    let mut c31 = _mm256_loadu_ps(o3.add(8));
+                    for i in 0..m {
+                        let brow = bp.add(i * n + j);
+                        let b0 = _mm256_loadu_ps(brow);
+                        let b1 = _mm256_loadu_ps(brow.add(8));
+                        let arow = ap.add(i * k + p);
+                        let x0 = _mm256_set1_ps(*arow);
+                        let x1 = _mm256_set1_ps(*arow.add(1));
+                        let x2 = _mm256_set1_ps(*arow.add(2));
+                        let x3 = _mm256_set1_ps(*arow.add(3));
+                        c00 = _mm256_fmadd_ps(x0, b0, c00);
+                        c01 = _mm256_fmadd_ps(x0, b1, c01);
+                        c10 = _mm256_fmadd_ps(x1, b0, c10);
+                        c11 = _mm256_fmadd_ps(x1, b1, c11);
+                        c20 = _mm256_fmadd_ps(x2, b0, c20);
+                        c21 = _mm256_fmadd_ps(x2, b1, c21);
+                        c30 = _mm256_fmadd_ps(x3, b0, c30);
+                        c31 = _mm256_fmadd_ps(x3, b1, c31);
+                    }
+                    _mm256_storeu_ps(o0, c00);
+                    _mm256_storeu_ps(o0.add(8), c01);
+                    _mm256_storeu_ps(o1, c10);
+                    _mm256_storeu_ps(o1.add(8), c11);
+                    _mm256_storeu_ps(o2, c20);
+                    _mm256_storeu_ps(o2.add(8), c21);
+                    _mm256_storeu_ps(o3, c30);
+                    _mm256_storeu_ps(o3.add(8), c31);
+                    j += 16;
+                }
+                while j < n {
+                    for r in 0..4 {
+                        let mut acc = 0.0f32;
+                        for i in 0..m {
+                            acc += *ap.add(i * k + p + r) * *bp.add(i * n + j);
+                        }
+                        *op.add(orow + r * n + j) += acc;
+                    }
+                    j += 1;
+                }
+                p += 4;
+            }
+            while p < p1 {
+                let orow = (p - p0) * n;
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for i in 0..m {
+                        acc += *ap.add(i * k + p) * *bp.add(i * n + j);
+                    }
+                    *op.add(orow + j) += acc;
+                }
+                p += 1;
+            }
+        }
+
+        /// Dot-product kernel: 2 `a` rows × 4 `b` rows of 8-wide FMA
+        /// accumulators, horizontally summed at the end.
+        #[target_feature(enable = "avx2,fma")]
+        pub unsafe fn gemm_nt_fma(
+            a: &[f32],
+            b: &[f32],
+            out: &mut [f32],
+            m: usize,
+            n: usize,
+            k: usize,
+        ) {
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let op = out.as_mut_ptr();
+            let n8 = n - n % 8;
+            let mut i = 0;
+            while i + 2 <= m {
+                let mut p = 0;
+                while p + 4 <= k {
+                    let mut acc = [_mm256_setzero_ps(); 8];
+                    let a0 = ap.add(i * n);
+                    let a1 = ap.add((i + 1) * n);
+                    let mut j = 0;
+                    while j < n8 {
+                        let va0 = _mm256_loadu_ps(a0.add(j));
+                        let va1 = _mm256_loadu_ps(a1.add(j));
+                        for r in 0..4 {
+                            let vb = _mm256_loadu_ps(bp.add((p + r) * n + j));
+                            acc[r] = _mm256_fmadd_ps(va0, vb, acc[r]);
+                            acc[4 + r] = _mm256_fmadd_ps(va1, vb, acc[4 + r]);
+                        }
+                        j += 8;
+                    }
+                    for r in 0..4 {
+                        let mut s0 = hsum(acc[r]);
+                        let mut s1 = hsum(acc[4 + r]);
+                        for j in n8..n {
+                            let bv = *bp.add((p + r) * n + j);
+                            s0 += *a0.add(j) * bv;
+                            s1 += *a1.add(j) * bv;
+                        }
+                        *op.add(i * k + p + r) += s0;
+                        *op.add((i + 1) * k + p + r) += s1;
+                    }
+                    p += 4;
+                }
+                while p < k {
+                    for r in 0..2 {
+                        let arow = ap.add((i + r) * n);
+                        let brow = bp.add(p * n);
+                        let mut acc = _mm256_setzero_ps();
+                        let mut j = 0;
+                        while j < n8 {
+                            acc = _mm256_fmadd_ps(
+                                _mm256_loadu_ps(arow.add(j)),
+                                _mm256_loadu_ps(brow.add(j)),
+                                acc,
+                            );
+                            j += 8;
+                        }
+                        let mut s = hsum(acc);
+                        for j in n8..n {
+                            s += *arow.add(j) * *brow.add(j);
+                        }
+                        *op.add((i + r) * k + p) += s;
+                    }
+                    p += 1;
+                }
+                i += 2;
+            }
+            while i < m {
+                let arow = ap.add(i * n);
+                for p in 0..k {
+                    let brow = bp.add(p * n);
+                    let mut acc = _mm256_setzero_ps();
+                    let mut j = 0;
+                    while j < n8 {
+                        acc = _mm256_fmadd_ps(
+                            _mm256_loadu_ps(arow.add(j)),
+                            _mm256_loadu_ps(brow.add(j)),
+                            acc,
+                        );
+                        j += 8;
+                    }
+                    let mut s = hsum(acc);
+                    for j in n8..n {
+                        s += *arow.add(j) * *brow.add(j);
+                    }
+                    *op.add(i * k + p) += s;
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- default pick
+
+fn default_cell() -> &'static RwLock<BackendHandle> {
+    static CELL: OnceLock<RwLock<BackendHandle>> = OnceLock::new();
+    CELL.get_or_init(|| RwLock::new(Arc::new(Parallel::new())))
+}
+
+/// The process-wide default backend (initially [`Parallel`] with the full
+/// hardware thread budget). Newly constructed layers pick this up.
+pub fn default_backend() -> BackendHandle {
+    default_cell().read().expect("backend lock").clone()
+}
+
+/// Replaces the process-wide default backend.
+pub fn set_default_backend(backend: BackendHandle) {
+    *default_cell().write().expect("backend lock") = backend;
+}
+
+/// A backend handle budgeted to `threads` kernel threads: `0` returns the
+/// process default, otherwise a [`Parallel`] capped at `threads`.
+///
+/// This is what client-level parallel loops hand to each worker so that
+/// outer × inner parallelism never oversubscribes the machine.
+pub fn backend_for_threads(threads: usize) -> BackendHandle {
+    if threads == 0 {
+        default_backend()
+    } else {
+        Arc::new(Parallel::with_threads(threads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::test_support::arb;
+
+    fn assert_close(got: &[f32], want: &[f32], tag: &str) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            let tol = 1e-4 * (1.0 + w.abs());
+            assert!((g - w).abs() <= tol, "{tag}[{i}]: {g} vs {w}");
+        }
+    }
+
+    /// Shapes chosen to hit every tile tail: sub-tile, exact-tile, ragged.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 5, 7),
+        (4, 16, 16),
+        (5, 17, 33),
+        (8, 300, 24),
+        (33, 7, 130),
+        (64, 64, 64),
+    ];
+
+    #[test]
+    fn parallel_matmul_matches_scalar() {
+        for &threads in &[1, 3] {
+            let backend = Parallel::with_threads(threads);
+            for &(m, k, n) in SHAPES {
+                let a = arb(m * k, 1);
+                let b = arb(k * n, 2);
+                let mut want = arb(m * n, 3);
+                let mut got = want.clone();
+                Scalar.matmul_into(&a, &b, &mut want, m, k, n);
+                backend.matmul_into(&a, &b, &mut got, m, k, n);
+                assert_close(&got, &want, &format!("nn {m}x{k}x{n} t{threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_tn_matches_scalar() {
+        for &(m, k, n) in SHAPES {
+            let a = arb(m * k, 4);
+            let b = arb(m * n, 5);
+            let mut want = arb(k * n, 6);
+            let mut got = want.clone();
+            Scalar.matmul_tn_into(&a, &b, &mut want, m, k, n);
+            Parallel::with_threads(2).matmul_tn_into(&a, &b, &mut got, m, k, n);
+            assert_close(&got, &want, &format!("tn {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn parallel_nt_matches_scalar() {
+        for &(m, n, k) in SHAPES {
+            let a = arb(m * n, 7);
+            let b = arb(k * n, 8);
+            let mut want = arb(m * k, 9);
+            let mut got = want.clone();
+            Scalar.matmul_nt_into(&a, &b, &mut want, m, n, k);
+            Parallel::with_threads(2).matmul_nt_into(&a, &b, &mut got, m, n, k);
+            assert_close(&got, &want, &format!("nt {m}x{n}x{k}"));
+        }
+    }
+
+    #[test]
+    fn parallel_im2col_matches_scalar() {
+        let geo = Conv2dGeometry {
+            c_in: 3,
+            h: 9,
+            w: 7,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let img = arb(geo.c_in * geo.h * geo.w, 10);
+        let mut want = vec![0.0; geo.col_rows() * geo.col_cols()];
+        let mut got = want.clone();
+        Scalar.im2col(&img, &geo, &mut want);
+        Parallel::with_threads(2).im2col(&img, &geo, &mut got);
+        assert_eq!(want, got);
+
+        let cols = arb(want.len(), 11);
+        let mut gw = vec![0.0; img.len()];
+        let mut gg = gw.clone();
+        Scalar.col2im(&cols, &geo, &mut gw);
+        Parallel::with_threads(2).col2im(&cols, &geo, &mut gg);
+        assert_close(&gg, &gw, "col2im");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // Force the threaded path with a problem above the MACs threshold.
+        let (m, k, n) = (64, 128, 640);
+        let a = arb(m * k, 12);
+        let b = arb(k * n, 13);
+        let mut one = vec![0.0; m * n];
+        Parallel::with_threads(1).matmul_into(&a, &b, &mut one, m, k, n);
+        for threads in [2, 3, 5] {
+            let mut many = vec![0.0; m * n];
+            Parallel::with_threads(threads).matmul_into(&a, &b, &mut many, m, k, n);
+            assert_eq!(one, many, "threads={threads} must be bit-identical");
+        }
+    }
+
+    /// The transposed kernels must also survive real row chunking: these
+    /// shapes sit above `PAR_MACS_THRESHOLD`, so with threads > 1 the
+    /// chunk offsets (`p0 > 0` in tn, row offsets in nt) are exercised,
+    /// including ragged last chunks (64 rows over 3 threads).
+    #[test]
+    fn threaded_tn_and_nt_match_scalar_and_single_thread() {
+        // tn: out has k = 64 rows; macs = 640·64·128 ≈ 5.2M.
+        let (m, k, n) = (640, 64, 128);
+        let a = arb(m * k, 14);
+        let b = arb(m * n, 15);
+        let mut want = vec![0.0; k * n];
+        Scalar.matmul_tn_into(&a, &b, &mut want, m, k, n);
+        let mut one = vec![0.0; k * n];
+        Parallel::with_threads(1).matmul_tn_into(&a, &b, &mut one, m, k, n);
+        for threads in [2, 3, 5] {
+            let mut got = vec![0.0; k * n];
+            Parallel::with_threads(threads).matmul_tn_into(&a, &b, &mut got, m, k, n);
+            assert_eq!(one, got, "tn threads={threads} must be bit-identical");
+            assert_close(&got, &want, &format!("tn threaded t{threads}"));
+        }
+
+        // nt: out has m = 64 rows; macs identical.
+        let (m, n, k) = (64, 640, 128);
+        let a = arb(m * n, 16);
+        let b = arb(k * n, 17);
+        let mut want = vec![0.0; m * k];
+        Scalar.matmul_nt_into(&a, &b, &mut want, m, n, k);
+        let mut one = vec![0.0; m * k];
+        Parallel::with_threads(1).matmul_nt_into(&a, &b, &mut one, m, n, k);
+        for threads in [2, 3, 5] {
+            let mut got = vec![0.0; m * k];
+            Parallel::with_threads(threads).matmul_nt_into(&a, &b, &mut got, m, n, k);
+            assert_eq!(one, got, "nt threads={threads} must be bit-identical");
+            assert_close(&got, &want, &format!("nt threaded t{threads}"));
+        }
+    }
+
+    /// im2col/col2im chunk decomposition (`row0 > 0`, `c0 > 0`) must hold
+    /// on a geometry large enough to cross `PAR_COLS_THRESHOLD`.
+    #[test]
+    fn threaded_im2col_col2im_match_scalar() {
+        let geo = Conv2dGeometry {
+            c_in: 16,
+            h: 34,
+            w: 34,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert!(
+            geo.col_rows() * geo.col_cols() >= super::PAR_COLS_THRESHOLD,
+            "geometry must cross the parallel threshold"
+        );
+        let img = arb(geo.c_in * geo.h * geo.w, 18);
+        let mut want = vec![0.0; geo.col_rows() * geo.col_cols()];
+        Scalar.im2col(&img, &geo, &mut want);
+        for threads in [2, 3, 5] {
+            let mut got = vec![0.0; want.len()];
+            Parallel::with_threads(threads).im2col(&img, &geo, &mut got);
+            assert_eq!(want, got, "im2col threads={threads}");
+        }
+
+        let cols = arb(want.len(), 19);
+        let mut gw = vec![0.0; img.len()];
+        Scalar.col2im(&cols, &geo, &mut gw);
+        for threads in [2, 3, 5] {
+            let mut gg = vec![0.0; img.len()];
+            Parallel::with_threads(threads).col2im(&cols, &geo, &mut gg);
+            assert_eq!(gw, gg, "col2im threads={threads}");
+        }
+    }
+
+    /// NOTE: this test swaps the process-wide default backend while the
+    /// rest of the binary runs concurrently; every other test that touches
+    /// `default_backend()` (e.g. `Tensor::matmul` unit tests) must stay
+    /// correct under either backend (they use exact-integer cases).
+    #[test]
+    fn default_backend_is_settable() {
+        let initial = default_backend();
+        assert_eq!(initial.name(), "parallel");
+        set_default_backend(Arc::new(Scalar));
+        assert_eq!(default_backend().name(), "scalar");
+        set_default_backend(initial);
+        assert_eq!(backend_for_threads(0).name(), "parallel");
+        assert_eq!(backend_for_threads(2).name(), "parallel");
+    }
+}

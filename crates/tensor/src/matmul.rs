@@ -112,15 +112,7 @@ mod tests {
         t
     }
 
-    fn arb(len: usize, seed: u64) -> Vec<f32> {
-        // Small deterministic pseudo-random values; avoids pulling rand here.
-        (0..len)
-            .map(|i| {
-                let v = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
-                ((v >> 33) as f32 / (1u64 << 31) as f32) - 0.5
-            })
-            .collect()
-    }
+    use crate::test_support::arb;
 
     #[test]
     fn matmul_matches_naive() {

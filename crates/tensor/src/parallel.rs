@@ -1,0 +1,136 @@
+//! Scoped-thread parallelism helpers shared by the whole workspace.
+//!
+//! Two layers of parallelism coexist in a federated round:
+//!
+//! * **inter-op** — independent clients training in parallel threads
+//!   (`fp-fl`, `fedprophet`);
+//! * **intra-op** — one kernel splitting its output rows across threads
+//!   (the [`Parallel`](crate::Parallel) backend).
+//!
+//! To keep the two from oversubscribing the machine, callers that fan out
+//! over clients use [`thread_split`] to divide the hardware budget into an
+//! outer (client) worker count and an inner (kernel) thread count, and
+//! hand each client a backend built with
+//! [`backend_for_threads`](crate::backend_for_threads).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The hardware thread budget (`std::thread::available_parallelism`,
+/// falling back to 1 when it cannot be queried).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits the hardware budget between `n_tasks` outer workers and the
+/// intra-op threads each worker's kernels may use.
+///
+/// Returns `(outer_workers, inner_threads)` with
+/// `outer_workers · inner_threads ≤ max_threads()` (and both ≥ 1): all
+/// cores go to client-level parallelism first, and only leftover capacity
+/// (when there are fewer clients than cores) is given to the kernels.
+pub fn thread_split(n_tasks: usize) -> (usize, usize) {
+    let budget = max_threads();
+    let outer = n_tasks.clamp(1, budget);
+    let inner = (budget / outer).max(1);
+    (outer, inner)
+}
+
+/// Runs `f` over every item of `items` on at most `workers` scoped
+/// threads, returning results in item order.
+///
+/// Items are pulled from a shared queue, so uneven per-item cost balances
+/// automatically. With `workers <= 1` (or a single item) everything runs
+/// on the calling thread.
+///
+/// # Panics
+///
+/// Re-raises the panic of any worker (like joining the thread directly).
+pub fn parallel_map<I, T, F>(items: &[I], workers: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..97).collect();
+        for workers in [1, 2, 7] {
+            let out = parallel_map(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<usize> = parallel_map(&[] as &[usize], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn split_never_oversubscribes() {
+        for n in 1..40 {
+            let (outer, inner) = thread_split(n);
+            assert!(outer >= 1 && inner >= 1);
+            assert!(outer * inner <= max_threads().max(1));
+            assert!(outer <= n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        parallel_map(&items, 4, |_, &x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

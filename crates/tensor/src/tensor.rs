@@ -254,7 +254,11 @@ impl Tensor {
 
     /// Euclidean (ℓ2) norm of the flattened tensor.
     pub fn norm_l2(&self) -> f32 {
-        self.data.iter().map(|&a| a as f64 * a as f64).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&a| a as f64 * a as f64)
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// ℓ∞ norm (maximum absolute value) of the flattened tensor.
@@ -326,20 +330,31 @@ impl Tensor {
         out
     }
 
-    /// Matrix multiply: `self [m,k] × other [k,n] → [m,n]`.
+    /// Matrix multiply: `self [m,k] × other [k,n] → [m,n]`, executed on
+    /// the process-wide default [`crate::Backend`].
     ///
     /// # Panics
     ///
     /// Panics unless both operands are matrices with compatible inner
     /// dimensions.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_on(other, &*crate::default_backend())
+    }
+
+    /// Matrix multiply on an explicit backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are matrices with compatible inner
+    /// dimensions.
+    pub fn matmul_on(&self, other: &Tensor, backend: &dyn crate::Backend) -> Tensor {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be a matrix");
         assert_eq!(other.shape.len(), 2, "matmul rhs must be a matrix");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
         let mut out = Tensor::zeros(&[m, n]);
-        crate::matmul::matmul_into(self.data(), other.data(), out.data_mut(), m, k, n);
+        backend.matmul_into(self.data(), other.data(), out.data_mut(), m, k, n);
         out
     }
 }

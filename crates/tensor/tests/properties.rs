@@ -1,11 +1,33 @@
 //! Property-based tests for the tensor kernels: algebraic laws that must
-//! hold for arbitrary shapes and values.
+//! hold for arbitrary shapes and values, and backend-equivalence laws —
+//! the `Parallel` backend must agree with the `Scalar` reference on every
+//! kernel for arbitrary shapes and accumulation state. (These shapes sit
+//! below the backend's parallelization thresholds, so they pin down the
+//! single-thread kernels and tile tails; the threaded chunking paths have
+//! dedicated above-threshold unit tests in `backend.rs`.)
 
-use fp_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use fp_tensor::{col2im, im2col, Backend, Conv2dGeometry, Parallel, Scalar, Tensor};
 use proptest::prelude::*;
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+/// Relative/absolute agreement for backend equivalence: FMA kernels fuse
+/// rounding, so exact equality is not expected — 1e-5 relative is.
+fn assert_within(got: &[f32], want: &[f32], what: &str) -> Result<(), String> {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-5f32.max(1e-5 * w.abs().max(g.abs()));
+        if (g - w).abs() > tol {
+            return Err(format!("{what}[{i}]: parallel {g} vs scalar {w}"));
+        }
+    }
+    Ok(())
+}
+
+fn rand_vec(len: usize, rng: &mut rand::rngs::StdRng) -> Vec<f32> {
+    use rand::Rng;
+    (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
 }
 
 proptest! {
@@ -139,5 +161,126 @@ proptest! {
         prop_assert!(c.min() >= lo && c.max() <= hi);
         let twice = c.clamp(lo, hi);
         prop_assert_eq!(twice.data(), c.data());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Parallel` matmul (`C += A·B`) agrees with the `Scalar` reference
+    /// within 1e-5 for arbitrary shapes and prior accumulation state.
+    #[test]
+    fn parallel_matmul_matches_scalar(
+        m in 1usize..40,
+        k in 1usize..48,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = fp_tensor::seeded_rng(seed);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let acc = rand_vec(m * n, &mut rng);
+        let mut want = acc.clone();
+        let mut got = acc;
+        Scalar.matmul_into(&a, &b, &mut want, m, k, n);
+        Parallel::with_threads(1).matmul_into(&a, &b, &mut got, m, k, n);
+        assert_within(&got, &want, "nn")?;
+    }
+
+    /// Same for the transposed-left kernel (`C += Aᵀ·B`, weight grads).
+    #[test]
+    fn parallel_matmul_tn_matches_scalar(
+        m in 1usize..40,
+        k in 1usize..48,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = fp_tensor::seeded_rng(seed ^ 0x71);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(m * n, &mut rng);
+        let acc = rand_vec(k * n, &mut rng);
+        let mut want = acc.clone();
+        let mut got = acc;
+        Scalar.matmul_tn_into(&a, &b, &mut want, m, k, n);
+        Parallel::with_threads(1).matmul_tn_into(&a, &b, &mut got, m, k, n);
+        assert_within(&got, &want, "tn")?;
+    }
+
+    /// Same for the transposed-right kernel (`C += A·Bᵀ`, input grads).
+    #[test]
+    fn parallel_matmul_nt_matches_scalar(
+        m in 1usize..40,
+        n in 1usize..48,
+        k in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = fp_tensor::seeded_rng(seed ^ 0x72);
+        let a = rand_vec(m * n, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let acc = rand_vec(m * k, &mut rng);
+        let mut want = acc.clone();
+        let mut got = acc;
+        Scalar.matmul_nt_into(&a, &b, &mut want, m, n, k);
+        Parallel::with_threads(1).matmul_nt_into(&a, &b, &mut got, m, n, k);
+        assert_within(&got, &want, "nt")?;
+    }
+
+    /// `Parallel` im2col/col2im agree with the `Scalar` reference exactly
+    /// (pure data movement) for random convolution geometry.
+    #[test]
+    fn parallel_im2col_matches_scalar(
+        c in 1usize..5,
+        h in 3usize..10,
+        w in 3usize..10,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let geo = Conv2dGeometry { c_in: c, h, w, k: 3, stride, pad };
+        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+        let mut rng = fp_tensor::seeded_rng(seed ^ 0x73);
+        let img = rand_vec(c * h * w, &mut rng);
+        let par = Parallel::with_threads(1);
+
+        let mut want = vec![0.0; geo.col_rows() * geo.col_cols()];
+        let mut got = want.clone();
+        Scalar.im2col(&img, &geo, &mut want);
+        par.im2col(&img, &geo, &mut got);
+        prop_assert_eq!(&want, &got);
+
+        let cols = rand_vec(want.len(), &mut rng);
+        let acc = rand_vec(img.len(), &mut rng);
+        let mut gw = acc.clone();
+        let mut gg = acc;
+        Scalar.col2im(&cols, &geo, &mut gw);
+        par.col2im(&cols, &geo, &mut gg);
+        assert_within(&gg, &gw, "col2im")?;
+    }
+
+    /// The backend contract is accumulation: running a matmul twice adds
+    /// the product twice, on both backends.
+    #[test]
+    fn backends_accumulate(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        seed in 0u64..200,
+    ) {
+        let mut rng = fp_tensor::seeded_rng(seed ^ 0x74);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        for backend in [&Scalar as &dyn Backend, &Parallel::with_threads(2)] {
+            let mut once = vec![0.0; m * n];
+            backend.matmul_into(&a, &b, &mut once, m, k, n);
+            let mut twice = vec![0.0; m * n];
+            backend.matmul_into(&a, &b, &mut twice, m, k, n);
+            backend.matmul_into(&a, &b, &mut twice, m, k, n);
+            for (o, t) in once.iter().zip(&twice) {
+                prop_assert!(
+                    (2.0 * o - t).abs() <= 1e-4 * (1.0 + t.abs()),
+                    "accumulation broken: {} vs {}", 2.0 * o, t
+                );
+            }
+        }
     }
 }

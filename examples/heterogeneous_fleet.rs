@@ -9,9 +9,7 @@
 use fedprophet_repro::attack::{evaluate_robustness, ApgdConfig, PgdConfig};
 use fedprophet_repro::data::{generate, partition_pathological, SynthConfig};
 use fedprophet_repro::fedprophet::{FedProphet, ProphetConfig};
-use fedprophet_repro::fl::{
-    FlAlgorithm, FlConfig, FlEnv, JFat, PartialTraining, FedRbn,
-};
+use fedprophet_repro::fl::{FedRbn, FlAlgorithm, FlConfig, FlEnv, JFat, PartialTraining};
 use fedprophet_repro::hwsim::{sample_fleet, SamplingMode, CIFAR_POOL};
 use fedprophet_repro::nn::models::{vgg_atom_specs, VggConfig};
 
@@ -23,7 +21,12 @@ fn main() {
     let mut rng = fedprophet_repro::tensor::seeded_rng(seed);
     // Unbalanced sampling: weak devices dominate — the regime where the
     // paper shows the largest gaps.
-    let fleet = sample_fleet(&CIFAR_POOL, cfg.n_clients, SamplingMode::Unbalanced, &mut rng);
+    let fleet = sample_fleet(
+        &CIFAR_POOL,
+        cfg.n_clients,
+        SamplingMode::Unbalanced,
+        &mut rng,
+    );
     let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16, 24]));
     let env = FlEnv::new(data, splits, fleet, specs, cfg);
 

@@ -18,8 +18,22 @@ use fedprophet_repro::nn::models::{resnet34_spec_caltech, vgg16_spec_cifar};
 
 fn main() {
     let workloads = [
-        ("VGG16 @ CIFAR-10 (batch 64)", vgg16_spec_cifar(), vec![3usize, 32, 32], 64usize, 10usize, &CIFAR_POOL),
-        ("ResNet34 @ Caltech-256 (batch 32)", resnet34_spec_caltech(), vec![3, 224, 224], 32, 256, &CALTECH_POOL),
+        (
+            "VGG16 @ CIFAR-10 (batch 64)",
+            vgg16_spec_cifar(),
+            vec![3usize, 32, 32],
+            64usize,
+            10usize,
+            &CIFAR_POOL,
+        ),
+        (
+            "ResNet34 @ Caltech-256 (batch 32)",
+            resnet34_spec_caltech(),
+            vec![3, 224, 224],
+            32,
+            256,
+            &CALTECH_POOL,
+        ),
     ];
     for (name, specs, input, batch, classes, pool) in workloads {
         let full = model_mem_req(&specs, &input, batch);

@@ -6,9 +6,7 @@
 //! cargo run --release --example robust_eval
 //! ```
 
-use fedprophet_repro::attack::{
-    evaluate_robustness, fgsm, ApgdConfig, ModelTarget, PgdConfig,
-};
+use fedprophet_repro::attack::{evaluate_robustness, fgsm, ApgdConfig, ModelTarget, PgdConfig};
 use fedprophet_repro::data::{generate, BatchIter, SynthConfig};
 use fedprophet_repro::nn::{models, CrossEntropyLoss, Mode, Sgd};
 use fedprophet_repro::tensor::{argmax_rows, seeded_rng};
@@ -60,8 +58,7 @@ fn main() {
         let mut target = ModelTarget::new(&mut model);
         let adv = fgsm(&mut target, &x, &y, eps, Some((0.0, 1.0)));
         let preds = argmax_rows(&target.logits(&adv));
-        let fgsm_acc =
-            preds.iter().zip(&y).filter(|(p, l)| p == l).count() as f32 / y.len() as f32;
+        let fgsm_acc = preds.iter().zip(&y).filter(|(p, l)| p == l).count() as f32 / y.len() as f32;
 
         println!("{label:>9}: {report} | fgsm {:.2}%", fgsm_acc * 100.0);
     }

@@ -125,7 +125,7 @@ fn all_methods_run_on_one_environment() {
     ];
     for alg in algs {
         let out = alg.run(&env);
-        assert_eq!(out.history.len() >= 3, true, "{} too few rounds", alg.name());
+        assert!(out.history.len() >= 3, "{} too few rounds", alg.name());
         assert!(
             out.history.iter().all(|r| r.train_loss.is_finite()),
             "{} produced non-finite loss",

@@ -1,0 +1,298 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Mirrors the macro/builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion`, `BenchmarkId`,
+//! benchmark groups, `Bencher::iter`) on top of a deliberately simple
+//! wall-clock measurement loop: warm up, then take `sample_size` samples
+//! whose per-iteration time is recorded; the median is reported.
+//!
+//! Set `FP_BENCH_JSON=<path>` to additionally write every result of the
+//! bench binary as a JSON report (used to track kernel throughput across
+//! PRs, e.g. `BENCH_tensor.json`).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/param` or plain function name).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Sample count.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Re-exported for bench code that imports it from criterion rather than
+/// `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark id, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// Just the parameter (the group supplies the name).
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// The measurement configuration and result sink.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the measurement phase of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            config: self.clone(),
+            id: id.to_string(),
+        };
+        f(&mut b);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (`group/param` ids).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher {
+            config: self.criterion.clone(),
+            id: full,
+        };
+        f(&mut b, input);
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{id}", self.name);
+        let mut b = Bencher {
+            config: self.criterion.clone(),
+            id: full,
+        };
+        f(&mut b);
+    }
+
+    /// Ends the group (results are recorded eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs the timing loop.
+pub struct Bencher {
+    config: Criterion,
+    id: String,
+}
+
+impl Bencher {
+    /// Measures `f`, recording and printing the result.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating cost.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || iters_done == 0 {
+            black_box(f());
+            iters_done += 1;
+            if iters_done >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / iters_done as f64).max(1.0);
+
+        // Choose iterations per sample so samples fill the measurement
+        // budget without an excessive iteration count.
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let per_sample = ((budget_ns / self.config.sample_size as f64 / est_ns).floor() as u64)
+            .clamp(1, 1 << 24);
+
+        let mut samples_ns = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let median = samples_ns[samples_ns.len() / 2];
+        let result = BenchResult {
+            id: self.id.clone(),
+            median_ns: median,
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().expect("non-empty samples"),
+            samples: samples_ns.len(),
+        };
+        println!(
+            "{:<44} time: [{} .. {} .. {}]",
+            result.id,
+            fmt_ns(result.min_ns),
+            fmt_ns(result.median_ns),
+            fmt_ns(result.max_ns)
+        );
+        RESULTS.lock().expect("results lock").push(result);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.3} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.3} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3} µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// All results recorded so far in this process.
+pub fn take_results() -> Vec<BenchResult> {
+    RESULTS.lock().expect("results lock").clone()
+}
+
+/// Writes the JSON report to `$FP_BENCH_JSON` if that variable is set.
+/// Called automatically by [`criterion_main!`].
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("FP_BENCH_JSON") else {
+        return;
+    };
+    let results = take_results();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+            r.id,
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: could not write {path}: {e}");
+    } else {
+        println!("criterion: wrote JSON report to {path}");
+    }
+}
+
+/// Declares a group of benchmark functions sharing one configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running every group then writing
+/// the optional JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+            $crate::write_json_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_results() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        let results = take_results();
+        assert!(results.iter().any(|r| r.id == "noop"));
+        assert!(results.iter().any(|r| r.id == "g/7"));
+        assert!(results.iter().all(|r| r.median_ns > 0.0));
+    }
+}

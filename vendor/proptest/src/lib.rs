@@ -1,0 +1,231 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's surface this repository uses:
+//! the [`proptest!`] macro with `arg in strategy` bindings and an inner
+//! `#![proptest_config(...)]` attribute, range and
+//! [`collection::vec`] strategies, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: cases are generated from a
+//! deterministic per-case seed, so a failure message's case index is
+//! enough to reproduce it exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::ops::Range;
+
+/// Test-runner configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — enough to exercise shape edges while keeping the suite
+    /// fast on one core.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A strategy producing `Vec`s of fixed length `len` with elements
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports of a proptest file.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Builds the deterministic RNG of one test case.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    use rand::SeedableRng;
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the test name.
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64) << 32)
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut proptest_case_rng = $crate::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut proptest_case_rng);
+                    )*
+                    let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(msg) = result {
+                        panic!("property `{}` failed at case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err(format!(
+                "assertion failed: {} == {} ({lhs:?} vs {rhs:?})",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return Err(format!(
+                "assertion failed: {} != {} (both {lhs:?})",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The harness binds arguments, honours assume, and passes sane
+        /// assertions.
+        #[test]
+        fn harness_smoke(a in 0usize..10, b in -1.0f32..1.0, v in collection::vec(0u64..5, 4)) {
+            prop_assume!(a != 3);
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..1.0).contains(&b), "b out of range: {}", b);
+            prop_assert_eq!(v.len(), 4);
+            prop_assert_ne!(a, 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let mut a = crate::case_rng("t", 5);
+        let mut b = crate::case_rng("t", 5);
+        assert_eq!(
+            (0usize..100).generate(&mut a),
+            (0usize..100).generate(&mut b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_index() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

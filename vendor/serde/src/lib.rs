@@ -1,0 +1,272 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal serialization framework with the same *spelling* as serde —
+//! `Serialize`/`Deserialize` traits plus same-named derive macros — but a
+//! radically simpler design: values serialize into a self-describing
+//! [`Value`] tree, and `serde_json` renders that tree to/from JSON text.
+//!
+//! Supported out of the box: all primitive ints, `f32`/`f64`, `bool`,
+//! `String`/`&str`, `Option<T>`, `Vec<T>`, and tuples up to arity 4. The
+//! derive macros (see `serde_derive`) cover non-generic structs and enums.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the data model JSON maps onto).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / `None` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (integers ride along as exact `f64` up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (declaration order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence items, if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a [`Value::Num`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A serialization/deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a struct field in a serialized map (derive-macro helper).
+///
+/// # Errors
+///
+/// Returns an error naming the missing field and its owning type.
+pub fn map_field<'a>(m: &'a [(String, Value)], field: &str, ty: &str) -> Result<&'a Value, Error> {
+    m.iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{field}` for `{ty}`")))
+}
+
+/// Indexes into a serialized sequence (derive-macro helper).
+///
+/// # Errors
+///
+/// Returns an error naming the out-of-range index and its owning type.
+pub fn seq_item<'a>(s: &'a [Value], idx: usize, ty: &str) -> Result<&'a Value, Error> {
+    s.get(idx)
+        .ok_or_else(|| Error::custom(format!("missing element {idx} for `{ty}`")))
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Produces the value tree for `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the tree does not match `Self`'s shape.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_serde_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| Error::custom(concat!("expected number for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ------------------------------------------------------------ primitives
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence for Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (*self).serialize()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident . $idx:tt),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::custom("expected sequence for tuple"))?;
+                Ok(($($t::deserialize(seq_item(s, $idx, "tuple")?)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(f32::deserialize(&1.5f32.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.0f32, -2.5, 3.25];
+        assert_eq!(Vec::<f32>::deserialize(&v.serialize()).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&o.serialize()).unwrap(), None);
+        let t = (1usize, -2.5f64);
+        assert_eq!(<(usize, f64)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn missing_fields_error_cleanly() {
+        let m = Value::Map(vec![("a".to_string(), Value::Num(1.0))]);
+        let entries = m.as_map().unwrap();
+        assert!(map_field(entries, "a", "T").is_ok());
+        let err = map_field(entries, "b", "T").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+}

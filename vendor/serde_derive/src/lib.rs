@@ -1,0 +1,421 @@
+//! Derive macros for the workspace-local `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this repository actually uses: structs with named fields, tuple
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! Generics and serde attributes are intentionally unsupported (the
+//! workspace has no generic serializable types), and the macro fails loudly
+//! if it meets one.
+//!
+//! The expansion targets the stand-in's simple data model: `Serialize`
+//! produces a `serde::Value` tree, `Deserialize` reads one back.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct body or an enum variant body.
+enum Fields {
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `(T, U)` — field count.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Skips attributes (`#[...]`, including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Counts top-level comma-separated segments of a type list, tracking
+/// `<...>` nesting (`Vec<(A, B)>` is one segment).
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut segment_has_tokens = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if segment_has_tokens {
+                    fields += 1;
+                }
+                segment_has_tokens = false;
+            }
+            _ => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parses named fields (`a: T, b: U`) out of a brace-group body, skipping
+/// per-field attributes and visibility.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs(body, &mut i);
+        skip_vis(body, &mut i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: everything until a top-level comma.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        names.push(name);
+    }
+    names
+}
+
+/// Parses the derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive: generic types are not supported by the vendored serde (`{name}`)"
+            );
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&body))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(count_tuple_fields(&body))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<TokenTree>>()
+                }
+                other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+            };
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                skip_attrs(&body, &mut j);
+                let vname = match body.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => break,
+                    other => {
+                        panic!("serde_derive: expected variant name in `{name}`, found {other:?}")
+                    }
+                };
+                j += 1;
+                let fields = match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Named(parse_named_fields(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Tuple(count_tuple_fields(&inner))
+                    }
+                    _ => Fields::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = body.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+                variants.push((vname, fields));
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for item kind `{other}`"),
+    }
+}
+
+/// `#[derive(Serialize)]`: emits `impl serde::Serialize` producing a
+/// `serde::Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(names) => {
+                let pushes: String = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "m.push((\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})));"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                       fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Map(m)\n\
+                       }}\n\
+                     }}"
+                )
+            }
+            Fields::Tuple(n) => {
+                let items: String = (0..n)
+                    .map(|k| format!("::serde::Serialize::serialize(&self.{k}),"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                       fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(vec![{items}])\n\
+                       }}\n\
+                     }}"
+                )
+            }
+            Fields::Unit => format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+                 }}"
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let pat = binds.join(", ");
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({pat}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Seq(vec![{items}]))]),\n"
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let pat = fs.join(", ");
+                        let pushes: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push((\"{f}\".to_string(), ::serde::Serialize::serialize({f})));"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {pat} }} => {{\n\
+                               let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                               {pushes}\n\
+                               ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Map(inner))])\n\
+                             }}\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}\n}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]`: emits `impl serde::Deserialize` reading the
+/// `serde::Value` tree written by the matching `Serialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(names) => {
+                let fields_init: String = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::deserialize(::serde::map_field(m, \"{f}\", \"{name}\")?)?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                       fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                         Ok({name} {{ {fields_init} }})\n\
+                       }}\n\
+                     }}"
+                )
+            }
+            Fields::Tuple(n) => {
+                let items: String = (0..n)
+                    .map(|k| format!("::serde::Deserialize::deserialize(::serde::seq_item(s, {k}, \"{name}\")?)?,"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                       fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for struct {name}\"))?;\n\
+                         Ok({name}({items}))\n\
+                       }}\n\
+                     }}"
+                )
+            }
+            Fields::Unit => format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name})\n\
+                   }}\n\
+                 }}"
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v}),\n"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(n) => {
+                        let items: String = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::deserialize(::serde::seq_item(s, {k}, \"{name}::{v}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                               let s = payload.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence payload for {name}::{v}\"))?;\n\
+                               return Ok({name}::{v}({items}));\n\
+                             }}\n"
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let fields_init: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize(::serde::map_field(fm, \"{f}\", \"{name}::{v}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                               let fm = payload.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map payload for {name}::{v}\"))?;\n\
+                               return Ok({name}::{v} {{ {fields_init} }});\n\
+                             }}\n"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     match v {{\n\
+                       ::serde::Value::Str(s) => {{\n\
+                         match s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                         Err(::serde::Error::custom(\"unknown unit variant for enum {name}\"))\n\
+                       }}\n\
+                       ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, payload) = &m[0];\n\
+                         match tag.as_str() {{ {payload_arms} _ => {{}} }}\n\
+                         Err(::serde::Error::custom(\"unknown variant tag for enum {name}\"))\n\
+                       }}\n\
+                       _ => Err(::serde::Error::custom(\"expected variant encoding for enum {name}\")),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
