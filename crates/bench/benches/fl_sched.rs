@@ -1,0 +1,128 @@
+//! Scheduled vs lockstep round throughput.
+//!
+//! Two reports come out of this bench:
+//!
+//! * criterion wall-clock timings of running the simulator itself under
+//!   both policies (written to `$FP_BENCH_JSON` like every other bench);
+//! * a virtual-time comparison — the number the scheduler exists for:
+//!   how much simulated wall-clock a heterogeneity-aware policy
+//!   (over-selection + dropout + median deadline) saves over the
+//!   wait-all barrier on an unbalanced fleet. Written to
+//!   `$FP_SCHED_BENCH_JSON` (default `BENCH_fl_sched.json`).
+
+use criterion::{criterion_group, criterion_main, take_results, Criterion};
+use fp_bench::envs::{cifar_env, Het, Scale};
+use fp_fl::{DeadlinePolicy, EventScheduler, JFat, SchedConfig, SchedOutcome};
+
+fn lockstep_cfg() -> SchedConfig {
+    SchedConfig::default()
+}
+
+fn deadline_cfg() -> SchedConfig {
+    SchedConfig {
+        over_select: 1.5,
+        dropout_p: 0.1,
+        deadline: DeadlinePolicy::MedianMultiple(1.25),
+        min_completions: 1,
+    }
+}
+
+fn run(cfg: SchedConfig, rounds: usize) -> SchedOutcome {
+    let mut env = cifar_env(Scale::Fast, Het::Unbalanced, 0);
+    env.cfg.rounds = rounds;
+    EventScheduler::new(JFat::new(), cfg).run(&env)
+}
+
+fn bench_wall(c: &mut Criterion) {
+    c.bench_function("fl_sched/lockstep_wall_2_rounds", |b| {
+        b.iter(|| std::hint::black_box(run(lockstep_cfg(), 2)))
+    });
+    c.bench_function("fl_sched/deadline_overselect_wall_2_rounds", |b| {
+        b.iter(|| std::hint::black_box(run(deadline_cfg(), 2)))
+    });
+}
+
+/// Summary statistics of one policy's ledger.
+struct PolicyStats {
+    virtual_total_s: f64,
+    mean_round_s: f64,
+    rounds_per_virtual_hour: f64,
+    mean_completed: f64,
+    stragglers: usize,
+    dropped_out: usize,
+    final_val_adv: f32,
+}
+
+fn stats(out: &SchedOutcome) -> PolicyStats {
+    let n = out.ledger.len() as f64;
+    let total = out.virtual_time_s();
+    let mean = total / n;
+    PolicyStats {
+        virtual_total_s: total,
+        mean_round_s: mean,
+        rounds_per_virtual_hour: 3600.0 / mean,
+        mean_completed: out.ledger.iter().map(|r| r.completed as f64).sum::<f64>() / n,
+        stragglers: out.ledger.iter().map(|r| r.stragglers).sum(),
+        dropped_out: out.ledger.iter().map(|r| r.dropped_out).sum(),
+        final_val_adv: out
+            .ledger
+            .iter()
+            .rev()
+            .find_map(|r| r.val_adv)
+            .unwrap_or(0.0),
+    }
+}
+
+fn policy_json(tag: &str, s: &PolicyStats) -> String {
+    format!(
+        "  \"{tag}\": {{\"virtual_total_s\": {:.6}, \"mean_round_s\": {:.6}, \
+         \"rounds_per_virtual_hour\": {:.1}, \"mean_completed\": {:.2}, \
+         \"stragglers_cut\": {}, \"dropped_out\": {}, \"final_val_adv\": {:.4}}}",
+        s.virtual_total_s,
+        s.mean_round_s,
+        s.rounds_per_virtual_hour,
+        s.mean_completed,
+        s.stragglers,
+        s.dropped_out,
+        s.final_val_adv
+    )
+}
+
+/// Runs both policies for 12 rounds on the unbalanced fast CIFAR fleet
+/// and writes the virtual-throughput comparison (not a criterion timing —
+/// the measured quantity is simulated wall-clock).
+fn report_virtual(_c: &mut Criterion) {
+    const ROUNDS: usize = 12;
+    let lock = stats(&run(lockstep_cfg(), ROUNDS));
+    let dead = stats(&run(deadline_cfg(), ROUNDS));
+    let speedup = lock.virtual_total_s / dead.virtual_total_s;
+    let wall: Vec<String> = take_results()
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+                r.id, r.median_ns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"env\": \"cifar_fast_unbalanced\", \"algorithm\": \"jFAT\", \
+         \"rounds\": {ROUNDS}, \"deadline\": \"median x1.25\", \"over_select\": 1.5, \
+         \"dropout_p\": 0.1}},\n{},\n{},\n  \"virtual_speedup\": {:.3},\n  \"wall\": [\n{}\n  ]\n}}\n",
+        policy_json("lockstep", &lock),
+        policy_json("scheduled", &dead),
+        speedup,
+        wall.join(",\n")
+    );
+    let path =
+        std::env::var("FP_SCHED_BENCH_JSON").unwrap_or_else(|_| "BENCH_fl_sched.json".into());
+    std::fs::write(&path, &json).expect("write fl_sched report");
+    println!("fl_sched: virtual speedup {speedup:.3}x, report -> {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_wall, report_virtual
+}
+criterion_main!(benches);

@@ -7,6 +7,7 @@ use crate::module_target::ModuleTarget;
 use crate::partition::{partition_model, ModulePartition};
 use crate::trainer::{max_feature_perturbation, train_module_window, WindowTrainConfig};
 use fp_attack::{AttackTarget, ModelTarget, Pgd, PgdConfig};
+use fp_fl::sched::{draw_dropouts, over_select_count, simulate_round, SchedConfig, SALT_AVAIL};
 use fp_fl::{FlAlgorithm, FlEnv, FlOutcome, RoundRecord};
 use fp_hwsim::{ClientLatency, LatencyModel, TrainingPassProfile};
 use fp_nn::CascadeModel;
@@ -43,6 +44,12 @@ pub struct ProphetConfig {
     /// Overrides the environment-derived `R_min` (bytes) for the model
     /// partitioner — the knob behind the paper's Figure 9 sweep.
     pub r_min_override: Option<u64>,
+    /// Round-scheduling policy (over-selection, dropout, straggler
+    /// deadlines). The default wait-all barrier reproduces the historical
+    /// lockstep loop; a deadline makes DMA's module assignment interact
+    /// with simulated device speed — clients the DMA loads with extra
+    /// modules take longer and can be cut as stragglers.
+    pub sched: SchedConfig,
 }
 
 impl Default for ProphetConfig {
@@ -59,6 +66,7 @@ impl Default for ProphetConfig {
             probe_batches: 2,
             val_samples: 64,
             r_min_override: None,
+            sched: SchedConfig::default(),
         }
     }
 }
@@ -79,12 +87,24 @@ pub struct ProphetRound {
     pub val_clean: f32,
     /// Validation adversarial accuracy of the cascaded prefix.
     pub val_adv: f32,
-    /// Simulated synchronization latency of the round (slowest client).
+    /// Simulated synchronization latency of the round (slowest client
+    /// whose update was aggregated).
     pub latency_compute_s: f64,
     /// Simulated data-access (swap) latency of the round.
     pub latency_data_s: f64,
-    /// Mean number of modules assigned per client (DMA effect).
+    /// Mean number of modules assigned per aggregated client (DMA
+    /// effect).
     pub mean_assigned: f32,
+    /// Virtual duration of the round under the scheduling policy
+    /// (deadline-clipped; equals the slowest-client latency under the
+    /// default wait-all barrier).
+    pub round_time_s: f64,
+    /// Clients whose updates were aggregated.
+    pub completed: usize,
+    /// Surviving clients cut by the straggler deadline.
+    pub stragglers: usize,
+    /// Selected clients that dropped out and never reported.
+    pub dropped_out: usize,
 }
 
 /// The result of a FedProphet run: final model, partition, per-round
@@ -113,6 +133,13 @@ impl ProphetOutcome {
                 data_access_s: r.latency_data_s,
             })
         })
+    }
+
+    /// Total virtual wall-clock under the scheduling policy (sum of
+    /// deadline-clipped round durations; equals
+    /// `total_latency().total()` under the default wait-all barrier).
+    pub fn total_round_time(&self) -> f64 {
+        self.rounds.iter().map(|r| r.round_time_s).sum()
     }
 
     /// Converts to the generic `fp-fl` outcome shape.
@@ -213,9 +240,13 @@ impl FedProphet {
                 last_eps = eps;
                 eps_traces[m].push(eps);
 
-                let ids = env.sample_round(global_round);
+                // Over-selection: sample extra clients; the round closes
+                // once `clients_per_round` of them have reported.
+                let target = cfg.clients_per_round;
+                let n_sel = over_select_count(target, pcfg.sched.over_select, cfg.n_clients);
+                let ids = env.sample_round_n(global_round, n_sel);
                 // Per-round real-time availability (paper §B.1 degrade).
-                let mut avail_rng = env.round_rng(global_round, 0xA7A11);
+                let mut avail_rng = env.round_rng(global_round, SALT_AVAIL);
                 let avail: Vec<(u64, f64)> = ids
                     .iter()
                     .map(|&k| {
@@ -241,22 +272,43 @@ impl FedProphet {
                     })
                     .collect();
 
+                // Virtual-time round simulation: each client's duration is
+                // the hwsim latency of its DMA-assigned window on its
+                // degraded device, so prophet clients (more modules) take
+                // longer and can straggle past the deadline.
+                let lat = client_latencies(env, &partition, &assignments, &ids, &avail, cfg);
+                let dropped = draw_dropouts(env, global_round, ids.len(), pcfg.sched.dropout_p);
+                let sim = simulate_round(&ids, &lat, &dropped, target, &pcfg.sched);
+                let cidx: Vec<usize> = sim
+                    .completed
+                    .iter()
+                    .map(|k| ids.iter().position(|x| x == k).expect("completed id"))
+                    .collect();
+                let c_assignments: Vec<ModuleAssignment> =
+                    cidx.iter().map(|&i| assignments[i]).collect();
+
                 let lr = cfg.lr.at(global_round);
                 let results = run_clients(
                     env,
                     &global,
                     &heads,
                     &partition,
-                    &assignments,
-                    &ids,
+                    &c_assignments,
+                    &sim.completed,
                     eps,
                     lr,
                     global_round,
                     pcfg,
                 );
-                let mean_loss = results.iter().map(|r| r.loss).sum::<f32>() / results.len() as f32;
+                let mean_loss = if results.is_empty() {
+                    0.0
+                } else {
+                    results.iter().map(|r| r.loss).sum::<f32>() / results.len() as f32
+                };
 
-                aggregate(&mut global, &mut heads, &partition, &results, m, n_modules);
+                if !results.is_empty() {
+                    aggregate(&mut global, &mut heads, &partition, &results, m, n_modules);
+                }
 
                 // Validation of the cascaded prefix (w*₁ ∘ ⋯ ∘ w_m^t).
                 let (vc, va) = validate_prefix(
@@ -274,10 +326,14 @@ impl FedProphet {
                     }
                 }
 
-                // Latency accounting (hwsim fleet model).
-                let lat = round_latency(env, &partition, &assignments, &ids, &avail, cfg);
-                let mean_assigned = assignments.iter().map(|a| a.count() as f32).sum::<f32>()
-                    / assignments.len() as f32;
+                // Latency accounting: the barrier cost actually paid is
+                // the slowest aggregated client.
+                let mean_assigned = if c_assignments.is_empty() {
+                    0.0
+                } else {
+                    c_assignments.iter().map(|a| a.count() as f32).sum::<f32>()
+                        / c_assignments.len() as f32
+                };
                 records.push(ProphetRound {
                     round: global_round,
                     module: m,
@@ -285,9 +341,13 @@ impl FedProphet {
                     train_loss: mean_loss,
                     val_clean: vc,
                     val_adv: va,
-                    latency_compute_s: lat.compute_s,
-                    latency_data_s: lat.data_access_s,
+                    latency_compute_s: sim.slowest_completed.compute_s,
+                    latency_data_s: sim.slowest_completed.data_access_s,
                     mean_assigned,
+                    round_time_s: sim.round_time_s,
+                    completed: sim.completed.len(),
+                    stragglers: sim.stragglers.len(),
+                    dropped_out: sim.dropped_out.len(),
                 });
                 global_round += 1;
 
@@ -585,18 +645,18 @@ fn probe_delta_z(
     (sum / probe_clients.len() as f64) as f32
 }
 
-/// Simulated latency of one round: the slowest client's local-training
-/// time over its assigned window (compute + swap traffic).
-fn round_latency(
+/// Per-selected-client local-training latency over the DMA-assigned
+/// window (compute + swap traffic) — the durations fed to the round's
+/// virtual-time event queue.
+fn client_latencies(
     env: &FlEnv,
     partition: &ModulePartition,
     assignments: &[ModuleAssignment],
     ids: &[usize],
     avail: &[(u64, f64)],
     cfg: &fp_fl::FlConfig,
-) -> ClientLatency {
-    let per_client: Vec<ClientLatency> = ids
-        .iter()
+) -> Vec<ClientLatency> {
+    ids.iter()
         .zip(assignments.iter())
         .zip(avail.iter())
         .map(|((&k, assign), &(mem_avail, perf))| {
@@ -617,8 +677,7 @@ fn round_latency(
             sample.avail_tflops = perf;
             model.local_training(&sample, cfg.local_iters)
         })
-        .collect();
-    fp_hwsim::latency::round_sync_latency(&per_client)
+        .collect()
 }
 
 #[cfg(test)]
@@ -729,5 +788,57 @@ mod tests {
         let b = FedProphet::new(ProphetConfig::default()).run_detailed(&env);
         assert_eq!(a.model.flat_params(), b.model.flat_params());
         assert_eq!(a.rounds.len(), b.rounds.len());
+    }
+
+    #[test]
+    fn wait_all_round_time_equals_barrier_latency() {
+        let env = make_env(4, 15);
+        let out = FedProphet::new(ProphetConfig::default()).run_detailed(&env);
+        for r in &out.rounds {
+            assert_eq!(r.completed, env.cfg.clients_per_round);
+            assert_eq!(r.stragglers + r.dropped_out, 0);
+            let barrier = r.latency_compute_s + r.latency_data_s;
+            assert!(
+                (r.round_time_s - barrier).abs() < 1e-9,
+                "wait-all round time {} vs barrier {barrier}",
+                r.round_time_s
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_interacts_with_dma_assignment() {
+        // A tight deadline cuts stragglers, and the virtual wall-clock is
+        // strictly below the barrier cost of waiting for every client —
+        // the heterogeneity-aware scheduling the paper's §3 motivates.
+        let env = make_env(8, 11);
+        let base = ProphetConfig {
+            rounds_per_module: Some(3),
+            ..ProphetConfig::default()
+        };
+        let barrier = FedProphet::new(base).run_detailed(&env);
+        let sched = FedProphet::new(ProphetConfig {
+            sched: fp_fl::SchedConfig {
+                over_select: 1.5,
+                dropout_p: 0.1,
+                deadline: fp_fl::DeadlinePolicy::MedianMultiple(1.0),
+                min_completions: 1,
+            },
+            ..base
+        })
+        .run_detailed(&env);
+        let cut: usize = sched.rounds.iter().map(|r| r.stragglers).sum();
+        assert!(cut > 0, "median deadline must cut some stragglers");
+        assert!(
+            sched.total_round_time() < barrier.total_round_time(),
+            "deadline scheduling must shrink virtual wall-clock: {} vs {}",
+            sched.total_round_time(),
+            barrier.total_round_time()
+        );
+        // Every aggregated round still made progress.
+        for r in &sched.rounds {
+            assert!(r.completed >= 1);
+            assert!(r.train_loss.is_finite());
+        }
     }
 }

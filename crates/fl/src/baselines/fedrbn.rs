@@ -1,10 +1,12 @@
 //! FedRBN: federated robustness propagation.
 
-use super::{eval_cadence, fedavg_into, init_global, parallel_clients};
+use super::fedavg_into;
 use crate::engine::{FlAlgorithm, FlEnv};
 use crate::local::{local_train, LocalTrainConfig};
-use crate::metrics::{FlOutcome, RoundRecord};
+use crate::metrics::FlOutcome;
+use crate::sched::{EventScheduler, SchedConfig, ScheduledTrainer};
 use fp_attack::PgdConfig;
+use fp_hwsim::{forward_macs, LatencyModel, TrainingPassProfile};
 use fp_nn::CascadeModel;
 use fp_tensor::Tensor;
 
@@ -34,77 +36,105 @@ impl FedRbn {
     }
 }
 
-impl FlAlgorithm for FedRbn {
+impl FedRbn {
+    /// Whether client `k` can afford end-to-end adversarial training.
+    fn can_afford_at(env: &FlEnv, k: usize) -> bool {
+        env.mem_budget(k) >= env.full_mem_req()
+    }
+}
+
+impl ScheduledTrainer for FedRbn {
+    type Update = (CascadeModel, bool);
+
     fn name(&self) -> &'static str {
         "FedRBN"
     }
 
-    fn run(&self, env: &FlEnv) -> FlOutcome {
-        let cfg = &env.cfg;
-        let mut global = init_global(env);
-        let full_mem = env.full_mem_req();
-        let mut history = Vec::with_capacity(cfg.rounds);
-        let cadence = eval_cadence(cfg.rounds);
-        for t in 0..cfg.rounds {
-            let ids = env.sample_round(t);
-            let lr = cfg.lr.at(t);
-            let results = parallel_clients(&ids, |k, backend| {
-                let can_afford_at = env.mem_budget(k) >= full_mem;
-                let mut model = global.clone();
-                model.set_backend(&backend);
-                let ltc = LocalTrainConfig {
-                    iters: cfg.local_iters,
-                    batch_size: cfg.batch_size,
-                    lr,
-                    momentum: cfg.momentum,
-                    weight_decay: cfg.weight_decay,
-                    pgd: can_afford_at.then(|| PgdConfig {
-                        steps: cfg.pgd_steps,
-                        ..PgdConfig::train_linf(cfg.eps0)
-                    }),
-                    seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
-                };
-                let loss = local_train(&mut model, &env.data.train, &env.splits[k].indices, &ltc);
-                (model, env.splits[k].weight, can_afford_at, loss)
-            });
-            let mean_loss =
-                results.iter().map(|(_, _, _, l)| *l).sum::<f32>() / results.len() as f32;
-            // Weights: plain FedAvg over everyone.
-            let all: Vec<(CascadeModel, f32)> =
-                results.iter().map(|(m, w, _, _)| (m.clone(), *w)).collect();
-            fedavg_into(&mut global, &all);
-            // Robustness propagation: adversarial BN statistics override.
-            let adv_stats = at_weighted_bn(&results);
-            if let Some(stats) = adv_stats {
-                global.set_bn_stats(&stats);
-            }
-            let (mut vc, mut va) = (None, None);
-            if t % cadence == cadence - 1 || t + 1 == cfg.rounds {
-                vc = Some(env.val_clean(&mut global, 64));
-                va = Some(env.val_adv(&mut global, 64));
-            }
-            history.push(RoundRecord {
-                round: t,
-                train_loss: mean_loss,
-                val_clean: vc,
-                val_adv: va,
-            });
+    fn cost(&self, env: &FlEnv, _t: usize, k: usize) -> LatencyModel {
+        // AT clients pay the full PGD inner loop; ST clients only the
+        // standard forward/backward — the scheduler sees the split.
+        LatencyModel {
+            mem_req_bytes: env.full_mem_req(),
+            fwd_macs_per_sample: forward_macs(&env.reference_specs, &env.input_shape),
+            batch: env.cfg.batch_size,
+            profile: if Self::can_afford_at(env, k) {
+                TrainingPassProfile::adversarial(env.cfg.pgd_steps)
+            } else {
+                TrainingPassProfile::standard()
+            },
         }
-        FlOutcome {
-            model: global,
-            history,
+    }
+
+    fn train(
+        &self,
+        env: &FlEnv,
+        global: &CascadeModel,
+        t: usize,
+        k: usize,
+        lr: f32,
+        backend: fp_tensor::BackendHandle,
+    ) -> (Self::Update, f32) {
+        let cfg = &env.cfg;
+        let can_afford_at = Self::can_afford_at(env, k);
+        let mut model = global.clone();
+        model.set_backend(&backend);
+        let ltc = LocalTrainConfig {
+            iters: cfg.local_iters,
+            batch_size: cfg.batch_size,
+            lr,
+            momentum: cfg.momentum,
+            weight_decay: cfg.weight_decay,
+            pgd: can_afford_at.then(|| PgdConfig {
+                steps: cfg.pgd_steps,
+                ..PgdConfig::train_linf(cfg.eps0)
+            }),
+            seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
+        };
+        let loss = local_train(&mut model, &env.data.train, &env.splits[k].indices, &ltc);
+        ((model, can_afford_at), loss)
+    }
+
+    fn merge(
+        &self,
+        env: &FlEnv,
+        global: &mut CascadeModel,
+        _t: usize,
+        updates: Vec<(usize, Self::Update)>,
+    ) {
+        let results: Vec<(CascadeModel, f32, bool)> = updates
+            .into_iter()
+            .map(|(k, (m, at))| (m, env.splits[k].weight, at))
+            .collect();
+        // Weights: plain FedAvg over everyone.
+        let all: Vec<(CascadeModel, f32)> =
+            results.iter().map(|(m, w, _)| (m.clone(), *w)).collect();
+        fedavg_into(global, &all);
+        // Robustness propagation: adversarial BN statistics override.
+        if let Some(stats) = at_weighted_bn(&results) {
+            global.set_bn_stats(&stats);
         }
     }
 }
 
+impl FlAlgorithm for FedRbn {
+    fn name(&self) -> &'static str {
+        ScheduledTrainer::name(self)
+    }
+
+    fn run(&self, env: &FlEnv) -> FlOutcome {
+        EventScheduler::new(*self, SchedConfig::default())
+            .run(env)
+            .into_fl_outcome()
+    }
+}
+
 /// Weighted-average BN statistics over adversarially trained clients only.
-fn at_weighted_bn(results: &[(CascadeModel, f32, bool, f32)]) -> Option<Vec<(Tensor, Tensor)>> {
-    let at: Vec<&(CascadeModel, f32, bool, f32)> =
-        results.iter().filter(|(_, _, adv, _)| *adv).collect();
+fn at_weighted_bn(results: &[(CascadeModel, f32, bool)]) -> Option<Vec<(Tensor, Tensor)>> {
+    let at: Vec<&(CascadeModel, f32, bool)> = results.iter().filter(|(_, _, adv)| *adv).collect();
     if at.is_empty() {
         return None;
     }
-    let total: f32 = at.iter().map(|(_, w, _, _)| *w).sum();
+    let total: f32 = at.iter().map(|(_, w, _)| *w).sum();
     let template = at[0].0.bn_stats();
     if template.is_empty() {
         return None;
@@ -117,7 +147,7 @@ fn at_weighted_bn(results: &[(CascadeModel, f32, bool, f32)]) -> Option<Vec<(Ten
         .iter()
         .map(|(_, v)| Tensor::zeros(v.shape()))
         .collect();
-    for (m, w, _, _) in at {
+    for (m, w, _) in at {
         let wn = *w / total;
         for (i, (mean, var)) in m.bn_stats().iter().enumerate() {
             means[i].axpy(wn, mean);
@@ -144,7 +174,7 @@ mod tests {
     fn at_weighted_bn_skips_rounds_without_at_clients() {
         let env = make_env(1, 1);
         let m = super::super::init_global(&env);
-        let results = vec![(m.clone(), 1.0, false, 0.0), (m, 1.0, false, 0.0)];
+        let results = vec![(m.clone(), 1.0, false), (m, 1.0, false)];
         assert!(at_weighted_bn(&results).is_none());
     }
 }

@@ -1,10 +1,13 @@
 //! jFAT: joint (end-to-end) federated adversarial training.
 
-use super::{eval_cadence, fedavg_into, init_global, parallel_clients};
+use super::fedavg_into;
 use crate::engine::{FlAlgorithm, FlEnv};
 use crate::local::{local_train, LocalTrainConfig};
-use crate::metrics::{FlOutcome, RoundRecord};
+use crate::metrics::FlOutcome;
+use crate::sched::{EventScheduler, SchedConfig, ScheduledTrainer};
 use fp_attack::PgdConfig;
+use fp_hwsim::{forward_macs, LatencyModel, TrainingPassProfile};
+use fp_nn::CascadeModel;
 
 /// Joint federated adversarial training (Zizzo et al. 2020): every client
 /// adversarially trains the **whole** model end-to-end with PGD, and the
@@ -29,7 +32,9 @@ impl JFat {
     }
 }
 
-impl FlAlgorithm for JFat {
+impl ScheduledTrainer for JFat {
+    type Update = CascadeModel;
+
     fn name(&self) -> &'static str {
         if self.standard_training {
             "jFed (ST)"
@@ -38,52 +43,74 @@ impl FlAlgorithm for JFat {
         }
     }
 
-    fn run(&self, env: &FlEnv) -> FlOutcome {
+    fn cost(&self, env: &FlEnv, _t: usize, _k: usize) -> LatencyModel {
+        LatencyModel {
+            mem_req_bytes: env.full_mem_req(),
+            fwd_macs_per_sample: forward_macs(&env.reference_specs, &env.input_shape),
+            batch: env.cfg.batch_size,
+            profile: if self.standard_training {
+                TrainingPassProfile::standard()
+            } else {
+                TrainingPassProfile::adversarial(env.cfg.pgd_steps)
+            },
+        }
+    }
+
+    fn train(
+        &self,
+        env: &FlEnv,
+        global: &CascadeModel,
+        t: usize,
+        k: usize,
+        lr: f32,
+        backend: fp_tensor::BackendHandle,
+    ) -> (CascadeModel, f32) {
         let cfg = &env.cfg;
-        let mut global = init_global(env);
-        let mut history = Vec::with_capacity(cfg.rounds);
-        let cadence = eval_cadence(cfg.rounds);
-        for t in 0..cfg.rounds {
-            let ids = env.sample_round(t);
-            let lr = cfg.lr.at(t);
-            let locals = parallel_clients(&ids, |k, backend| {
-                let mut model = global.clone();
-                model.set_backend(&backend);
-                let pgd = (!self.standard_training).then(|| PgdConfig {
-                    steps: cfg.pgd_steps,
-                    ..PgdConfig::train_linf(cfg.eps0)
-                });
-                let ltc = LocalTrainConfig {
-                    iters: cfg.local_iters,
-                    batch_size: cfg.batch_size,
-                    lr,
-                    momentum: cfg.momentum,
-                    weight_decay: cfg.weight_decay,
-                    pgd,
-                    seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
-                };
-                let loss = local_train(&mut model, &env.data.train, &env.splits[k].indices, &ltc);
-                (model, env.splits[k].weight, loss)
-            });
-            let mean_loss = locals.iter().map(|(_, _, l)| *l).sum::<f32>() / locals.len() as f32;
-            let weighted: Vec<_> = locals.into_iter().map(|(m, w, _)| (m, w)).collect();
-            fedavg_into(&mut global, &weighted);
-            let (mut vc, mut va) = (None, None);
-            if t % cadence == cadence - 1 || t + 1 == cfg.rounds {
-                vc = Some(env.val_clean(&mut global, 64));
-                va = Some(env.val_adv(&mut global, 64));
-            }
-            history.push(RoundRecord {
-                round: t,
-                train_loss: mean_loss,
-                val_clean: vc,
-                val_adv: va,
-            });
-        }
-        FlOutcome {
-            model: global,
-            history,
-        }
+        let mut model = global.clone();
+        model.set_backend(&backend);
+        let pgd = (!self.standard_training).then(|| PgdConfig {
+            steps: cfg.pgd_steps,
+            ..PgdConfig::train_linf(cfg.eps0)
+        });
+        let ltc = LocalTrainConfig {
+            iters: cfg.local_iters,
+            batch_size: cfg.batch_size,
+            lr,
+            momentum: cfg.momentum,
+            weight_decay: cfg.weight_decay,
+            pgd,
+            seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
+        };
+        let loss = local_train(&mut model, &env.data.train, &env.splits[k].indices, &ltc);
+        (model, loss)
+    }
+
+    fn merge(
+        &self,
+        env: &FlEnv,
+        global: &mut CascadeModel,
+        _t: usize,
+        updates: Vec<(usize, CascadeModel)>,
+    ) {
+        let weighted: Vec<(CascadeModel, f32)> = updates
+            .into_iter()
+            .map(|(k, m)| (m, env.splits[k].weight))
+            .collect();
+        fedavg_into(global, &weighted);
+    }
+}
+
+impl FlAlgorithm for JFat {
+    fn name(&self) -> &'static str {
+        ScheduledTrainer::name(self)
+    }
+
+    fn run(&self, env: &FlEnv) -> FlOutcome {
+        // The default scheduler config (wait-all barrier, no dropout)
+        // reproduces the historical lockstep loop bit-for-bit.
+        EventScheduler::new(*self, SchedConfig::default())
+            .run(env)
+            .into_fl_outcome()
     }
 }
 

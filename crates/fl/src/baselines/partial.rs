@@ -1,14 +1,17 @@
 //! Partial-training baselines: HeteroFL-AT, FedDrop-AT, FedRolex-AT.
 
-use super::{eval_cadence, init_global, parallel_clients};
 use crate::engine::{FlAlgorithm, FlEnv};
 use crate::local::{local_train, LocalTrainConfig};
-use crate::metrics::{FlOutcome, RoundRecord};
+use crate::metrics::FlOutcome;
+use crate::sched::{EventScheduler, SchedConfig, ScheduledTrainer};
 use crate::submodel::{
     channel_groups, extract_submodel, keep_sets, SubmodelAccumulator, SubmodelScheme,
 };
 use fp_attack::PgdConfig;
+use fp_hwsim::{forward_macs, LatencyModel, TrainingPassProfile};
+use fp_nn::CascadeModel;
 use fp_tensor::seeded_rng;
+use std::collections::HashMap;
 
 /// Partial-training federated adversarial training: each client trains a
 /// width-sliced sub-model sized to its memory budget
@@ -46,7 +49,17 @@ impl PartialTraining {
     }
 }
 
-impl FlAlgorithm for PartialTraining {
+impl PartialTraining {
+    /// The width ratio client `k` trains at (`R_k / R_max`, Appendix
+    /// B.2).
+    fn ratio(env: &FlEnv, k: usize) -> f32 {
+        ((env.mem_budget(k) as f64 / env.full_mem_req() as f64) as f32).clamp(0.1, 1.0)
+    }
+}
+
+impl ScheduledTrainer for PartialTraining {
+    type Update = (CascadeModel, HashMap<usize, Vec<usize>>);
+
     fn name(&self) -> &'static str {
         match self.scheme {
             SubmodelScheme::Static => "HeteroFL-AT",
@@ -55,61 +68,76 @@ impl FlAlgorithm for PartialTraining {
         }
     }
 
-    fn run(&self, env: &FlEnv) -> FlOutcome {
+    fn cost(&self, env: &FlEnv, _t: usize, k: usize) -> LatencyModel {
+        // Width slicing keeps a `ratio` fraction of every hidden channel
+        // group, so memory scales ≈ linearly and MACs ≈ quadratically in
+        // the ratio (both conv operands shrink).
+        let ratio = Self::ratio(env, k) as f64;
+        let full_macs = forward_macs(&env.reference_specs, &env.input_shape) as f64;
+        LatencyModel {
+            mem_req_bytes: (ratio * env.full_mem_req() as f64) as u64,
+            fwd_macs_per_sample: (ratio * ratio * full_macs) as u64,
+            batch: env.cfg.batch_size,
+            profile: TrainingPassProfile::adversarial(env.cfg.pgd_steps),
+        }
+    }
+
+    fn train(
+        &self,
+        env: &FlEnv,
+        global: &CascadeModel,
+        t: usize,
+        k: usize,
+        lr: f32,
+        backend: fp_tensor::BackendHandle,
+    ) -> (Self::Update, f32) {
         let cfg = &env.cfg;
-        let mut global = init_global(env);
         let groups = channel_groups(&env.reference_specs);
-        let full_mem = env.full_mem_req() as f64;
-        let mut history = Vec::with_capacity(cfg.rounds);
-        let cadence = eval_cadence(cfg.rounds);
-        for t in 0..cfg.rounds {
-            let ids = env.sample_round(t);
-            let lr = cfg.lr.at(t);
-            let scheme = self.scheme;
-            let results = parallel_clients(&ids, |k, backend| {
-                let ratio = ((env.mem_budget(k) as f64 / full_mem) as f32).clamp(0.1, 1.0);
-                let mut rng = seeded_rng(cfg.seed ^ 0x5B_0000 ^ (t as u64) << 20 ^ k as u64);
-                let keep = keep_sets(&groups, ratio, scheme, t, &mut rng);
-                let mut sub = extract_submodel(&global, &keep, &mut rng);
-                sub.set_backend(&backend);
-                let ltc = LocalTrainConfig {
-                    iters: cfg.local_iters,
-                    batch_size: cfg.batch_size,
-                    lr,
-                    momentum: cfg.momentum,
-                    weight_decay: cfg.weight_decay,
-                    pgd: Some(PgdConfig {
-                        steps: cfg.pgd_steps,
-                        ..PgdConfig::train_linf(cfg.eps0)
-                    }),
-                    seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
-                };
-                let loss = local_train(&mut sub, &env.data.train, &env.splits[k].indices, &ltc);
-                (sub, keep, env.splits[k].weight, loss)
-            });
-            let mean_loss =
-                results.iter().map(|(_, _, _, l)| *l).sum::<f32>() / results.len() as f32;
-            let mut acc = SubmodelAccumulator::new(&global);
-            for (sub, keep, w, _) in &results {
-                acc.add(sub, keep, *w);
-            }
-            acc.apply(&mut global);
-            let (mut vc, mut va) = (None, None);
-            if t % cadence == cadence - 1 || t + 1 == cfg.rounds {
-                vc = Some(env.val_clean(&mut global, 64));
-                va = Some(env.val_adv(&mut global, 64));
-            }
-            history.push(RoundRecord {
-                round: t,
-                train_loss: mean_loss,
-                val_clean: vc,
-                val_adv: va,
-            });
+        let ratio = Self::ratio(env, k);
+        let mut rng = seeded_rng(cfg.seed ^ 0x5B_0000 ^ (t as u64) << 20 ^ k as u64);
+        let keep = keep_sets(&groups, ratio, self.scheme, t, &mut rng);
+        let mut sub = extract_submodel(global, &keep, &mut rng);
+        sub.set_backend(&backend);
+        let ltc = LocalTrainConfig {
+            iters: cfg.local_iters,
+            batch_size: cfg.batch_size,
+            lr,
+            momentum: cfg.momentum,
+            weight_decay: cfg.weight_decay,
+            pgd: Some(PgdConfig {
+                steps: cfg.pgd_steps,
+                ..PgdConfig::train_linf(cfg.eps0)
+            }),
+            seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
+        };
+        let loss = local_train(&mut sub, &env.data.train, &env.splits[k].indices, &ltc);
+        ((sub, keep), loss)
+    }
+
+    fn merge(
+        &self,
+        env: &FlEnv,
+        global: &mut CascadeModel,
+        _t: usize,
+        updates: Vec<(usize, Self::Update)>,
+    ) {
+        let mut acc = SubmodelAccumulator::new(global);
+        for (k, (sub, keep)) in &updates {
+            acc.add(sub, keep, env.splits[*k].weight);
         }
-        FlOutcome {
-            model: global,
-            history,
-        }
+        acc.apply(global);
+    }
+}
+
+impl FlAlgorithm for PartialTraining {
+    fn name(&self) -> &'static str {
+        ScheduledTrainer::name(self)
+    }
+
+    fn run(&self, env: &FlEnv) -> FlOutcome {
+        EventScheduler::new(*self, SchedConfig::default())
+            .run(env)
+            .into_fl_outcome()
     }
 }
 
@@ -128,14 +156,27 @@ mod tests {
             let env = make_env(8, 21);
             let outcome = alg.run(&env);
             let clean = outcome.final_val_clean().unwrap();
-            assert!(clean > 0.3, "{} failed to learn: clean {clean}", alg.name());
+            assert!(
+                clean > 0.3,
+                "{} failed to learn: clean {clean}",
+                ScheduledTrainer::name(&alg)
+            );
         }
     }
 
     #[test]
     fn scheme_names_match_paper() {
-        assert_eq!(PartialTraining::heterofl().name(), "HeteroFL-AT");
-        assert_eq!(PartialTraining::fedrolex().name(), "FedRolex-AT");
-        assert_eq!(PartialTraining::feddrop().name(), "FedDrop-AT");
+        assert_eq!(
+            ScheduledTrainer::name(&PartialTraining::heterofl()),
+            "HeteroFL-AT"
+        );
+        assert_eq!(
+            ScheduledTrainer::name(&PartialTraining::fedrolex()),
+            "FedRolex-AT"
+        );
+        assert_eq!(
+            ScheduledTrainer::name(&PartialTraining::feddrop()),
+            "FedDrop-AT"
+        );
     }
 }

@@ -103,10 +103,18 @@ impl FlEnv {
     /// Samples the participating clients of round `t` (uniform without
     /// replacement, deterministic in `(seed, t)`).
     pub fn sample_round(&self, t: usize) -> Vec<usize> {
+        self.sample_round_n(t, self.cfg.clients_per_round)
+    }
+
+    /// Samples `n` clients for round `t` (uniform without replacement,
+    /// deterministic in `(seed, t)`). For any `n ≤ n'`, the `n`-sample is
+    /// a prefix of the `n'`-sample of the same round (same shuffle), so
+    /// over-selection extends — never reshuffles — the base selection.
+    pub fn sample_round_n(&self, t: usize, n: usize) -> Vec<usize> {
         let mut rng = seeded_rng(self.cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut ids: Vec<usize> = (0..self.cfg.n_clients).collect();
         ids.shuffle(&mut rng);
-        ids.truncate(self.cfg.clients_per_round);
+        ids.truncate(n.min(self.cfg.n_clients));
         ids.sort_unstable();
         ids
     }

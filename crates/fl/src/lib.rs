@@ -18,6 +18,10 @@
 //! * [`FlConfig`]/[`FlEnv`] — the simulation environment: dataset splits,
 //!   per-client device samples (from `fp-hwsim`), per-round client
 //!   sampling, and per-client memory budgets;
+//! * [`sched`] — the heterogeneity-aware event-driven round scheduler
+//!   (virtual-time event queue, straggler deadlines, dropout,
+//!   over-selection, checkpoint/resume, per-round metrics ledger); the
+//!   baselines below run through it;
 //! * [`local_train`] — the local SGD/adversarial-training loop;
 //! * [`aggregate`] — weighted FedAvg and the partial-average accumulator
 //!   (paper Eq. 16–17);
@@ -33,6 +37,7 @@ mod config;
 mod engine;
 mod local;
 pub mod metrics;
+pub mod sched;
 pub mod submodel;
 
 pub use baselines::{Distill, DistillVariant, FedRbn, JFat, PartialTraining, SubmodelScheme};
@@ -40,3 +45,7 @@ pub use config::FlConfig;
 pub use engine::{scale_budgets, FlAlgorithm, FlEnv};
 pub use local::{local_train, LocalTrainConfig};
 pub use metrics::{FlOutcome, RoundRecord};
+pub use sched::{
+    draw_dropouts, model_hash, over_select_count, simulate_round, DeadlinePolicy, EventScheduler,
+    RoundSim, SchedCheckpoint, SchedConfig, SchedOutcome, SchedRound, ScheduledTrainer,
+};

@@ -1,0 +1,870 @@
+//! Heterogeneity-aware event-driven round scheduling.
+//!
+//! The lockstep loops of the baselines assume every selected client
+//! reports back, instantly. Real federations (and the paper's systems
+//! story, §3/§7.2) are dominated by device heterogeneity: a TX2 swapping
+//! a 300 MB working set over 1.5 GiB/s storage takes orders of magnitude
+//! longer than a desktop GPU, clients drop out mid-round, and production
+//! servers close rounds on deadlines with over-selection rather than
+//! waiting for the slowest straggler.
+//!
+//! This module simulates exactly that, in **virtual time**:
+//!
+//! * every sampled client's local-training duration is drawn from the
+//!   `fp-hwsim` latency model of its device profile (with per-round
+//!   availability degradation, §B.1);
+//! * a virtual-time event queue ([`simulate_round`]) plays the round
+//!   forward: client-finish events race against an optional straggler
+//!   deadline, dropped-out clients never report;
+//! * at the close of the round the server aggregates over the clients
+//!   that actually completed (FedAvg-weighted), records the stragglers it
+//!   cut and the dropouts it lost, and advances the virtual clock.
+//!
+//! [`EventScheduler`] drives any [`ScheduledTrainer`] through this loop
+//! and emits a per-round [`SchedRound`] ledger (serializable to JSON).
+//! With the default [`SchedConfig`] (wait-all barrier, no dropout, no
+//! over-selection) it reproduces the historical lockstep loops
+//! bit-for-bit, which is how the `fp-fl` baselines now implement
+//! [`FlAlgorithm`].
+//!
+//! # Determinism
+//!
+//! Everything is a pure function of `(FlConfig::seed, round)`: client
+//! sampling, availability draws, dropout draws, and the per-client
+//! training streams are all domain-separated counter-derived RNGs, and
+//! the kernel backend is bit-identical for every thread count. The same
+//! seed and config therefore produce an identical ledger and an
+//! identical final model at **any** worker-thread budget — the e2e suite
+//! pins this with [`model_hash`] across 1/2/4 workers.
+//!
+//! # Checkpointing
+//!
+//! [`SchedCheckpoint`] captures the full cross-round state (global model
+//! via `fp-nn` checkpoints, the master seed of the RNG streams, the next
+//! round index, the virtual clock, and the ledger so far); because all
+//! per-round RNG streams are re-derived from `(seed, round)`, resuming at
+//! round `k` reproduces rounds `k+1..n` bit-identically.
+
+use crate::config::FlConfig;
+use crate::engine::FlEnv;
+use crate::metrics::{FlOutcome, RoundRecord};
+use fp_hwsim::{ClientLatency, DeviceSample, LatencyModel};
+use fp_nn::checkpoint::Checkpoint;
+use fp_nn::CascadeModel;
+use fp_tensor::BackendHandle;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Domain-separation salt for per-round availability degradation —
+/// exported so every consumer of the scheduler's RNG stream discipline
+/// (FedProphet's loop included) draws from the same stream.
+pub const SALT_AVAIL: u64 = 0xA7A11;
+/// Domain-separation salt for per-round dropout draws.
+const SALT_DROP: u64 = 0xD80_90D7;
+
+// ------------------------------------------------------------------ config
+
+/// When the server stops waiting for stragglers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeadlinePolicy {
+    /// Barrier semantics: the round closes when the last surviving client
+    /// reports (the historical lockstep behavior).
+    WaitAll,
+    /// The round closes `seconds` of virtual time after it starts.
+    FixedSeconds(f64),
+    /// The round closes at `factor ×` the median predicted duration of
+    /// the surviving clients — an adaptive deadline that scales with the
+    /// round's workload.
+    MedianMultiple(f64),
+}
+
+/// Round-scheduling policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Over-selection factor (≥ 1): the server samples
+    /// `ceil(clients_per_round × over_select)` clients and closes the
+    /// round once `clients_per_round` have completed (Google-style
+    /// over-provisioning against stragglers).
+    pub over_select: f64,
+    /// Per-round probability that a selected client drops out and never
+    /// reports (network loss, app eviction).
+    pub dropout_p: f64,
+    /// Straggler deadline.
+    pub deadline: DeadlinePolicy,
+    /// The deadline never closes a round with fewer completions than
+    /// this; the server instead waits for the next finish event (progress
+    /// guarantee; default 1).
+    pub min_completions: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            over_select: 1.0,
+            dropout_p: 0.0,
+            deadline: DeadlinePolicy::WaitAll,
+            min_completions: 1,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate values.
+    pub fn validate(&self) {
+        assert!(self.over_select >= 1.0, "over_select must be >= 1");
+        assert!(
+            (0.0..1.0).contains(&self.dropout_p),
+            "dropout_p must be in [0, 1)"
+        );
+        assert!(self.min_completions >= 1, "min_completions must be >= 1");
+        match self.deadline {
+            DeadlinePolicy::WaitAll => {}
+            DeadlinePolicy::FixedSeconds(s) => assert!(s > 0.0, "deadline must be positive"),
+            DeadlinePolicy::MedianMultiple(x) => assert!(x > 0.0, "deadline factor must be > 0"),
+        }
+    }
+}
+
+// -------------------------------------------------------------- event queue
+
+/// One event in a round's virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// A client finished its local training. Ranked before `Deadline` so
+    /// a client finishing exactly at the deadline still counts.
+    Finish { client: usize },
+    /// The straggler deadline fired.
+    Deadline,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl Event {
+    /// Ordering key: time, then kind rank (finishes before deadlines),
+    /// then client id — total and deterministic (times are finite).
+    fn key(&self) -> (u64, u8, usize) {
+        let (rank, client) = match self.kind {
+            EventKind::Finish { client } => (0, client),
+            EventKind::Deadline => (1, 0),
+        };
+        (self.time.to_bits(), rank, client)
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Number of clients to select for a round with `target` desired
+/// completions under an over-selection factor, capped by the fleet size.
+pub fn over_select_count(target: usize, over_select: f64, n_clients: usize) -> usize {
+    ((target as f64 * over_select).ceil() as usize).clamp(target, n_clients)
+}
+
+/// Per-selected-client dropout draws for round `t`, deterministic in
+/// `(env.cfg.seed, t)` and shared by every consumer of the scheduler's
+/// RNG stream discipline (the generic driver and FedProphet's loop draw
+/// from the same domain-separated stream).
+pub fn draw_dropouts(env: &FlEnv, t: usize, n: usize, dropout_p: f64) -> Vec<bool> {
+    let mut rng = env.round_rng(t, SALT_DROP);
+    (0..n)
+        .map(|_| dropout_p > 0.0 && rng.gen::<f64>() < dropout_p)
+        .collect()
+}
+
+/// The outcome of one simulated round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSim {
+    /// Clients that completed before the round closed, ascending by id
+    /// (the aggregation set `S_t`).
+    pub completed: Vec<usize>,
+    /// Surviving clients cut by the deadline / early close, ascending.
+    pub stragglers: Vec<usize>,
+    /// Clients that dropped out and never reported, ascending.
+    pub dropped_out: Vec<usize>,
+    /// Virtual duration of the round (0 when nobody survived).
+    pub round_time_s: f64,
+    /// Latency breakdown of the slowest *completed* client (the barrier
+    /// cost actually paid).
+    pub slowest_completed: ClientLatency,
+}
+
+/// Plays one round forward on a virtual-time event queue.
+///
+/// `ids`, `latency` and `dropped` are parallel arrays over the selected
+/// clients. The round closes at the earliest of: the `target`-th
+/// completion, or the deadline (but never with fewer than
+/// `cfg.min_completions` completions — the server then waits for the next
+/// finish).
+///
+/// # Panics
+///
+/// Panics if the parallel arrays disagree or `target` is 0.
+pub fn simulate_round(
+    ids: &[usize],
+    latency: &[ClientLatency],
+    dropped: &[bool],
+    target: usize,
+    cfg: &SchedConfig,
+) -> RoundSim {
+    assert_eq!(ids.len(), latency.len(), "latency array mismatch");
+    assert_eq!(ids.len(), dropped.len(), "dropout array mismatch");
+    assert!(target >= 1, "target completions must be >= 1");
+    let survivors: Vec<usize> = (0..ids.len()).filter(|&i| !dropped[i]).collect();
+    let mut dropped_out: Vec<usize> = (0..ids.len())
+        .filter(|&i| dropped[i])
+        .map(|i| ids[i])
+        .collect();
+    dropped_out.sort_unstable();
+    if survivors.is_empty() {
+        return RoundSim {
+            completed: Vec::new(),
+            stragglers: Vec::new(),
+            dropped_out,
+            round_time_s: 0.0,
+            slowest_completed: ClientLatency::zero(),
+        };
+    }
+    // The progress floor also binds the target close: a round never
+    // closes below `min_completions` while survivors could still report.
+    let target = target.max(cfg.min_completions).min(survivors.len());
+
+    let mut queue: BinaryHeap<std::cmp::Reverse<Event>> = survivors
+        .iter()
+        .map(|&i| {
+            std::cmp::Reverse(Event {
+                time: latency[i].total(),
+                kind: EventKind::Finish { client: ids[i] },
+            })
+        })
+        .collect();
+    let deadline = match cfg.deadline {
+        DeadlinePolicy::WaitAll => None,
+        DeadlinePolicy::FixedSeconds(s) => Some(s),
+        DeadlinePolicy::MedianMultiple(x) => {
+            let mut totals: Vec<f64> = survivors.iter().map(|&i| latency[i].total()).collect();
+            totals.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+            let mid = totals.len() / 2;
+            let median = if totals.len() % 2 == 1 {
+                totals[mid]
+            } else {
+                0.5 * (totals[mid - 1] + totals[mid])
+            };
+            Some(x * median)
+        }
+    };
+    if let Some(d) = deadline {
+        queue.push(std::cmp::Reverse(Event {
+            time: d,
+            kind: EventKind::Deadline,
+        }));
+    }
+
+    let mut completed: Vec<usize> = Vec::with_capacity(target);
+    let mut past_deadline = false;
+    let mut close_time = 0.0f64;
+    while let Some(std::cmp::Reverse(ev)) = queue.pop() {
+        match ev.kind {
+            EventKind::Finish { client } => {
+                completed.push(client);
+                close_time = ev.time;
+                if completed.len() >= target
+                    || (past_deadline && completed.len() >= cfg.min_completions)
+                {
+                    break;
+                }
+            }
+            EventKind::Deadline => {
+                if completed.len() >= cfg.min_completions {
+                    close_time = ev.time;
+                    break;
+                }
+                // Progress guarantee: wait for the next finish instead of
+                // closing an empty round.
+                past_deadline = true;
+            }
+        }
+    }
+    completed.sort_unstable();
+    let stragglers: Vec<usize> = survivors
+        .iter()
+        .map(|&i| ids[i])
+        .filter(|k| !completed.contains(k))
+        .collect();
+    let slowest_completed = completed
+        .iter()
+        .map(|k| {
+            let i = ids.iter().position(|x| x == k).expect("completed id");
+            latency[i]
+        })
+        .max_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite latency"))
+        .unwrap_or_else(ClientLatency::zero);
+    RoundSim {
+        completed,
+        stragglers,
+        dropped_out,
+        round_time_s: close_time,
+        slowest_completed,
+    }
+}
+
+// ------------------------------------------------------------------ ledger
+
+/// One scheduled round's ledger entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedRound {
+    /// Round index.
+    pub round: usize,
+    /// Clients selected (after over-selection).
+    pub selected: usize,
+    /// Selected clients that dropped out.
+    pub dropped_out: usize,
+    /// Surviving clients cut by the deadline / early close.
+    pub stragglers: usize,
+    /// Clients whose updates were aggregated.
+    pub completed: usize,
+    /// Sum of FedAvg weights over the completed clients.
+    pub participation_weight: f32,
+    /// Mean local training loss over completed clients (0 when none).
+    pub train_loss: f32,
+    /// Validation clean accuracy, when measured this round.
+    pub val_clean: Option<f32>,
+    /// Validation adversarial accuracy, when measured this round.
+    pub val_adv: Option<f32>,
+    /// Virtual duration of this round.
+    pub round_time_s: f64,
+    /// Virtual clock at the end of this round.
+    pub clock_s: f64,
+}
+
+/// FNV-1a over the little-endian bit patterns of every parameter and BN
+/// statistic — the fingerprint the determinism guarantee is tested
+/// against (same seed + config ⇒ same hash at any thread count).
+pub fn model_hash(model: &CascadeModel) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: f32| {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for v in model.flat_params() {
+        eat(v);
+    }
+    for (mean, var) in model.bn_stats() {
+        for &v in mean.data() {
+            eat(v);
+        }
+        for &v in var.data() {
+            eat(v);
+        }
+    }
+    h
+}
+
+// ----------------------------------------------------------------- trainer
+
+/// An algorithm the event scheduler can drive: it describes each client's
+/// round workload (for the latency draw), trains one client, and merges
+/// completed updates into the global model.
+///
+/// Implementations must be deterministic functions of
+/// `(env.cfg.seed, round, client)` — the scheduler owns client sampling,
+/// availability, dropout, and the virtual clock.
+pub trait ScheduledTrainer: Sync {
+    /// One client's round result, merged by [`ScheduledTrainer::merge`].
+    type Update: Send;
+
+    /// Human-readable name, as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The cost-model description of client `k`'s round-`t` workload
+    /// (memory requirement, forward MACs, pass profile). The scheduler
+    /// evaluates it against the client's sampled device availability to
+    /// draw the local-training duration.
+    fn cost(&self, env: &FlEnv, t: usize, k: usize) -> LatencyModel;
+
+    /// The freshly initialized global model.
+    fn init(&self, env: &FlEnv) -> CascadeModel {
+        crate::baselines::init_global(env)
+    }
+
+    /// Trains client `k` for round `t` against the current global model
+    /// and returns its update plus local training loss.
+    fn train(
+        &self,
+        env: &FlEnv,
+        global: &CascadeModel,
+        t: usize,
+        k: usize,
+        lr: f32,
+        backend: BackendHandle,
+    ) -> (Self::Update, f32);
+
+    /// Merges the completed updates (ascending client id) into `global`.
+    /// Never called with an empty vector.
+    fn merge(
+        &self,
+        env: &FlEnv,
+        global: &mut CascadeModel,
+        t: usize,
+        updates: Vec<(usize, Self::Update)>,
+    );
+}
+
+// --------------------------------------------------------------- scheduler
+
+/// The event-driven federated round scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct EventScheduler<T> {
+    /// The algorithm being driven.
+    pub trainer: T,
+    /// Scheduling policy.
+    pub sched: SchedConfig,
+}
+
+/// The result of a scheduled run: final model plus the round ledger.
+pub struct SchedOutcome {
+    /// Final global model.
+    pub model: CascadeModel,
+    /// Per-round ledger.
+    pub ledger: Vec<SchedRound>,
+}
+
+impl SchedOutcome {
+    /// Total virtual training time.
+    pub fn virtual_time_s(&self) -> f64 {
+        self.ledger.last().map_or(0.0, |r| r.clock_s)
+    }
+
+    /// The ledger as a JSON document.
+    pub fn ledger_json(&self) -> String {
+        serde_json::to_string(&self.ledger).expect("ledger serializes")
+    }
+
+    /// Converts to the generic outcome shape.
+    pub fn into_fl_outcome(self) -> FlOutcome {
+        let history = self
+            .ledger
+            .iter()
+            .map(|r| RoundRecord {
+                round: r.round,
+                train_loss: r.train_loss,
+                val_clean: r.val_clean,
+                val_adv: r.val_adv,
+            })
+            .collect();
+        FlOutcome {
+            model: self.model,
+            history,
+        }
+    }
+}
+
+/// A serializable snapshot of a scheduled run, taken between rounds.
+///
+/// Besides the model and clock it records everything the bit-identity
+/// guarantee depends on — the master seed, the scheduling policy, and
+/// the environment shape — all validated on [`EventScheduler::resume`]
+/// so a checkpoint can never silently continue under different rules.
+#[derive(Serialize, Deserialize)]
+pub struct SchedCheckpoint {
+    /// The first round the resumed run will execute.
+    pub next_round: usize,
+    /// Virtual clock at capture time.
+    pub clock_s: f64,
+    /// Master seed of every RNG stream (validated against the resuming
+    /// environment — the streams are counter-derived from `(seed, round)`
+    /// so no mutable generator state needs to be stored).
+    pub seed: u64,
+    /// Scheduling policy the run was started with.
+    pub sched: SchedConfig,
+    /// Name of the algorithm that produced the checkpoint.
+    pub algorithm: String,
+    /// `n_clients` of the originating environment.
+    pub n_clients: usize,
+    /// `clients_per_round` of the originating environment.
+    pub clients_per_round: usize,
+    /// Total rounds of the originating run (eval cadence depends on it).
+    pub rounds: usize,
+    /// Global model snapshot.
+    pub model: Checkpoint,
+    /// Ledger of the rounds already run.
+    pub ledger: Vec<SchedRound>,
+}
+
+/// Mutable cross-round state of a scheduled run.
+struct DriveState {
+    model: CascadeModel,
+    clock_s: f64,
+    ledger: Vec<SchedRound>,
+}
+
+impl<T: ScheduledTrainer> EventScheduler<T> {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sched` is invalid.
+    pub fn new(trainer: T, sched: SchedConfig) -> Self {
+        sched.validate();
+        EventScheduler { trainer, sched }
+    }
+
+    /// Runs all `env.cfg.rounds` rounds.
+    pub fn run(&self, env: &FlEnv) -> SchedOutcome {
+        let mut st = DriveState {
+            model: self.trainer.init(env),
+            clock_s: 0.0,
+            ledger: Vec::with_capacity(env.cfg.rounds),
+        };
+        self.drive(env, &mut st, 0, env.cfg.rounds);
+        SchedOutcome {
+            model: st.model,
+            ledger: st.ledger,
+        }
+    }
+
+    /// Runs rounds `0..stop_after` and returns a resumable checkpoint.
+    pub fn run_until(&self, env: &FlEnv, stop_after: usize) -> SchedCheckpoint {
+        let stop = stop_after.min(env.cfg.rounds);
+        let mut st = DriveState {
+            model: self.trainer.init(env),
+            clock_s: 0.0,
+            ledger: Vec::with_capacity(stop),
+        };
+        self.drive(env, &mut st, 0, stop);
+        SchedCheckpoint {
+            next_round: stop,
+            clock_s: st.clock_s,
+            seed: env.cfg.seed,
+            sched: self.sched,
+            algorithm: self.trainer.name().to_string(),
+            n_clients: env.cfg.n_clients,
+            clients_per_round: env.cfg.clients_per_round,
+            rounds: env.cfg.rounds,
+            model: Checkpoint::capture(&st.model),
+            ledger: st.ledger,
+        }
+    }
+
+    /// Resumes from a checkpoint and finishes the remaining rounds.
+    /// Rounds `k..n` are bit-identical to an uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint disagrees with the resuming environment
+    /// or scheduler — master seed, scheduling policy, or environment
+    /// shape (the run would silently diverge) — or the stored model does
+    /// not restore.
+    pub fn resume(&self, env: &FlEnv, ckpt: &SchedCheckpoint) -> SchedOutcome {
+        assert_eq!(
+            ckpt.seed, env.cfg.seed,
+            "checkpoint was taken under a different master seed"
+        );
+        assert_eq!(
+            ckpt.sched, self.sched,
+            "checkpoint was taken under a different scheduling policy"
+        );
+        assert_eq!(
+            ckpt.algorithm,
+            self.trainer.name(),
+            "checkpoint was taken by a different algorithm"
+        );
+        assert_eq!(
+            (ckpt.n_clients, ckpt.clients_per_round, ckpt.rounds),
+            (env.cfg.n_clients, env.cfg.clients_per_round, env.cfg.rounds),
+            "checkpoint was taken under a different environment shape"
+        );
+        let mut st = DriveState {
+            model: ckpt.model.restore().expect("checkpoint model restores"),
+            clock_s: ckpt.clock_s,
+            ledger: ckpt.ledger.clone(),
+        };
+        self.drive(env, &mut st, ckpt.next_round, env.cfg.rounds);
+        SchedOutcome {
+            model: st.model,
+            ledger: st.ledger,
+        }
+    }
+
+    /// The shared round driver.
+    fn drive(&self, env: &FlEnv, st: &mut DriveState, from: usize, to: usize) {
+        let cfg = &env.cfg;
+        let cadence = crate::baselines::eval_cadence(cfg.rounds);
+        for t in from..to {
+            let sim = self.plan_round(env, cfg, t);
+            let lr = cfg.lr.at(t);
+            let results = crate::baselines::parallel_clients(&sim.completed, |k, backend| {
+                self.trainer.train(env, &st.model, t, k, lr, backend)
+            });
+            let train_loss = if results.is_empty() {
+                0.0
+            } else {
+                results.iter().map(|(_, l)| *l).sum::<f32>() / results.len() as f32
+            };
+            let participation_weight = sim
+                .completed
+                .iter()
+                .map(|&k| env.splits[k].weight)
+                .sum::<f32>();
+            if !results.is_empty() {
+                let updates: Vec<(usize, T::Update)> = sim
+                    .completed
+                    .iter()
+                    .copied()
+                    .zip(results.into_iter().map(|(u, _)| u))
+                    .collect();
+                self.trainer.merge(env, &mut st.model, t, updates);
+            }
+            let (mut vc, mut va) = (None, None);
+            if t % cadence == cadence - 1 || t + 1 == cfg.rounds {
+                vc = Some(env.val_clean(&mut st.model, 64));
+                va = Some(env.val_adv(&mut st.model, 64));
+            }
+            st.clock_s += sim.round_time_s;
+            st.ledger.push(SchedRound {
+                round: t,
+                selected: sim.completed.len() + sim.stragglers.len() + sim.dropped_out.len(),
+                dropped_out: sim.dropped_out.len(),
+                stragglers: sim.stragglers.len(),
+                completed: sim.completed.len(),
+                participation_weight,
+                train_loss,
+                val_clean: vc,
+                val_adv: va,
+                round_time_s: sim.round_time_s,
+                clock_s: st.clock_s,
+            });
+        }
+    }
+
+    /// Samples, degrades, drops, and simulates one round's timeline.
+    fn plan_round(&self, env: &FlEnv, cfg: &FlConfig, t: usize) -> RoundSim {
+        let target = cfg.clients_per_round;
+        let n_sel = over_select_count(target, self.sched.over_select, cfg.n_clients);
+        let ids = env.sample_round_n(t, n_sel);
+        let mut avail_rng = env.round_rng(t, SALT_AVAIL);
+        let samples: Vec<DeviceSample> = ids
+            .iter()
+            .map(|&k| {
+                let mut s = env.fleet[k];
+                s.resample_availability(&mut avail_rng);
+                s
+            })
+            .collect();
+        let dropped = draw_dropouts(env, t, ids.len(), self.sched.dropout_p);
+        let latency: Vec<ClientLatency> = ids
+            .iter()
+            .zip(&samples)
+            .map(|(&k, s)| {
+                self.trainer
+                    .cost(env, t, k)
+                    .local_training(s, cfg.local_iters)
+            })
+            .collect();
+        simulate_round(&ids, &latency, &dropped, target, &self.sched)
+    }
+}
+
+impl<T: ScheduledTrainer> crate::engine::FlAlgorithm for EventScheduler<T> {
+    fn name(&self) -> &'static str {
+        self.trainer.name()
+    }
+
+    fn run(&self, env: &FlEnv) -> FlOutcome {
+        EventScheduler::run(self, env).into_fl_outcome()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat(total: f64) -> ClientLatency {
+        ClientLatency {
+            compute_s: total,
+            data_access_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn wait_all_completes_everyone() {
+        let cfg = SchedConfig::default();
+        let sim = simulate_round(
+            &[3, 5, 9],
+            &[lat(2.0), lat(1.0), lat(5.0)],
+            &[false, false, false],
+            3,
+            &cfg,
+        );
+        assert_eq!(sim.completed, vec![3, 5, 9]);
+        assert!(sim.stragglers.is_empty());
+        assert_eq!(sim.round_time_s, 5.0);
+        assert_eq!(sim.slowest_completed.total(), 5.0);
+    }
+
+    #[test]
+    fn deadline_cuts_stragglers_fedavg_set() {
+        let cfg = SchedConfig {
+            deadline: DeadlinePolicy::FixedSeconds(3.0),
+            ..SchedConfig::default()
+        };
+        let sim = simulate_round(
+            &[1, 2, 3],
+            &[lat(2.0), lat(10.0), lat(1.0)],
+            &[false; 3],
+            3,
+            &cfg,
+        );
+        assert_eq!(sim.completed, vec![1, 3]);
+        assert_eq!(sim.stragglers, vec![2]);
+        assert_eq!(sim.round_time_s, 3.0);
+        assert_eq!(sim.slowest_completed.total(), 2.0);
+    }
+
+    #[test]
+    fn finish_exactly_at_deadline_counts() {
+        let cfg = SchedConfig {
+            deadline: DeadlinePolicy::FixedSeconds(2.0),
+            ..SchedConfig::default()
+        };
+        let sim = simulate_round(&[7, 8], &[lat(2.0), lat(9.0)], &[false, false], 2, &cfg);
+        assert_eq!(sim.completed, vec![7]);
+        assert_eq!(sim.stragglers, vec![8]);
+    }
+
+    #[test]
+    fn deadline_waits_for_minimum_completions() {
+        let cfg = SchedConfig {
+            deadline: DeadlinePolicy::FixedSeconds(0.5),
+            ..SchedConfig::default()
+        };
+        let sim = simulate_round(&[4, 6], &[lat(2.0), lat(3.0)], &[false, false], 2, &cfg);
+        // Nobody met the deadline; the progress guarantee admits the first
+        // finisher and closes there.
+        assert_eq!(sim.completed, vec![4]);
+        assert_eq!(sim.stragglers, vec![6]);
+        assert_eq!(sim.round_time_s, 2.0);
+    }
+
+    #[test]
+    fn over_selection_closes_at_target() {
+        let cfg = SchedConfig::default();
+        // Target 2 of 4 selected: round closes at the 2nd completion.
+        let sim = simulate_round(
+            &[1, 2, 3, 4],
+            &[lat(4.0), lat(1.0), lat(2.0), lat(8.0)],
+            &[false; 4],
+            2,
+            &cfg,
+        );
+        assert_eq!(sim.completed, vec![2, 3]);
+        assert_eq!(sim.stragglers, vec![1, 4]);
+        assert_eq!(sim.round_time_s, 2.0);
+    }
+
+    #[test]
+    fn dropouts_never_report() {
+        let cfg = SchedConfig::default();
+        let sim = simulate_round(
+            &[1, 2, 3],
+            &[lat(1.0), lat(2.0), lat(3.0)],
+            &[false, true, false],
+            3,
+            &cfg,
+        );
+        assert_eq!(sim.completed, vec![1, 3]);
+        assert_eq!(sim.dropped_out, vec![2]);
+        assert_eq!(sim.round_time_s, 3.0);
+    }
+
+    #[test]
+    fn all_dropped_round_is_empty() {
+        let cfg = SchedConfig::default();
+        let sim = simulate_round(&[1, 2], &[lat(1.0), lat(2.0)], &[true, true], 2, &cfg);
+        assert!(sim.completed.is_empty());
+        assert_eq!(sim.dropped_out, vec![1, 2]);
+        assert_eq!(sim.round_time_s, 0.0);
+    }
+
+    #[test]
+    fn min_completions_floor_binds_target_close() {
+        let cfg = SchedConfig {
+            min_completions: 3,
+            ..SchedConfig::default()
+        };
+        // Target 2 of 4 survivors: the progress floor raises the close to
+        // the 3rd finish.
+        let sim = simulate_round(
+            &[1, 2, 3, 4],
+            &[lat(1.0), lat(2.0), lat(3.0), lat(4.0)],
+            &[false; 4],
+            2,
+            &cfg,
+        );
+        assert_eq!(sim.completed, vec![1, 2, 3]);
+        assert_eq!(sim.stragglers, vec![4]);
+        assert_eq!(sim.round_time_s, 3.0);
+    }
+
+    #[test]
+    fn median_deadline_is_deterministic() {
+        let cfg = SchedConfig {
+            deadline: DeadlinePolicy::MedianMultiple(1.0),
+            ..SchedConfig::default()
+        };
+        // Median of {1, 2, 10} = 2 → close at 2.0 with two completions.
+        let sim = simulate_round(
+            &[1, 2, 3],
+            &[lat(1.0), lat(2.0), lat(10.0)],
+            &[false; 3],
+            3,
+            &cfg,
+        );
+        assert_eq!(sim.completed, vec![1, 2]);
+        assert_eq!(sim.round_time_s, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over_select")]
+    fn rejects_under_selection() {
+        SchedConfig {
+            over_select: 0.5,
+            ..SchedConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn model_hash_distinguishes_models() {
+        let mut rng = fp_tensor::seeded_rng(0);
+        let a = fp_nn::models::tiny_vgg(3, 8, 4, &[4], &mut rng);
+        let mut b = a.clone();
+        assert_eq!(model_hash(&a), model_hash(&b));
+        let mut params = b.flat_params();
+        params[0] += 1.0;
+        b.set_flat_params(&params);
+        assert_ne!(model_hash(&a), model_hash(&b));
+    }
+}

@@ -1,0 +1,176 @@
+//! Pins the latency/memory/FLOPs cost models to hand-computed values for
+//! two device profiles (TX2 and GTX 1650m, paper Table 5), so the
+//! event-driven scheduler's timing inputs cannot drift silently: every
+//! expected number below is derived in the comments from the documented
+//! model conventions, not from running the code.
+
+use fp_hwsim::{
+    model_mem_req, module_mem_req, training_flops_per_iter, AuxHeadSpec, Device, DeviceSample,
+    LatencyModel, TrainingPassProfile, BYTES_PER_PARAM_STATE,
+};
+use fp_nn::spec::{AtomSpec, LayerKind, LayerSpec};
+
+const MIB: u64 = 1024 * 1024;
+
+/// TX2 (Table 5): 1.3 TFLOPS, 4 GiB memory, 1.5 GiB/s storage I/O.
+fn tx2(avail_mem_bytes: u64) -> DeviceSample {
+    DeviceSample {
+        device: Device {
+            name: "TX2",
+            tflops: 1.3,
+            mem_gb: 4.0,
+            io_gbps: 1.5,
+        },
+        avail_mem_bytes,
+        avail_tflops: 1.3,
+    }
+}
+
+/// GTX 1650m (Table 5): 3.1 TFLOPS, 4 GiB memory, 16 GiB/s storage I/O.
+fn gtx1650m(avail_mem_bytes: u64) -> DeviceSample {
+    DeviceSample {
+        device: Device {
+            name: "GTX 1650m",
+            tflops: 3.1,
+            mem_gb: 4.0,
+            io_gbps: 16.0,
+        },
+        avail_mem_bytes,
+        avail_tflops: 3.1,
+    }
+}
+
+/// The pinned workload: 100 MiB working set, 1 M forward MACs/sample,
+/// batch 32, PGD-3 adversarial training.
+fn workload() -> LatencyModel {
+    LatencyModel {
+        mem_req_bytes: 100 * MIB,
+        fwd_macs_per_sample: 1_000_000,
+        batch: 32,
+        profile: TrainingPassProfile::adversarial(3),
+    }
+}
+
+fn assert_rel(got: f64, want: f64, tag: &str) {
+    assert!(
+        ((got - want) / want).abs() < 1e-12,
+        "{tag}: got {got}, want {want}"
+    );
+}
+
+#[test]
+fn pass_profile_counts_are_pinned() {
+    // PGD-n: n (forward+backward) inner pairs + 1 training pair.
+    // sweep_count = 2·(n+1); PGD-3 → 8, standard → 2.
+    assert_eq!(TrainingPassProfile::adversarial(3).sweep_count(), 8);
+    assert_eq!(TrainingPassProfile::standard().sweep_count(), 2);
+    // Training FLOPs/iter = macs · batch · sweeps = 1e6 · 32 · 8.
+    assert_eq!(
+        training_flops_per_iter(1_000_000, 32, TrainingPassProfile::adversarial(3)),
+        256_000_000
+    );
+    assert_eq!(
+        training_flops_per_iter(1_000_000, 32, TrainingPassProfile::standard()),
+        64_000_000
+    );
+}
+
+#[test]
+fn tx2_latency_is_pinned() {
+    let w = workload();
+    // Memory-sufficient: compute only.
+    // compute/iter = 2.56e8 FLOPs / 1.3e12 FLOPS = 1.9692307692...e-4 s.
+    let lat = w.local_training(&tx2(4 * 1024 * MIB), 5);
+    assert_rel(lat.compute_s, 5.0 * 2.56e8 / 1.3e12, "tx2 compute");
+    assert_eq!(lat.data_access_s, 0.0);
+
+    // Memory-constrained (50 MiB < 100 MiB working set): every sweep
+    // streams the working set through storage with 2× driver overhead.
+    // bytes/iter = 100 MiB · 8 sweeps = 838860800;
+    // raw = 838860800 / (1.5 GiB/s = 1610612736 B/s) = 25/48 s exactly;
+    // data/iter = 2 · 25/48 = 25/24 s; 5 iters = 125/24 s.
+    let lat = w.local_training(&tx2(50 * MIB), 5);
+    assert_rel(lat.data_access_s, 125.0 / 24.0, "tx2 swap");
+    // The paper's §3 claim at this operating point: swap dominates.
+    assert!(lat.data_access_s / lat.total() > 0.99);
+}
+
+#[test]
+fn gtx1650m_latency_is_pinned() {
+    let w = workload();
+    // compute/iter = 2.56e8 / 3.1e12 s.
+    let lat = w.local_training(&gtx1650m(4 * 1024 * MIB), 5);
+    assert_rel(lat.compute_s, 5.0 * 2.56e8 / 3.1e12, "gtx compute");
+    assert_eq!(lat.data_access_s, 0.0);
+
+    // Same pressure, 16 GiB/s I/O: raw = 838860800 / 17179869184 =
+    // 25/512 s; data/iter = 25/256 s — 10.7× faster than the TX2, which
+    // is exactly the heterogeneity the scheduler's deadlines exploit.
+    let lat = w.local_training(&gtx1650m(50 * MIB), 5);
+    assert_rel(lat.data_access_s, 5.0 * 25.0 / 256.0, "gtx swap");
+    let tx2_lat = w.local_training(&tx2(50 * MIB), 5);
+    assert_rel(
+        tx2_lat.data_access_s / lat.data_access_s,
+        16.0 / 1.5,
+        "swap ratio = io ratio",
+    );
+}
+
+/// One conv atom whose memory/MACs are small enough to compute by hand:
+/// Conv2d 3→8, k=3, stride 1, pad 1, bias, on 8×8 inputs.
+fn conv_atom() -> AtomSpec {
+    AtomSpec::new(
+        "conv3x3",
+        vec![LayerSpec::new(
+            LayerKind::Conv2d {
+                c_in: 3,
+                c_out: 8,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                bias: true,
+            },
+            0,
+            1,
+        )],
+    )
+}
+
+#[test]
+fn memory_model_is_pinned() {
+    assert_eq!(BYTES_PER_PARAM_STATE, 12);
+    // params = 8·3·3·3 + 8 = 224 → states = 224·12 = 2688 B.
+    // activations = (input 3·8·8 = 192 + output 8·8·8 = 512) · 4 B · 4
+    //             = 704·16 = 11264 B.
+    let m = model_mem_req(&[conv_atom()], &[3, 8, 8], 4);
+    assert_eq!(m.states, 2688);
+    assert_eq!(m.activations, 11264);
+    assert_eq!(m.aux, 0);
+    assert_eq!(m.total(), 13952);
+
+    // Aux head (8 channels → 4 classes): params = 8·4 + 4 = 36 →
+    // 432 B states; activations = (8 + 4)·4 B·4 = 192 B; aux = 624 B.
+    let aux = AuxHeadSpec {
+        channels: 8,
+        classes: 4,
+    };
+    let with_aux = module_mem_req(&[conv_atom()], &[3, 8, 8], 4, Some(aux));
+    assert_eq!(with_aux.aux, 624);
+    assert_eq!(with_aux.total(), 13952 + 624);
+}
+
+#[test]
+fn flops_model_is_pinned() {
+    // Conv MACs = c_out·c_in·k²·h_out·w_out = 8·3·9·8·8 = 13824/sample.
+    let macs = fp_hwsim::forward_macs(&[conv_atom()], &[3, 8, 8]);
+    assert_eq!(macs, 13824);
+    // PGD-3, batch 4: 13824·4·8 = 442368 FLOPs/iter; standard: 110592.
+    assert_eq!(
+        training_flops_per_iter(macs, 4, TrainingPassProfile::adversarial(3)),
+        442_368
+    );
+    assert_eq!(
+        training_flops_per_iter(macs, 4, TrainingPassProfile::standard()),
+        110_592
+    );
+}

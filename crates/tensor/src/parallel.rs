@@ -15,9 +15,28 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// The hardware thread budget (`std::thread::available_parallelism`,
-/// falling back to 1 when it cannot be queried).
+/// Process-wide override of the hardware thread budget (0 = no override).
+static BUDGET_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the thread budget returned by [`max_threads`] (`0` restores
+/// hardware detection).
+///
+/// The kernels are bit-identical for every thread count, so this never
+/// changes numerics — it exists so schedulers can be pinned to a worker
+/// count (and the determinism claim regression-tested) independently of
+/// the machine the tests run on.
+pub fn set_thread_budget(threads: usize) {
+    BUDGET_OVERRIDE.store(threads, Ordering::SeqCst);
+}
+
+/// The thread budget (`std::thread::available_parallelism`, falling back
+/// to 1 when it cannot be queried), unless overridden by
+/// [`set_thread_budget`].
 pub fn max_threads() -> usize {
+    let o = BUDGET_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)

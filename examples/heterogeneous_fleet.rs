@@ -1,6 +1,8 @@
 //! Systematic heterogeneity in action: the same federation run with every
 //! memory-efficient method, comparing robustness and simulated training
-//! time — a miniature of the paper's Table 2 + Figure 7 story.
+//! time — a miniature of the paper's Table 2 + Figure 7 story — and the
+//! event-driven round scheduler closing rounds on straggler deadlines
+//! instead of waiting for the slowest device.
 //!
 //! ```text
 //! cargo run --release --example heterogeneous_fleet
@@ -9,7 +11,10 @@
 use fedprophet_repro::attack::{evaluate_robustness, ApgdConfig, PgdConfig};
 use fedprophet_repro::data::{generate, partition_pathological, SynthConfig};
 use fedprophet_repro::fedprophet::{FedProphet, ProphetConfig};
-use fedprophet_repro::fl::{FedRbn, FlAlgorithm, FlConfig, FlEnv, JFat, PartialTraining};
+use fedprophet_repro::fl::{
+    DeadlinePolicy, EventScheduler, FedRbn, FlAlgorithm, FlConfig, FlEnv, JFat, PartialTraining,
+    SchedConfig,
+};
 use fedprophet_repro::hwsim::{sample_fleet, SamplingMode, CIFAR_POOL};
 use fedprophet_repro::nn::models::{vgg_atom_specs, VggConfig};
 
@@ -58,14 +63,43 @@ fn main() {
             r.apgd_acc * 100.0
         );
     }
-    // FedProphet with its detailed outcome (adds the latency view).
-    let fp = FedProphet::new(ProphetConfig::default());
+
+    // The event-driven scheduler: same jFAT run, but rounds close at
+    // 1.25× the median predicted client duration, with 1.5× over-selection
+    // and 10% dropout — the server no longer waits for the slowest TX2.
+    let deadline = SchedConfig {
+        over_select: 1.5,
+        dropout_p: 0.1,
+        deadline: DeadlinePolicy::MedianMultiple(1.25),
+        min_completions: 1,
+    };
+    let barrier = EventScheduler::new(JFat::new(), SchedConfig::default()).run(&env);
+    let sched = EventScheduler::new(JFat::new(), deadline).run(&env);
+    let cut: usize = sched.ledger.iter().map(|r| r.stragglers).sum();
+    let lost: usize = sched.ledger.iter().map(|r| r.dropped_out).sum();
+    println!(
+        "\nscheduler: wait-all barrier {:.2e} virtual-s vs deadline {:.2e} virtual-s \
+         ({:.2}x faster; {cut} stragglers cut, {lost} dropouts)",
+        barrier.virtual_time_s(),
+        sched.virtual_time_s(),
+        barrier.virtual_time_s() / sched.virtual_time_s()
+    );
+
+    // FedProphet with its detailed outcome (adds the latency view) under
+    // the same deadline policy: DMA now interacts with device speed —
+    // clients loaded with extra modules can straggle past the deadline.
+    let fp = FedProphet::new(ProphetConfig {
+        sched: deadline,
+        ..ProphetConfig::default()
+    });
     let detailed = fp.run_detailed(&env);
     let lat = detailed.total_latency();
+    let fp_cut: usize = detailed.rounds.iter().map(|r| r.stragglers).sum();
     let mut model = detailed.model;
     let r = evaluate_robustness(&mut model, &env.data.test, &pgd, &apgd, 32, seed);
     println!(
-        "{:<14} {:>8.2}% {:>8.2}% {:>8.2}%   (sim. time {:.0}s compute + {:.0}s swap)",
+        "{:<14} {:>8.2}% {:>8.2}% {:>8.2}%   (sim. time {:.2e}s compute + {:.2e}s swap, \
+         {fp_cut} stragglers cut by DMA-aware deadline)",
         "FedProphet",
         r.clean_acc * 100.0,
         r.pgd_acc * 100.0,

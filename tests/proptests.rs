@@ -142,6 +142,59 @@ proptest! {
         prop_assert!(y.data().iter().all(|v| v.is_finite()));
     }
 
+    /// Weighted FedAvg is client-permutation-invariant: the scheduler
+    /// aggregates in ascending client-id order, and this pins that the
+    /// result never depends on that ordering choice (up to f32 rounding
+    /// of the f64 accumulator).
+    #[test]
+    fn weighted_average_is_permutation_invariant(
+        a in proptest::collection::vec(-10.0f32..10.0, 5),
+        b in proptest::collection::vec(-10.0f32..10.0, 5),
+        c in proptest::collection::vec(-10.0f32..10.0, 5),
+        w1 in 0.01f32..10.0,
+        w2 in 0.01f32..10.0,
+        w3 in 0.01f32..10.0,
+    ) {
+        let fwd = weighted_average(&[(a.clone(), w1), (b.clone(), w2), (c.clone(), w3)]);
+        let rot = weighted_average(&[(c.clone(), w3), (a.clone(), w1), (b.clone(), w2)]);
+        let swp = weighted_average(&[(b, w2), (a, w1), (c, w3)]);
+        for i in 0..5 {
+            prop_assert!((fwd[i] - rot[i]).abs() <= 1e-5, "rot[{}]: {} vs {}", i, fwd[i], rot[i]);
+            prop_assert!((fwd[i] - swp[i]).abs() <= 1e-5, "swp[{}]: {} vs {}", i, fwd[i], swp[i]);
+        }
+    }
+
+    /// Single-client aggregation is the exact identity, whatever the
+    /// weight: renormalization makes it 1.0 and `1.0 · v` is exact.
+    #[test]
+    fn weighted_average_single_client_is_identity(
+        v in proptest::collection::vec(-100.0f32..100.0, 8),
+        w in 0.001f32..1000.0,
+    ) {
+        let avg = weighted_average(&[(v.clone(), w)]);
+        prop_assert_eq!(avg, v);
+    }
+
+    /// Clients that all hold the same model leave it unchanged when their
+    /// weights sum to 1 (and by renormalization, for any positive sum) —
+    /// a fixed-point property every FedAvg round relies on.
+    #[test]
+    fn weighted_average_preserves_constant_model(
+        v in proptest::collection::vec(-10.0f32..10.0, 6),
+        w1 in 0.01f32..1.0,
+        w2 in 0.01f32..1.0,
+    ) {
+        // Weights summing exactly to 1.
+        let w3 = 1.0 - (w1 / (w1 + w2 + 1.0)) - (w2 / (w1 + w2 + 1.0));
+        let u1 = w1 / (w1 + w2 + 1.0);
+        let u2 = w2 / (w1 + w2 + 1.0);
+        prop_assert!((u1 + u2 + w3 - 1.0).abs() < 1e-6);
+        let avg = weighted_average(&[(v.clone(), u1), (v.clone(), u2), (v.clone(), w3)]);
+        for (got, want) in avg.iter().zip(&v) {
+            prop_assert!((got - want).abs() <= 1e-5, "{} vs {}", got, want);
+        }
+    }
+
     /// Weighted averaging is a convex combination: the result stays within
     /// the per-coordinate min/max envelope of the inputs.
     #[test]
