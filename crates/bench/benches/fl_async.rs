@@ -1,0 +1,139 @@
+//! Async (FedBuff-style) vs wait-all synchronous aggregation.
+//!
+//! Two reports come out of this bench:
+//!
+//! * criterion wall-clock timings of running the simulator itself under
+//!   both policies (written to `$FP_BENCH_JSON` like every other bench);
+//! * the virtual-time comparison the async scheduler exists for: on the
+//!   unbalanced fast CIFAR fleet, how much simulated wall-clock the
+//!   barrier-free path saves to (a) an equal aggregation count and
+//!   (b) a fixed training loss. Written to `$FP_ASYNC_BENCH_JSON`
+//!   (default `BENCH_fl_async.json`).
+
+use criterion::{criterion_group, criterion_main, take_results, Criterion};
+use fp_bench::envs::{cifar_env, Het, Scale};
+use fp_fl::{
+    AsyncConfig, AsyncOutcome, AsyncScheduler, EventScheduler, JFat, SchedConfig, SchedOutcome,
+};
+
+const ROUNDS: usize = 12;
+
+fn async_cfg() -> AsyncConfig {
+    AsyncConfig {
+        concurrency: 4,
+        buffer_k: 2,
+        staleness_exp: 0.5,
+    }
+}
+
+fn run_sync(rounds: usize) -> SchedOutcome {
+    let mut env = cifar_env(Scale::Fast, Het::Unbalanced, 0);
+    env.cfg.rounds = rounds;
+    EventScheduler::new(JFat::new(), SchedConfig::default()).run(&env)
+}
+
+fn run_async(rounds: usize) -> AsyncOutcome {
+    let mut env = cifar_env(Scale::Fast, Het::Unbalanced, 0);
+    env.cfg.rounds = rounds;
+    AsyncScheduler::new(JFat::new(), async_cfg()).run(&env)
+}
+
+fn bench_wall(c: &mut Criterion) {
+    c.bench_function("fl_async/wait_all_wall_2_rounds", |b| {
+        b.iter(|| std::hint::black_box(run_sync(2)))
+    });
+    c.bench_function("fl_async/async_buffer_wall_2_aggs", |b| {
+        b.iter(|| std::hint::black_box(run_async(2)))
+    });
+}
+
+/// Virtual clock at the first ledger entry whose train loss reaches
+/// `target` (virtual time-to-loss), if any.
+fn time_to_loss(records: &[(f64, f32)], target: f32) -> Option<f64> {
+    records
+        .iter()
+        .find(|(_, loss)| *loss <= target)
+        .map(|(clock, _)| *clock)
+}
+
+/// Runs both policies for the same aggregation budget on the unbalanced
+/// fleet and writes the virtual-throughput + time-to-loss comparison.
+fn report_virtual(_c: &mut Criterion) {
+    let sync = run_sync(ROUNDS);
+    let asy = run_async(ROUNDS);
+    let sync_records: Vec<(f64, f32)> = sync
+        .ledger
+        .iter()
+        .map(|r| (r.clock_s, r.train_loss))
+        .collect();
+    let async_records: Vec<(f64, f32)> = asy
+        .ledger
+        .iter()
+        .map(|r| (r.clock_s, r.train_loss))
+        .collect();
+    // A loss both policies reach: 5% above the worse of the two finals.
+    let target = 1.05
+        * sync
+            .ledger
+            .last()
+            .map(|r| r.train_loss)
+            .unwrap_or(f32::MAX)
+            .max(asy.ledger.last().map(|r| r.train_loss).unwrap_or(f32::MAX));
+    let sync_tt = time_to_loss(&sync_records, target).unwrap_or(f64::NAN);
+    let async_tt = time_to_loss(&async_records, target).unwrap_or(f64::NAN);
+    let mean_staleness = asy
+        .ledger
+        .iter()
+        .map(|r| r.mean_staleness as f64)
+        .sum::<f64>()
+        / asy.ledger.len() as f64;
+    let mean_transfer =
+        asy.ledger.iter().map(|r| r.mean_transfer_s).sum::<f64>() / asy.ledger.len() as f64;
+    let wall: Vec<String> = take_results()
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+                r.id, r.median_ns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"env\": \"cifar_fast_unbalanced\", \"algorithm\": \"jFAT\", \
+         \"aggregations\": {ROUNDS}, \"concurrency\": {}, \"buffer_k\": {}, \
+         \"staleness_exp\": {}}},\n  \
+         \"wait_all\": {{\"virtual_total_s\": {:.6}, \"time_to_loss_s\": {:.6}}},\n  \
+         \"async\": {{\"virtual_total_s\": {:.6}, \"time_to_loss_s\": {:.6}, \
+         \"mean_staleness\": {:.3}, \"mean_transfer_s\": {:.6}}},\n  \
+         \"loss_target\": {:.4},\n  \"virtual_speedup\": {:.3},\n  \
+         \"time_to_loss_speedup\": {:.3},\n  \"wall\": [\n{}\n  ]\n}}\n",
+        async_cfg().concurrency,
+        async_cfg().buffer_k,
+        async_cfg().staleness_exp,
+        sync.virtual_time_s(),
+        sync_tt,
+        asy.virtual_time_s(),
+        async_tt,
+        mean_staleness,
+        mean_transfer,
+        target,
+        sync.virtual_time_s() / asy.virtual_time_s(),
+        sync_tt / async_tt,
+        wall.join(",\n")
+    );
+    let path =
+        std::env::var("FP_ASYNC_BENCH_JSON").unwrap_or_else(|_| "BENCH_fl_async.json".into());
+    std::fs::write(&path, &json).expect("write fl_async report");
+    println!(
+        "fl_async: virtual speedup {:.3}x, time-to-loss speedup {:.3}x, report -> {path}",
+        sync.virtual_time_s() / asy.virtual_time_s(),
+        sync_tt / async_tt
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_wall, report_virtual
+}
+criterion_main!(benches);

@@ -90,6 +90,8 @@ fn mean_fleet_latency(
     let model = LatencyModel {
         mem_req_bytes: mem_req,
         fwd_macs_per_sample: macs,
+        // Figure 2 reproduces compute/swap shares; no transfer charged.
+        model_bytes: 0,
         batch: w.batch,
         profile: TrainingPassProfile::adversarial(10),
     };

@@ -1,0 +1,950 @@
+//! Barrier-free asynchronous aggregation (FedBuff-style) on a continuous
+//! virtual-time event loop.
+//!
+//! The event-driven round scheduler ([`crate::sched`]) still closes
+//! discrete rounds at a barrier: however aggressive the deadline, the
+//! server waits, then aggregates, then re-dispatches everyone at once.
+//! This module removes the barrier entirely (Nguyen et al. 2022,
+//! FedBuff):
+//!
+//! * up to [`AsyncConfig::concurrency`] clients are in flight at any
+//!   virtual instant; each dispatch is costed end-to-end by `fp-hwsim`
+//!   (down-link model transfer + local training + up-link update
+//!   transfer on the client's degraded device);
+//! * finished updates stream into a **staleness buffer**; every
+//!   [`AsyncConfig::buffer_k`] buffered updates the server aggregates
+//!   them into the global model with FedAvg weights discounted by
+//!   `1/(1+staleness)^a` ([`staleness_weight`]), where staleness is the
+//!   number of model versions that elapsed since the update's dispatch;
+//! * the slot freed by a finished client re-arms **immediately** — the
+//!   virtual clock never blocks on a straggler, it simply keeps serving
+//!   fast clients while a swapping TX2 grinds on.
+//!
+//! # Degenerate synchronism
+//!
+//! With `concurrency = buffer_k = n_clients`, `clients_per_round =
+//! n_clients`, and `a = 0`, every client is dispatched at every version,
+//! the buffer only fills when the slowest client reports, and the
+//! discount is exactly 1 — the loop **is** the wait-all synchronous
+//! round, bit-for-bit (same availability draws, same training streams,
+//! same aggregation order and weights, same virtual clock). The
+//! equivalence suite in `tests/async_e2e.rs` pins this, which is what
+//! keeps the historical lockstep results meaningful as the async path
+//! evolves.
+//!
+//! # Determinism
+//!
+//! Everything is a pure function of `(FlConfig::seed, version, client)`:
+//! availability is drawn from the per-`(version, client)` streams shared
+//! with the sync scheduler, client picking from a per-dispatch-index
+//! stream, and training from the same `(seed, version, client)` streams
+//! the baselines always used. A client is dispatched **at most once per
+//! model version** (an identical re-dispatch would replay the exact same
+//! simulated update); slots idled by this rule re-arm at the next
+//! aggregation. The ledger and final model are bit-identical at any
+//! worker-thread budget.
+//!
+//! # Checkpointing
+//!
+//! Pending dispatches are pure descriptors; the local training runs
+//! lazily when the buffer flushes, against the snapshot of each entry's
+//! dispatch version — so nothing is ever trained and then discarded,
+//! and [`AsyncCheckpoint`] captures the full mid-flight state (buffered
+//! *and* in-flight dispatches) without serializing model updates: every
+//! pending update is a pure function of `(dispatch version, client)`,
+//! and a resumed run re-derives it at its flush, bit-identically.
+
+use crate::config::FlConfig;
+use crate::engine::FlEnv;
+use crate::metrics::{FlOutcome, RoundRecord};
+use crate::sched::sample_availability;
+use fp_nn::checkpoint::Checkpoint;
+use fp_nn::CascadeModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Domain-separation salt for the per-dispatch client-picking stream.
+const SALT_DISPATCH: u64 = 0xA51D_15BA;
+
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+// ------------------------------------------------------------------ config
+
+/// Barrier-free aggregation policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsyncConfig {
+    /// Maximum clients training concurrently (FedBuff's `M_c`). Freed
+    /// slots re-arm immediately.
+    pub concurrency: usize,
+    /// Aggregate every `K` buffered updates (FedBuff's buffer size).
+    pub buffer_k: usize,
+    /// Staleness-discount exponent `a`: an update `s` versions stale is
+    /// weighted by `1/(1+s)^a`. `0` disables discounting (plain FedAvg
+    /// over the buffer).
+    pub staleness_exp: f64,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            concurrency: 4,
+            buffer_k: 2,
+            staleness_exp: 0.5,
+        }
+    }
+}
+
+impl AsyncConfig {
+    /// The degenerate configuration that reproduces the wait-all
+    /// synchronous round bit-for-bit on a fleet of `n_clients` (with
+    /// `clients_per_round = n_clients`).
+    pub fn synchronous(n_clients: usize) -> Self {
+        AsyncConfig {
+            concurrency: n_clients,
+            buffer_k: n_clients,
+            staleness_exp: 0.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate values.
+    pub fn validate(&self) {
+        assert!(self.concurrency >= 1, "concurrency must be >= 1");
+        assert!(self.buffer_k >= 1, "buffer_k must be >= 1");
+        assert!(
+            self.staleness_exp >= 0.0 && self.staleness_exp.is_finite(),
+            "staleness_exp must be finite and >= 0"
+        );
+    }
+}
+
+/// The FedBuff staleness discount `1/(1+s)^a`. Exactly `1.0` for every
+/// staleness when `a = 0` (IEEE `pow(x, 0) = 1`), which is what makes the
+/// degenerate config reduce to plain FedAvg bit-for-bit.
+pub fn staleness_weight(staleness: usize, exp: f64) -> f32 {
+    (1.0 / (1.0 + staleness as f64)).powf(exp) as f32
+}
+
+// ---------------------------------------------------------------- timeline
+
+/// One client-finish event on the continuous virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FinishEvent {
+    time: f64,
+    client: usize,
+}
+
+impl FinishEvent {
+    /// Total deterministic order: time (finite, non-negative — IEEE bit
+    /// patterns order correctly), then client id.
+    fn key(&self) -> (u64, usize) {
+        (self.time.to_bits(), self.client)
+    }
+}
+
+impl Eq for FinishEvent {}
+
+impl Ord for FinishEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl PartialOrd for FinishEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The continuous virtual-time dispatch fabric: slot bookkeeping, the
+/// finish-event queue, and the deterministic client picker. Shared
+/// between the generic [`AsyncScheduler`] and FedProphet's async
+/// module-window loop (which buffers and aggregates with its own rules).
+#[derive(Debug, Clone)]
+pub struct AsyncTimeline {
+    seed: u64,
+    concurrency: usize,
+    clock_s: f64,
+    events: BinaryHeap<std::cmp::Reverse<FinishEvent>>,
+    busy: Vec<bool>,
+    dispatched_at_version: Vec<bool>,
+    free_slots: usize,
+    dispatch_count: u64,
+}
+
+impl AsyncTimeline {
+    /// A fresh timeline at virtual time 0 with every slot free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency` is 0 or exceeds the fleet size.
+    pub fn new(seed: u64, n_clients: usize, concurrency: usize) -> Self {
+        assert!(
+            (1..=n_clients).contains(&concurrency),
+            "concurrency must be in 1..=n_clients"
+        );
+        AsyncTimeline {
+            seed,
+            concurrency,
+            clock_s: 0.0,
+            events: BinaryHeap::new(),
+            busy: vec![false; n_clients],
+            dispatched_at_version: vec![false; n_clients],
+            free_slots: concurrency,
+            dispatch_count: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Total dispatches so far (the picker's stream counter).
+    pub fn dispatch_count(&self) -> u64 {
+        self.dispatch_count
+    }
+
+    /// Clients currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.concurrency - self.free_slots
+    }
+
+    /// Fills free slots with eligible clients — not in flight and not yet
+    /// dispatched at the current model version — picking uniformly from a
+    /// per-dispatch-index stream. Returns the picked clients in dispatch
+    /// order; the caller must [`AsyncTimeline::schedule_finish`] each.
+    pub fn pick_dispatches(&mut self) -> Vec<usize> {
+        let mut picked = Vec::new();
+        while self.free_slots > 0 {
+            let eligible: Vec<usize> = (0..self.busy.len())
+                .filter(|&k| !self.busy[k] && !self.dispatched_at_version[k])
+                .collect();
+            if eligible.is_empty() {
+                break;
+            }
+            let mut rng = fp_tensor::seeded_rng(
+                self.seed ^ SALT_DISPATCH ^ self.dispatch_count.wrapping_mul(PHI),
+            );
+            let k = eligible[rng.gen_range(0..eligible.len())];
+            self.busy[k] = true;
+            self.dispatched_at_version[k] = true;
+            self.free_slots -= 1;
+            self.dispatch_count += 1;
+            picked.push(k);
+        }
+        picked
+    }
+
+    /// Schedules the finish event of a just-picked client.
+    pub fn schedule_finish(&mut self, client: usize, finish_s: f64) {
+        self.events.push(std::cmp::Reverse(FinishEvent {
+            time: finish_s,
+            client,
+        }));
+    }
+
+    /// Pops the next finish event, advances the clock to it, and frees
+    /// the client's slot. `None` when nothing is in flight.
+    pub fn next_finish(&mut self) -> Option<(f64, usize)> {
+        let std::cmp::Reverse(ev) = self.events.pop()?;
+        self.clock_s = ev.time;
+        self.busy[ev.client] = false;
+        self.free_slots += 1;
+        Some((ev.time, ev.client))
+    }
+
+    /// Marks a model-version bump: every client becomes dispatchable
+    /// again (against the *new* version).
+    pub fn bump_version(&mut self) {
+        self.dispatched_at_version.fill(false);
+    }
+
+    /// Rebuilds a mid-flight timeline from checkpoint state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the in-flight set exceeds `concurrency` or repeats a
+    /// client.
+    pub fn restore(
+        seed: u64,
+        n_clients: usize,
+        concurrency: usize,
+        clock_s: f64,
+        dispatch_count: u64,
+        dispatched_at_version: &[usize],
+        in_flight: &[(usize, f64)],
+    ) -> Self {
+        let mut tl = AsyncTimeline::new(seed, n_clients, concurrency);
+        tl.clock_s = clock_s;
+        tl.dispatch_count = dispatch_count;
+        for &k in dispatched_at_version {
+            tl.dispatched_at_version[k] = true;
+        }
+        assert!(in_flight.len() <= concurrency, "in-flight exceeds slots");
+        for &(k, finish_s) in in_flight {
+            assert!(!tl.busy[k], "client {k} in flight twice");
+            tl.busy[k] = true;
+            tl.free_slots -= 1;
+            tl.schedule_finish(k, finish_s);
+        }
+        tl
+    }
+}
+
+// ------------------------------------------------------------------ ledger
+
+/// One asynchronous aggregation's ledger entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsyncAggRecord {
+    /// Aggregation index (the model version this aggregation produced is
+    /// `agg + 1`).
+    pub agg: usize,
+    /// Updates merged (the buffer size at flush).
+    pub merged: usize,
+    /// The merged clients, in merge order (ascending client id; a client
+    /// can appear twice when updates from two dispatch versions land in
+    /// one buffer).
+    pub clients: Vec<usize>,
+    /// Mean staleness (model versions) of the merged updates.
+    pub mean_staleness: f32,
+    /// Maximum staleness among the merged updates.
+    pub max_staleness: usize,
+    /// `Σ discount·w / Σ w` over the merged updates — the FedAvg mass the
+    /// staleness discount retained (1.0 when nothing was stale or `a=0`).
+    pub weight_retained: f32,
+    /// Sum of undiscounted FedAvg weights of the merged clients.
+    pub participation_weight: f32,
+    /// Mean local training loss of the merged updates.
+    pub train_loss: f32,
+    /// Validation clean accuracy, when measured at this aggregation.
+    pub val_clean: Option<f32>,
+    /// Validation adversarial accuracy, when measured at this aggregation.
+    pub val_adv: Option<f32>,
+    /// Mean up/down-link transfer seconds of the merged dispatches.
+    pub mean_transfer_s: f64,
+    /// Virtual time since the previous aggregation.
+    pub round_time_s: f64,
+    /// Virtual clock at this aggregation.
+    pub clock_s: f64,
+}
+
+// --------------------------------------------------------------- scheduler
+
+/// The barrier-free asynchronous aggregator.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncScheduler<T> {
+    /// The algorithm being driven (same contract the sync scheduler
+    /// drives — staleness enters through
+    /// [`crate::sched::ScheduledTrainer::merge_weighted`]).
+    pub trainer: T,
+    /// Aggregation policy.
+    pub acfg: AsyncConfig,
+}
+
+/// The result of an asynchronous run.
+pub struct AsyncOutcome {
+    /// Final global model.
+    pub model: CascadeModel,
+    /// Per-aggregation ledger.
+    pub ledger: Vec<AsyncAggRecord>,
+}
+
+impl AsyncOutcome {
+    /// Total virtual training time.
+    pub fn virtual_time_s(&self) -> f64 {
+        self.ledger.last().map_or(0.0, |r| r.clock_s)
+    }
+
+    /// The ledger as a JSON document.
+    pub fn ledger_json(&self) -> String {
+        serde_json::to_string(&self.ledger).expect("ledger serializes")
+    }
+
+    /// Converts to the generic outcome shape (one record per
+    /// aggregation).
+    pub fn into_fl_outcome(self) -> FlOutcome {
+        let history = self
+            .ledger
+            .iter()
+            .map(|r| RoundRecord {
+                round: r.agg,
+                train_loss: r.train_loss,
+                val_clean: r.val_clean,
+                val_adv: r.val_adv,
+            })
+            .collect();
+        FlOutcome {
+            model: self.model,
+            history,
+        }
+    }
+}
+
+/// Where [`AsyncScheduler::run_until`] stops: after `aggregations`
+/// aggregations, then after `buffered` further updates have entered the
+/// (post-flush, empty) buffer — so a checkpoint can be taken with both
+/// buffered updates and in-flight clients pending.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsyncStopPoint {
+    /// Aggregations to complete.
+    pub aggregations: usize,
+    /// Buffered-but-unflushed updates to accumulate afterwards (must be
+    /// `< buffer_k`, or the buffer would have flushed first).
+    pub buffered: usize,
+}
+
+impl AsyncStopPoint {
+    /// Stop right after an aggregation (empty buffer).
+    pub fn after_agg(aggregations: usize) -> Self {
+        AsyncStopPoint {
+            aggregations,
+            buffered: 0,
+        }
+    }
+}
+
+/// One pending (buffered or in-flight) dispatch, as stored in a
+/// checkpoint. The update itself is *not* stored: it is a pure function
+/// of `(version, client)` and the version's model, so resume re-derives
+/// it bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PendingDispatch {
+    /// Client id.
+    pub client: usize,
+    /// Model version the client was dispatched against.
+    pub version: usize,
+    /// Virtual dispatch time.
+    pub dispatch_s: f64,
+    /// Virtual finish time (dispatch + hwsim round trip).
+    pub finish_s: f64,
+    /// Up/down-link transfer seconds of the dispatch.
+    pub transfer_s: f64,
+}
+
+/// A serializable snapshot of an asynchronous run, including buffered
+/// updates and in-flight clients (as replay descriptors — see
+/// [`PendingDispatch`]). Validated on [`AsyncScheduler::resume`] so a
+/// checkpoint can never silently continue under different rules.
+#[derive(Serialize, Deserialize)]
+pub struct AsyncCheckpoint {
+    /// Aggregations already performed (= current model version).
+    pub version: usize,
+    /// Virtual clock at capture time.
+    pub clock_s: f64,
+    /// Virtual clock of the last aggregation (round_time baseline).
+    pub last_agg_clock_s: f64,
+    /// The dispatch-picker stream counter.
+    pub dispatch_count: u64,
+    /// Master seed of every RNG stream.
+    pub seed: u64,
+    /// Aggregation policy the run was started with.
+    pub acfg: AsyncConfig,
+    /// Name of the algorithm that produced the checkpoint.
+    pub algorithm: String,
+    /// `n_clients` of the originating environment.
+    pub n_clients: usize,
+    /// Total aggregations of the originating run (eval cadence depends
+    /// on it).
+    pub rounds: usize,
+    /// Current global model.
+    pub model: Checkpoint,
+    /// Ledger of the aggregations already performed.
+    pub ledger: Vec<AsyncAggRecord>,
+    /// Buffered updates, in arrival order.
+    pub buffer: Vec<PendingDispatch>,
+    /// In-flight clients, in dispatch order.
+    pub in_flight: Vec<PendingDispatch>,
+    /// Clients already dispatched at the current version.
+    pub dispatched_at_version: Vec<usize>,
+    /// Snapshots of past model versions still referenced by pending
+    /// dispatches.
+    pub past_models: Vec<(usize, Checkpoint)>,
+}
+
+/// Mutable state of a live asynchronous run.
+///
+/// Pending dispatches are pure descriptors — the actual local training
+/// runs lazily at flush time ([`AsyncScheduler::aggregate`]), against the
+/// snapshot of each entry's dispatch version. Nothing is ever trained
+/// and then discarded, and a checkpoint is just these descriptors plus
+/// the referenced model snapshots.
+struct AsyncState {
+    model: CascadeModel,
+    version: usize,
+    timeline: AsyncTimeline,
+    /// Buffered (finished, unflushed) dispatches in arrival order.
+    buffer: Vec<PendingDispatch>,
+    /// In-flight dispatches (unordered; keyed by client).
+    in_flight: Vec<PendingDispatch>,
+    /// Past model versions still referenced by pending dispatches.
+    past_models: Vec<(usize, CascadeModel)>,
+    ledger: Vec<AsyncAggRecord>,
+    last_agg_clock: f64,
+}
+
+impl AsyncState {
+    /// The model a dispatch at `version` trains against.
+    fn model_of(&self, version: usize) -> &CascadeModel {
+        if version == self.version {
+            &self.model
+        } else {
+            &self
+                .past_models
+                .iter()
+                .find(|(pv, _)| *pv == version)
+                .expect("referenced past model is stored")
+                .1
+        }
+    }
+}
+
+impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
+    /// Creates an asynchronous scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acfg` is invalid.
+    pub fn new(trainer: T, acfg: AsyncConfig) -> Self {
+        acfg.validate();
+        AsyncScheduler { trainer, acfg }
+    }
+
+    /// Runs `env.cfg.rounds` aggregations.
+    pub fn run(&self, env: &FlEnv) -> AsyncOutcome {
+        let mut st = self.fresh_state(env);
+        self.drive(env, &mut st, AsyncStopPoint::after_agg(env.cfg.rounds));
+        AsyncOutcome {
+            model: st.model,
+            ledger: st.ledger,
+        }
+    }
+
+    /// Runs to `stop` and returns a resumable mid-flight checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop.buffered >= buffer_k` (the buffer would have
+    /// flushed before reaching it).
+    pub fn run_until(&self, env: &FlEnv, stop: AsyncStopPoint) -> AsyncCheckpoint {
+        assert!(
+            stop.buffered < self.acfg.buffer_k,
+            "cannot stop at {} buffered updates: the buffer flushes at {}",
+            stop.buffered,
+            self.acfg.buffer_k
+        );
+        let stop = AsyncStopPoint {
+            aggregations: stop.aggregations.min(env.cfg.rounds),
+            ..stop
+        };
+        let mut st = self.fresh_state(env);
+        self.drive(env, &mut st, stop);
+        AsyncCheckpoint {
+            version: st.version,
+            clock_s: st.timeline.clock_s(),
+            last_agg_clock_s: st.last_agg_clock,
+            dispatch_count: st.timeline.dispatch_count(),
+            seed: env.cfg.seed,
+            acfg: self.acfg,
+            algorithm: self.trainer.name().to_string(),
+            n_clients: env.cfg.n_clients,
+            rounds: env.cfg.rounds,
+            model: Checkpoint::capture(&st.model),
+            ledger: st.ledger,
+            buffer: st.buffer,
+            in_flight: st.in_flight,
+            dispatched_at_version: (0..env.cfg.n_clients)
+                .filter(|&k| st.timeline.dispatched_at_version[k])
+                .collect(),
+            past_models: st
+                .past_models
+                .iter()
+                .map(|(v, m)| (*v, Checkpoint::capture(m)))
+                .collect(),
+        }
+    }
+
+    /// Resumes from a checkpoint and finishes the remaining
+    /// aggregations, bit-identically to an uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint disagrees with the resuming environment
+    /// or scheduler, or a stored model does not restore.
+    pub fn resume(&self, env: &FlEnv, ckpt: &AsyncCheckpoint) -> AsyncOutcome {
+        assert_eq!(
+            ckpt.seed, env.cfg.seed,
+            "checkpoint was taken under a different master seed"
+        );
+        assert_eq!(
+            ckpt.acfg, self.acfg,
+            "checkpoint was taken under a different async policy"
+        );
+        assert_eq!(
+            ckpt.algorithm,
+            self.trainer.name(),
+            "checkpoint was taken by a different algorithm"
+        );
+        assert_eq!(
+            (ckpt.n_clients, ckpt.rounds),
+            (env.cfg.n_clients, env.cfg.rounds),
+            "checkpoint was taken under a different environment shape"
+        );
+        let model: CascadeModel = ckpt.model.restore().expect("checkpoint model restores");
+        let past_models: Vec<(usize, CascadeModel)> = ckpt
+            .past_models
+            .iter()
+            .map(|(v, c)| (*v, c.restore().expect("past model restores")))
+            .collect();
+        let timeline = AsyncTimeline::restore(
+            env.cfg.seed,
+            env.cfg.n_clients,
+            self.acfg.concurrency,
+            ckpt.clock_s,
+            ckpt.dispatch_count,
+            &ckpt.dispatched_at_version,
+            &ckpt
+                .in_flight
+                .iter()
+                .map(|d| (d.client, d.finish_s))
+                .collect::<Vec<_>>(),
+        );
+        // Pending dispatches are pure descriptors; their updates are
+        // re-derived at flush time like in the uninterrupted run, so
+        // nothing needs retraining here.
+        let mut st = AsyncState {
+            model,
+            version: ckpt.version,
+            timeline,
+            buffer: ckpt.buffer.clone(),
+            in_flight: ckpt.in_flight.clone(),
+            past_models,
+            ledger: ckpt.ledger.clone(),
+            last_agg_clock: ckpt.last_agg_clock_s,
+        };
+        self.drive(env, &mut st, AsyncStopPoint::after_agg(env.cfg.rounds));
+        AsyncOutcome {
+            model: st.model,
+            ledger: st.ledger,
+        }
+    }
+
+    fn fresh_state(&self, env: &FlEnv) -> AsyncState {
+        self.acfg.validate();
+        assert!(
+            self.acfg.concurrency <= env.cfg.n_clients,
+            "concurrency cannot exceed the fleet"
+        );
+        assert!(
+            self.acfg.buffer_k <= env.cfg.n_clients,
+            "buffer_k above n_clients deadlocks: at most one update per client per version"
+        );
+        AsyncState {
+            model: self.trainer.init(env),
+            version: 0,
+            timeline: AsyncTimeline::new(env.cfg.seed, env.cfg.n_clients, self.acfg.concurrency),
+            buffer: Vec::new(),
+            in_flight: Vec::new(),
+            past_models: Vec::new(),
+            ledger: Vec::new(),
+            last_agg_clock: 0.0,
+        }
+    }
+
+    /// The event loop: arm free slots, pop the next finish, buffer it,
+    /// flush at `K` — until `stop`. Arming happens at the top of each
+    /// iteration (the clock only advances inside `next_finish`, so this
+    /// is the same virtual instant as the event that freed the slot);
+    /// once the stop point is reached no further clients are dispatched,
+    /// so a plain `run` never trains updates it would then discard. A
+    /// resumed run re-arms on its first iteration from the checkpointed
+    /// `dispatch_count`, reproducing the exact dispatch stream.
+    fn drive(&self, env: &FlEnv, st: &mut AsyncState, stop: AsyncStopPoint) {
+        let cadence = crate::baselines::eval_cadence(env.cfg.rounds);
+        while st.version < stop.aggregations
+            || (st.version == stop.aggregations && st.buffer.len() < stop.buffered)
+        {
+            self.arm(env, st);
+            let (time, client) = st
+                .timeline
+                .next_finish()
+                .expect("clients stay in flight while aggregations remain");
+            let idx = st
+                .in_flight
+                .iter()
+                .position(|d| d.client == client)
+                .expect("finished client is in flight");
+            let entry = st.in_flight.swap_remove(idx);
+            debug_assert_eq!(entry.finish_s, time);
+            st.buffer.push(entry);
+            if st.buffer.len() >= self.acfg.buffer_k {
+                self.aggregate(env, st, cadence);
+            }
+        }
+    }
+
+    /// Fills free slots: picks eligible clients and costs + schedules
+    /// their dispatches on their currently-degraded devices. The local
+    /// training itself runs lazily at flush time.
+    fn arm(&self, env: &FlEnv, st: &mut AsyncState) {
+        let picked = st.timeline.pick_dispatches();
+        let cfg: &FlConfig = &env.cfg;
+        let v = st.version;
+        let clock = st.timeline.clock_s();
+        for k in picked {
+            let dev = sample_availability(env, v, k);
+            let lat = self
+                .trainer
+                .cost(env, v, k)
+                .dispatch_round_trip(&dev, cfg.local_iters);
+            let finish_s = clock + lat.total();
+            st.timeline.schedule_finish(k, finish_s);
+            st.in_flight.push(PendingDispatch {
+                client: k,
+                version: v,
+                dispatch_s: clock,
+                finish_s,
+                transfer_s: lat.transfer_s,
+            });
+        }
+    }
+
+    /// Flushes the buffer: trains the buffered dispatches (in parallel,
+    /// each against the snapshot of its dispatch version — updates are
+    /// pure functions of `(version, client)`), merges them into the
+    /// global model with staleness-discounted FedAvg weights, and
+    /// records the aggregation.
+    fn aggregate(&self, env: &FlEnv, st: &mut AsyncState, cadence: usize) {
+        let v = st.version;
+        let mut entries = std::mem::take(&mut st.buffer);
+        // Deterministic merge order, independent of arrival order among
+        // equal timestamps: ascending (client, dispatch version) — which
+        // in the degenerate synchronous config is exactly the ascending
+        // client-id order of the lockstep loops.
+        entries.sort_by_key(|d| (d.client, d.version));
+        let n = entries.len();
+        let (outer, inner) = fp_tensor::parallel::thread_split(n);
+        let results = fp_tensor::parallel::parallel_map(&entries, outer, |_, d| {
+            self.trainer.train(
+                env,
+                st.model_of(d.version),
+                d.version,
+                d.client,
+                env.cfg.lr.at(d.version),
+                fp_tensor::backend_for_threads(inner),
+            )
+        });
+        let stalenesses: Vec<usize> = entries.iter().map(|d| v - d.version).collect();
+        let base: Vec<f32> = entries
+            .iter()
+            .map(|d| env.splits[d.client].weight)
+            .collect();
+        let weights: Vec<f32> = base
+            .iter()
+            .zip(&stalenesses)
+            .map(|(&w, &s)| w * staleness_weight(s, self.acfg.staleness_exp))
+            .collect();
+        let train_loss = results.iter().map(|(_, l)| *l).sum::<f32>() / n as f32;
+        let mean_transfer_s = entries.iter().map(|d| d.transfer_s).sum::<f64>() / n as f64;
+        let mean_staleness = stalenesses.iter().sum::<usize>() as f32 / n as f32;
+        let max_staleness = stalenesses.iter().copied().max().unwrap_or(0);
+        let participation_weight = base.iter().sum::<f32>();
+        let weight_retained = weights.iter().sum::<f32>() / participation_weight;
+        let clients: Vec<usize> = entries.iter().map(|d| d.client).collect();
+        let updates: Vec<(usize, T::Update)> = entries
+            .iter()
+            .zip(results)
+            .map(|(d, (u, _))| (d.client, u))
+            .collect();
+        // The model is about to change; snapshot it while in-flight
+        // clients dispatched against it still need it for their flush
+        // (and for checkpoints).
+        if st.in_flight.iter().any(|d| d.version == v) {
+            st.past_models.push((v, st.model.clone()));
+        }
+        self.trainer
+            .merge_weighted(env, &mut st.model, v, updates, &weights);
+        st.version += 1;
+        st.timeline.bump_version();
+        // GC: the buffer is empty here, so in-flight dispatches are the
+        // only remaining referents of past versions.
+        st.past_models
+            .retain(|(pv, _)| st.in_flight.iter().any(|d| d.version == *pv));
+        let (mut vc, mut va) = (None, None);
+        if v % cadence == cadence - 1 || v + 1 == env.cfg.rounds {
+            vc = Some(env.val_clean(&mut st.model, 64));
+            va = Some(env.val_adv(&mut st.model, 64));
+        }
+        let clock = st.timeline.clock_s();
+        st.ledger.push(AsyncAggRecord {
+            agg: v,
+            merged: n,
+            clients,
+            mean_staleness,
+            max_staleness,
+            weight_retained,
+            participation_weight,
+            train_loss,
+            val_clean: vc,
+            val_adv: va,
+            mean_transfer_s,
+            round_time_s: clock - st.last_agg_clock,
+            clock_s: clock,
+        });
+        st.last_agg_clock = clock;
+    }
+}
+
+impl<T: crate::sched::ScheduledTrainer> crate::engine::FlAlgorithm for AsyncScheduler<T> {
+    fn name(&self) -> &'static str {
+        self.trainer.name()
+    }
+
+    fn run(&self, env: &FlEnv) -> FlOutcome {
+        AsyncScheduler::run(self, env).into_fl_outcome()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staleness_weight_is_exact_fedavg_at_zero_exponent() {
+        for s in 0..50 {
+            assert_eq!(staleness_weight(s, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn staleness_weight_decays() {
+        assert_eq!(staleness_weight(0, 1.0), 1.0);
+        assert_eq!(staleness_weight(1, 1.0), 0.5);
+        assert_eq!(staleness_weight(3, 1.0), 0.25);
+        let half = staleness_weight(1, 0.5);
+        assert!((half - 0.70710677).abs() < 1e-6);
+        // Monotone in staleness for positive exponents.
+        for s in 0..10 {
+            assert!(staleness_weight(s + 1, 0.7) < staleness_weight(s, 0.7));
+        }
+    }
+
+    #[test]
+    fn timeline_dispatches_each_client_once_per_version() {
+        let mut tl = AsyncTimeline::new(7, 4, 4);
+        let first = tl.pick_dispatches();
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        for (i, &k) in first.iter().enumerate() {
+            tl.schedule_finish(k, 1.0 + i as f64);
+        }
+        // A finished client frees its slot but stays ineligible until the
+        // version bumps.
+        let (t, k) = tl.next_finish().unwrap();
+        assert_eq!(t, 1.0);
+        assert_eq!(k, first[0]);
+        assert!(tl.pick_dispatches().is_empty());
+        tl.bump_version();
+        assert_eq!(tl.pick_dispatches(), vec![k]);
+    }
+
+    #[test]
+    fn timeline_picks_are_deterministic() {
+        let run = || {
+            let mut tl = AsyncTimeline::new(123, 8, 3);
+            let mut order = tl.pick_dispatches();
+            for (i, &k) in order.iter().enumerate() {
+                tl.schedule_finish(k, (i + 1) as f64);
+            }
+            tl.bump_version();
+            while let Some((t, _)) = tl.next_finish() {
+                let picked = tl.pick_dispatches();
+                for &k in &picked {
+                    tl.schedule_finish(k, t + 10.0);
+                }
+                order.extend(picked);
+                if order.len() > 6 {
+                    break;
+                }
+            }
+            order
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn timeline_event_order_breaks_ties_by_client() {
+        let mut tl = AsyncTimeline::new(0, 3, 3);
+        for &k in &tl.pick_dispatches() {
+            tl.schedule_finish(k, 2.5);
+        }
+        let mut seen = Vec::new();
+        while let Some((_, k)) = tl.next_finish() {
+            seen.push(k);
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn timeline_restore_round_trips() {
+        let mut tl = AsyncTimeline::new(9, 5, 2);
+        let picked = tl.pick_dispatches();
+        for &k in &picked {
+            tl.schedule_finish(k, 3.0 + k as f64);
+        }
+        tl.next_finish().unwrap();
+        let in_flight: Vec<(usize, f64)> = vec![(picked[1], 3.0 + picked[1] as f64)];
+        let dispatched: Vec<usize> = (0..5).filter(|&k| tl.dispatched_at_version[k]).collect();
+        let restored = AsyncTimeline::restore(
+            9,
+            5,
+            2,
+            tl.clock_s(),
+            tl.dispatch_count(),
+            &dispatched,
+            &in_flight,
+        );
+        assert_eq!(restored.clock_s(), tl.clock_s());
+        assert_eq!(restored.dispatch_count(), tl.dispatch_count());
+        assert_eq!(restored.in_flight(), tl.in_flight());
+        let mut a = tl.clone();
+        let mut b = restored.clone();
+        assert_eq!(a.pick_dispatches(), b.pick_dispatches());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer_k")]
+    fn rejects_zero_buffer() {
+        AsyncConfig {
+            buffer_k: 0,
+            ..AsyncConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrency")]
+    fn rejects_zero_concurrency() {
+        AsyncConfig {
+            concurrency: 0,
+            ..AsyncConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "staleness_exp")]
+    fn rejects_negative_exponent() {
+        AsyncConfig {
+            staleness_exp: -0.1,
+            ..AsyncConfig::default()
+        }
+        .validate();
+    }
+}

@@ -56,6 +56,7 @@ impl ScheduledTrainer for FedRbn {
         LatencyModel {
             mem_req_bytes: env.full_mem_req(),
             fwd_macs_per_sample: forward_macs(&env.reference_specs, &env.input_shape),
+            model_bytes: env.model_param_bytes(),
             batch: env.cfg.batch_size,
             profile: if Self::can_afford_at(env, k) {
                 TrainingPassProfile::adversarial(env.cfg.pgd_steps)
@@ -94,16 +95,18 @@ impl ScheduledTrainer for FedRbn {
         ((model, can_afford_at), loss)
     }
 
-    fn merge(
+    fn merge_weighted(
         &self,
-        env: &FlEnv,
+        _env: &FlEnv,
         global: &mut CascadeModel,
         _t: usize,
         updates: Vec<(usize, Self::Update)>,
+        weights: &[f32],
     ) {
         let results: Vec<(CascadeModel, f32, bool)> = updates
             .into_iter()
-            .map(|(k, (m, at))| (m, env.splits[k].weight, at))
+            .zip(weights)
+            .map(|((_, (m, at)), &w)| (m, w, at))
             .collect();
         // Weights: plain FedAvg over everyone.
         let all: Vec<(CascadeModel, f32)> =

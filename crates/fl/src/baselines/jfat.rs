@@ -47,6 +47,7 @@ impl ScheduledTrainer for JFat {
         LatencyModel {
             mem_req_bytes: env.full_mem_req(),
             fwd_macs_per_sample: forward_macs(&env.reference_specs, &env.input_shape),
+            model_bytes: env.model_param_bytes(),
             batch: env.cfg.batch_size,
             profile: if self.standard_training {
                 TrainingPassProfile::standard()
@@ -85,16 +86,18 @@ impl ScheduledTrainer for JFat {
         (model, loss)
     }
 
-    fn merge(
+    fn merge_weighted(
         &self,
-        env: &FlEnv,
+        _env: &FlEnv,
         global: &mut CascadeModel,
         _t: usize,
         updates: Vec<(usize, CascadeModel)>,
+        weights: &[f32],
     ) {
         let weighted: Vec<(CascadeModel, f32)> = updates
             .into_iter()
-            .map(|(k, m)| (m, env.splits[k].weight))
+            .zip(weights)
+            .map(|((_, m), &w)| (m, w))
             .collect();
         fedavg_into(global, &weighted);
     }

@@ -77,6 +77,9 @@ impl ScheduledTrainer for PartialTraining {
         LatencyModel {
             mem_req_bytes: (ratio * env.full_mem_req() as f64) as u64,
             fwd_macs_per_sample: (ratio * ratio * full_macs) as u64,
+            // Only the kept slice crosses the wire; like MACs, conv
+            // weights shrink in both operands, so params ≈ ratio².
+            model_bytes: (ratio * ratio * env.model_param_bytes() as f64) as u64,
             batch: env.cfg.batch_size,
             profile: TrainingPassProfile::adversarial(env.cfg.pgd_steps),
         }
@@ -114,16 +117,17 @@ impl ScheduledTrainer for PartialTraining {
         ((sub, keep), loss)
     }
 
-    fn merge(
+    fn merge_weighted(
         &self,
-        env: &FlEnv,
+        _env: &FlEnv,
         global: &mut CascadeModel,
         _t: usize,
         updates: Vec<(usize, Self::Update)>,
+        weights: &[f32],
     ) {
         let mut acc = SubmodelAccumulator::new(global);
-        for (k, (sub, keep)) in &updates {
-            acc.add(sub, keep, env.splits[*k].weight);
+        for ((_, (sub, keep)), &w) in updates.iter().zip(weights) {
+            acc.add(sub, keep, w);
         }
         acc.apply(global);
     }

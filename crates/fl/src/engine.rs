@@ -124,6 +124,28 @@ impl FlEnv {
         seeded_rng(self.cfg.seed ^ purpose ^ ((t as u64) << 20))
     }
 
+    /// An RNG domain-separated for `(round, client, purpose)`.
+    ///
+    /// Per-client streams (rather than one sequential per-round stream)
+    /// are what let the synchronous and asynchronous schedulers agree
+    /// bit-for-bit: a client dispatched against model version `t` draws
+    /// the same availability degradation whether the server batched the
+    /// round or streamed the dispatch.
+    pub fn client_rng(&self, t: usize, k: usize, purpose: u64) -> StdRng {
+        seeded_rng(
+            self.cfg.seed
+                ^ purpose
+                ^ ((t as u64) << 20)
+                ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+
+    /// Serialized parameter bytes of the full reference model — the
+    /// payload a full-model dispatch moves down and up the client's link.
+    pub fn model_param_bytes(&self) -> u64 {
+        fp_hwsim::param_transfer_bytes(&self.reference_specs)
+    }
+
     /// Quick validation clean accuracy on at most `max_samples` samples.
     pub fn val_clean(&self, model: &mut CascadeModel, max_samples: usize) -> f32 {
         let n = self.data.val.len().min(max_samples);

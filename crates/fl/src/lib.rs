@@ -22,6 +22,10 @@
 //!   (virtual-time event queue, straggler deadlines, dropout,
 //!   over-selection, checkpoint/resume, per-round metrics ledger); the
 //!   baselines below run through it;
+//! * [`async_sched`] — barrier-free FedBuff-style asynchronous
+//!   aggregation on a continuous virtual clock (staleness-weighted
+//!   buffer, concurrency cap, immediate re-dispatch, mid-flight
+//!   checkpoint/resume); drives the same [`ScheduledTrainer`] contract;
 //! * [`local_train`] — the local SGD/adversarial-training loop;
 //! * [`aggregate`] — weighted FedAvg and the partial-average accumulator
 //!   (paper Eq. 16–17);
@@ -32,6 +36,7 @@
 //! with the final global model and the per-round history.
 
 pub mod aggregate;
+pub mod async_sched;
 pub mod baselines;
 mod config;
 mod engine;
@@ -40,12 +45,17 @@ pub mod metrics;
 pub mod sched;
 pub mod submodel;
 
+pub use async_sched::{
+    staleness_weight, AsyncAggRecord, AsyncCheckpoint, AsyncConfig, AsyncOutcome, AsyncScheduler,
+    AsyncStopPoint, AsyncTimeline, PendingDispatch,
+};
 pub use baselines::{Distill, DistillVariant, FedRbn, JFat, PartialTraining, SubmodelScheme};
 pub use config::FlConfig;
 pub use engine::{scale_budgets, FlAlgorithm, FlEnv};
 pub use local::{local_train, LocalTrainConfig};
 pub use metrics::{FlOutcome, RoundRecord};
 pub use sched::{
-    draw_dropouts, model_hash, over_select_count, simulate_round, DeadlinePolicy, EventScheduler,
-    RoundSim, SchedCheckpoint, SchedConfig, SchedOutcome, SchedRound, ScheduledTrainer,
+    draw_dropouts, model_hash, over_select_count, sample_availability, simulate_round,
+    DeadlinePolicy, EventScheduler, RoundSim, SchedCheckpoint, SchedConfig, SchedOutcome,
+    SchedRound, ScheduledTrainer,
 };

@@ -10,9 +10,11 @@
 //!
 //! This module simulates exactly that, in **virtual time**:
 //!
-//! * every sampled client's local-training duration is drawn from the
+//! * every sampled client's dispatch duration is drawn from the
 //!   `fp-hwsim` latency model of its device profile (with per-round
-//!   availability degradation, §B.1);
+//!   availability degradation, §B.1): model download, local training
+//!   (compute + swap), and update upload over the device's link — so
+//!   deadline estimates see communication-bound clients too;
 //! * a virtual-time event queue ([`simulate_round`]) plays the round
 //!   forward: client-finish events race against an optional straggler
 //!   deadline, dropped-out clients never report;
@@ -57,9 +59,12 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Domain-separation salt for per-round availability degradation —
-/// exported so every consumer of the scheduler's RNG stream discipline
-/// (FedProphet's loop included) draws from the same stream.
+/// Domain-separation salt for availability degradation. Every consumer
+/// of the scheduler's RNG discipline (FedProphet's loop and the async
+/// aggregator included) draws client `k`'s round-`t` degradation from the
+/// same per-`(round, client)` stream, [`FlEnv::client_rng`]`(t, k,
+/// SALT_AVAIL)` — which is what makes sync rounds and async dispatches
+/// against the same model version bit-identical.
 pub const SALT_AVAIL: u64 = 0xA7A11;
 /// Domain-separation salt for per-round dropout draws.
 const SALT_DROP: u64 = 0xD80_90D7;
@@ -421,15 +426,31 @@ pub trait ScheduledTrainer: Sync {
         backend: BackendHandle,
     ) -> (Self::Update, f32);
 
-    /// Merges the completed updates (ascending client id) into `global`.
+    /// Merges the completed updates into `global` with explicit
+    /// aggregation weights (`weights[i]` belongs to `updates[i]`; the
+    /// async scheduler passes FedAvg weights discounted by staleness).
     /// Never called with an empty vector.
+    fn merge_weighted(
+        &self,
+        env: &FlEnv,
+        global: &mut CascadeModel,
+        t: usize,
+        updates: Vec<(usize, Self::Update)>,
+        weights: &[f32],
+    );
+
+    /// Merges the completed updates (ascending client id) into `global`
+    /// with plain FedAvg weights. Never called with an empty vector.
     fn merge(
         &self,
         env: &FlEnv,
         global: &mut CascadeModel,
         t: usize,
         updates: Vec<(usize, Self::Update)>,
-    );
+    ) {
+        let weights: Vec<f32> = updates.iter().map(|(k, _)| env.splits[*k].weight).collect();
+        self.merge_weighted(env, global, t, updates, &weights);
+    }
 }
 
 // --------------------------------------------------------------- scheduler
@@ -664,14 +685,9 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
         let target = cfg.clients_per_round;
         let n_sel = over_select_count(target, self.sched.over_select, cfg.n_clients);
         let ids = env.sample_round_n(t, n_sel);
-        let mut avail_rng = env.round_rng(t, SALT_AVAIL);
         let samples: Vec<DeviceSample> = ids
             .iter()
-            .map(|&k| {
-                let mut s = env.fleet[k];
-                s.resample_availability(&mut avail_rng);
-                s
-            })
+            .map(|&k| sample_availability(env, t, k))
             .collect();
         let dropped = draw_dropouts(env, t, ids.len(), self.sched.dropout_p);
         let latency: Vec<ClientLatency> = ids
@@ -680,11 +696,19 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             .map(|(&k, s)| {
                 self.trainer
                     .cost(env, t, k)
-                    .local_training(s, cfg.local_iters)
+                    .dispatch_round_trip(s, cfg.local_iters)
             })
             .collect();
         simulate_round(&ids, &latency, &dropped, target, &self.sched)
     }
+}
+
+/// Client `k`'s device with its round-`t` real-time availability drawn
+/// from the per-`(round, client)` stream both schedulers share.
+pub fn sample_availability(env: &FlEnv, t: usize, k: usize) -> DeviceSample {
+    let mut s = env.fleet[k];
+    s.resample_availability(&mut env.client_rng(t, k, SALT_AVAIL));
+    s
 }
 
 impl<T: ScheduledTrainer> crate::engine::FlAlgorithm for EventScheduler<T> {
@@ -705,7 +729,35 @@ mod tests {
         ClientLatency {
             compute_s: total,
             data_access_s: 0.0,
+            transfer_s: 0.0,
         }
+    }
+
+    #[test]
+    fn median_deadline_counts_transfer_time() {
+        // Three clients with equal compute but one slow link: the median
+        // of the *totals* (1.5, 2.0, 6.0) is 2.0, so a 1× median deadline
+        // admits the two fast-link clients and cuts the slow one — the
+        // estimate must see communication, not just compute.
+        let cfg = SchedConfig {
+            deadline: DeadlinePolicy::MedianMultiple(1.0),
+            ..SchedConfig::default()
+        };
+        let mk = |transfer: f64| ClientLatency {
+            compute_s: 1.0,
+            data_access_s: 0.0,
+            transfer_s: transfer,
+        };
+        let sim = simulate_round(
+            &[1, 2, 3],
+            &[mk(0.5), mk(1.0), mk(5.0)],
+            &[false; 3],
+            3,
+            &cfg,
+        );
+        assert_eq!(sim.completed, vec![1, 2]);
+        assert_eq!(sim.stragglers, vec![3]);
+        assert_eq!(sim.round_time_s, 2.0);
     }
 
     #[test]

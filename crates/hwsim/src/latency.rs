@@ -9,18 +9,36 @@
 //!   driver overhead factor (paper §3: latency is driven by "high software
 //!   driver management overhead and low storage I/O bandwidth").
 //!
+//! A full federated *dispatch* additionally pays **communication**: the
+//! (sub)model is downloaded before training and the update uploaded after
+//! it, each over the device's `io_gbps` link
+//! ([`LatencyModel::dispatch_round_trip`]). Both the event-driven round
+//! scheduler and the barrier-free async aggregator cost dispatches with
+//! the round-trip, so deadline estimates and the virtual clock account
+//! for the clients whose link — not compute — is the bottleneck.
+//!
 //! The driver overhead factor is the single calibrated constant of the
 //! model (`DRIVER_OVERHEAD = 2.0`), chosen so the swap-latency share of
 //! jFAT on the paper's workloads lands in Figure 2's 60–90 % band; every
-//! method is costed with the same constant.
+//! method is costed with the same constant. Transfers carry no driver
+//! factor: they stream sequentially, without the per-sweep management
+//! overhead of swapping.
 
-use crate::devices::DeviceSample;
+use crate::devices::{Device, DeviceSample};
 use crate::flops::TrainingPassProfile;
 use serde::{Deserialize, Serialize};
 
 /// Multiplier on raw transfer time accounting for driver/management
 /// overhead of memory swapping.
 pub const DRIVER_OVERHEAD: f64 = 2.0;
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Seconds to move `bytes` once over a device's `io_gbps` link (used for
+/// both the down-link model broadcast and the up-link update report).
+pub fn transfer_seconds(bytes: u64, device: &Device) -> f64 {
+    bytes as f64 / (device.io_gbps * GIB)
+}
 
 /// Latency model for one client training one module/model configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -29,6 +47,9 @@ pub struct LatencyModel {
     pub mem_req_bytes: u64,
     /// Forward MACs per sample of the trained window.
     pub fwd_macs_per_sample: u64,
+    /// Serialized parameter bytes of the (sub)model exchanged with the
+    /// server: downloaded at dispatch, uploaded at completion.
+    pub model_bytes: u64,
     /// Batch size.
     pub batch: usize,
     /// Pass structure (PGD steps).
@@ -42,12 +63,14 @@ pub struct ClientLatency {
     pub compute_s: f64,
     /// Data-access (swap) seconds.
     pub data_access_s: f64,
+    /// Up/down-link model-transfer seconds.
+    pub transfer_s: f64,
 }
 
 impl ClientLatency {
     /// Total seconds.
     pub fn total(&self) -> f64 {
-        self.compute_s + self.data_access_s
+        self.compute_s + self.data_access_s + self.transfer_s
     }
 
     /// Element-wise sum.
@@ -55,6 +78,7 @@ impl ClientLatency {
         ClientLatency {
             compute_s: self.compute_s + other.compute_s,
             data_access_s: self.data_access_s + other.data_access_s,
+            transfer_s: self.transfer_s + other.transfer_s,
         }
     }
 
@@ -63,14 +87,16 @@ impl ClientLatency {
         ClientLatency {
             compute_s: 0.0,
             data_access_s: 0.0,
+            transfer_s: 0.0,
         }
     }
 
-    /// Scales both components.
+    /// Scales all components.
     pub fn scale(&self, k: f64) -> ClientLatency {
         ClientLatency {
             compute_s: self.compute_s * k,
             data_access_s: self.data_access_s * k,
+            transfer_s: self.transfer_s * k,
         }
     }
 }
@@ -91,14 +117,25 @@ impl LatencyModel {
         let data_per_iter = if swaps {
             let sweeps = self.profile.sweep_count() as f64;
             let bytes = self.mem_req_bytes as f64 * sweeps;
-            DRIVER_OVERHEAD * bytes / (client.device.io_gbps * 1024.0 * 1024.0 * 1024.0)
+            DRIVER_OVERHEAD * bytes / (client.device.io_gbps * GIB)
         } else {
             0.0
         };
         ClientLatency {
             compute_s: compute_per_iter * iters as f64,
             data_access_s: data_per_iter * iters as f64,
+            transfer_s: 0.0,
         }
+    }
+
+    /// Latency of one full dispatch on `client`: down-link model
+    /// broadcast, `iters` local iterations, up-link update report. This is
+    /// the duration the virtual-time schedulers (sync deadlines and the
+    /// async buffer alike) charge per selected client.
+    pub fn dispatch_round_trip(&self, client: &DeviceSample, iters: usize) -> ClientLatency {
+        let mut lat = self.local_training(client, iters);
+        lat.transfer_s = 2.0 * transfer_seconds(self.model_bytes, &client.device);
+        lat
     }
 }
 
@@ -135,6 +172,7 @@ mod tests {
         LatencyModel {
             mem_req_bytes: mem_mb * 1024 * 1024,
             fwd_macs_per_sample: 314_000_000,
+            model_bytes: 60 * 1024 * 1024,
             batch: 64,
             profile: TrainingPassProfile::adversarial(10),
         }
@@ -192,12 +230,39 @@ mod tests {
         let a = ClientLatency {
             compute_s: 1.0,
             data_access_s: 0.0,
+            transfer_s: 0.0,
         };
         let b = ClientLatency {
             compute_s: 0.5,
             data_access_s: 2.0,
+            transfer_s: 0.1,
         };
         let m = round_sync_latency(&[a, b]);
         assert_eq!(m, b);
+    }
+
+    #[test]
+    fn round_trip_adds_up_and_down_link_transfer() {
+        let m = vgg_like_model(100);
+        let c = client(1.0, 8.0, 16.0);
+        let train = m.local_training(&c, 3);
+        let rt = m.dispatch_round_trip(&c, 3);
+        // Training components are untouched; transfer is the only delta.
+        assert_eq!(rt.compute_s, train.compute_s);
+        assert_eq!(rt.data_access_s, train.data_access_s);
+        let expect = 2.0 * (60.0 * 1024.0 * 1024.0) / (16.0 * 1024.0 * 1024.0 * 1024.0);
+        assert!((rt.transfer_s - expect).abs() < 1e-15);
+        assert!(rt.total() > train.total());
+        // Transfer is paid once per dispatch, not per iteration.
+        assert_eq!(m.dispatch_round_trip(&c, 30).transfer_s, rt.transfer_s);
+    }
+
+    #[test]
+    fn transfer_scales_inversely_with_link_bandwidth() {
+        let d_slow = client(1.0, 8.0, 1.5).device;
+        let d_fast = client(1.0, 8.0, 16.0).device;
+        let b = 30 * 1024 * 1024;
+        let ratio = transfer_seconds(b, &d_slow) / transfer_seconds(b, &d_fast);
+        assert!((ratio - 16.0 / 1.5).abs() < 1e-12);
     }
 }

@@ -16,7 +16,9 @@
 //!   sampling;
 //! * [`latency`] — the training-latency model: compute time from available
 //!   TFLOPS, data-access time from memory-swap traffic over storage I/O
-//!   bandwidth (Rajbhandari et al. 2020-style offload accounting).
+//!   bandwidth (Rajbhandari et al. 2020-style offload accounting), and
+//!   up/down-link (sub)model transfer per dispatch over the same `io_gbps`
+//!   link — the communication term both schedulers' virtual clocks charge.
 //!
 //! Everything here operates on weight-free [`fp_nn::spec`] descriptions, so
 //! full-scale VGG16/ResNet34 are costed without allocating their weights.
@@ -28,7 +30,8 @@ pub mod memory;
 
 pub use devices::{sample_fleet, Device, DeviceSample, SamplingMode, CALTECH_POOL, CIFAR_POOL};
 pub use flops::{forward_macs, forward_macs_range, training_flops_per_iter, TrainingPassProfile};
-pub use latency::{ClientLatency, LatencyModel};
+pub use latency::{transfer_seconds, ClientLatency, LatencyModel};
 pub use memory::{
-    model_mem_req, module_mem_req, AuxHeadSpec, MemoryBreakdown, BYTES_PER_PARAM_STATE,
+    model_mem_req, module_mem_req, param_transfer_bytes, AuxHeadSpec, MemoryBreakdown,
+    BYTES_PER_PARAM_STATE,
 };

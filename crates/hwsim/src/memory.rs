@@ -126,6 +126,13 @@ pub fn model_mem_req(atoms: &[AtomSpec], input_shape: &[usize], batch: usize) ->
     module_mem_req(atoms, input_shape, batch, None)
 }
 
+/// Serialized parameter bytes of an atom window (fp32 weights only — what
+/// actually crosses the network on a model download or update upload, as
+/// opposed to the 12 B/param *training* state of [`BYTES_PER_PARAM_STATE`]).
+pub fn param_transfer_bytes(atoms: &[AtomSpec]) -> u64 {
+    atoms.iter().map(|a| a.param_count() as u64).sum::<u64>() * 4
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,8 +5,8 @@
 //! model conventions, not from running the code.
 
 use fp_hwsim::{
-    model_mem_req, module_mem_req, training_flops_per_iter, AuxHeadSpec, Device, DeviceSample,
-    LatencyModel, TrainingPassProfile, BYTES_PER_PARAM_STATE,
+    model_mem_req, module_mem_req, param_transfer_bytes, training_flops_per_iter, transfer_seconds,
+    AuxHeadSpec, Device, DeviceSample, LatencyModel, TrainingPassProfile, BYTES_PER_PARAM_STATE,
 };
 use fp_nn::spec::{AtomSpec, LayerKind, LayerSpec};
 
@@ -41,11 +41,12 @@ fn gtx1650m(avail_mem_bytes: u64) -> DeviceSample {
 }
 
 /// The pinned workload: 100 MiB working set, 1 M forward MACs/sample,
-/// batch 32, PGD-3 adversarial training.
+/// 24 MiB serialized model, batch 32, PGD-3 adversarial training.
 fn workload() -> LatencyModel {
     LatencyModel {
         mem_req_bytes: 100 * MIB,
         fwd_macs_per_sample: 1_000_000,
+        model_bytes: 24 * MIB,
         batch: 32,
         profile: TrainingPassProfile::adversarial(3),
     }
@@ -157,6 +158,54 @@ fn memory_model_is_pinned() {
     let with_aux = module_mem_req(&[conv_atom()], &[3, 8, 8], 4, Some(aux));
     assert_eq!(with_aux.aux, 624);
     assert_eq!(with_aux.total(), 13952 + 624);
+}
+
+#[test]
+fn transfer_latency_is_pinned_on_both_profiles() {
+    let w = workload();
+
+    // Full-model dispatch on the TX2 (1.5 GiB/s link): one direction moves
+    // 24 MiB / 1.5 GiB/s = 24/(1.5·1024) s = 1/64 s exactly; the round
+    // trip (download + upload) is 1/32 s, independent of iteration count.
+    let tx2_dev = tx2(4 * 1024 * MIB);
+    assert_rel(
+        transfer_seconds(w.model_bytes, &tx2_dev.device),
+        1.0 / 64.0,
+        "tx2 one-way",
+    );
+    let rt = w.dispatch_round_trip(&tx2_dev, 5);
+    assert_rel(rt.transfer_s, 1.0 / 32.0, "tx2 round-trip transfer");
+    // Training terms are exactly the memory-sufficient local_training ones.
+    assert_rel(rt.compute_s, 5.0 * 2.56e8 / 1.3e12, "tx2 rt compute");
+    assert_eq!(rt.data_access_s, 0.0);
+
+    // GTX 1650m (16 GiB/s link): round trip = 2·24/(16·1024) s = 3/1024 s
+    // — 10.7× faster than the TX2, the same ratio as the swap path.
+    let gtx_dev = gtx1650m(4 * 1024 * MIB);
+    let rt_gtx = w.dispatch_round_trip(&gtx_dev, 5);
+    assert_rel(rt_gtx.transfer_s, 3.0 / 1024.0, "gtx round-trip transfer");
+    assert_rel(rt.transfer_s / rt_gtx.transfer_s, 16.0 / 1.5, "link ratio");
+
+    // A FedProphet module window ships only its slice of the weights: the
+    // pinned conv atom has 224 params → 896 B on the wire, so the TX2
+    // round trip is 2·896 / 1610612736 = 7/6291456 s.
+    let window_bytes = param_transfer_bytes(&[conv_atom()]);
+    assert_eq!(window_bytes, 224 * 4);
+    let window = LatencyModel {
+        model_bytes: window_bytes,
+        ..w
+    };
+    assert_rel(
+        window.dispatch_round_trip(&tx2_dev, 5).transfer_s,
+        7.0 / 6_291_456.0,
+        "tx2 module-window transfer",
+    );
+    // The window transfer is proportionally cheaper than the full model.
+    assert_rel(
+        rt.transfer_s / window.dispatch_round_trip(&tx2_dev, 5).transfer_s,
+        24.0 * MIB as f64 / 896.0,
+        "full vs window ratio",
+    );
 }
 
 #[test]

@@ -7,10 +7,15 @@ use fedprophet_repro::fl::aggregate::{weighted_average, PartialAccumulator};
 use fedprophet_repro::fl::submodel::{
     channel_groups, extract_submodel, keep_sets, SubmodelAccumulator, SubmodelScheme,
 };
+use fedprophet_repro::fl::{
+    model_hash, staleness_weight, AsyncConfig, AsyncScheduler, AsyncStopPoint, FlConfig, FlEnv,
+    JFat,
+};
 use fedprophet_repro::nn::models::{self, vgg_atom_specs, VggConfig};
 use fedprophet_repro::nn::Mode;
 use fedprophet_repro::tensor::{seeded_rng, softmax_rows, Tensor};
 use proptest::prelude::*;
+use rand::seq::SliceRandom;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -246,6 +251,87 @@ proptest! {
         }
     }
 
+    /// Staleness-weighted aggregation reduces to plain FedAvg at `a = 0`,
+    /// bit-for-bit: the discount is exactly 1.0 for every staleness, so
+    /// `w · discount` is exactly `w`.
+    #[test]
+    fn staleness_aggregation_reduces_to_fedavg_at_zero_exponent(
+        a in proptest::collection::vec(-10.0f32..10.0, 6),
+        b in proptest::collection::vec(-10.0f32..10.0, 6),
+        c in proptest::collection::vec(-10.0f32..10.0, 6),
+        w in proptest::collection::vec(0.01f32..5.0, 3),
+        stale in proptest::collection::vec(0usize..100, 3),
+    ) {
+        let discounted: Vec<f32> = w
+            .iter()
+            .zip(&stale)
+            .map(|(&w, &s)| w * staleness_weight(s, 0.0))
+            .collect();
+        let plain = weighted_average(&[
+            (a.clone(), w[0]),
+            (b.clone(), w[1]),
+            (c.clone(), w[2]),
+        ]);
+        let disc = weighted_average(&[
+            (a, discounted[0]),
+            (b, discounted[1]),
+            (c, discounted[2]),
+        ]);
+        prop_assert_eq!(plain, disc);
+    }
+
+    /// Staleness discounting is monotone and normalized: fresh updates
+    /// keep full weight, staler updates never gain weight.
+    #[test]
+    fn staleness_weight_is_normalized_and_monotone(
+        exp in 0.0f64..4.0,
+        s in 0usize..50,
+    ) {
+        prop_assert_eq!(staleness_weight(0, exp), 1.0);
+        let w0 = staleness_weight(s, exp);
+        let w1 = staleness_weight(s + 1, exp);
+        prop_assert!(w1 <= w0, "staleness {} → {} vs {}", s, w0, w1);
+        prop_assert!(w1 > 0.0);
+    }
+
+    /// Buffer-flush order invariance: updates arriving at equal
+    /// timestamps may enter the buffer in any order; the flush sorts by
+    /// (client, version), so the aggregate is bit-identical under any
+    /// arrival permutation.
+    #[test]
+    fn buffer_flush_is_arrival_order_invariant_for_equal_timestamps(
+        vals in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 4),
+            6,
+        ),
+        n in 2usize..6,
+        exp in 0.0f64..2.0,
+        shuffle_seed in 0u64..1000,
+    ) {
+        // Entries: client id = index, version = index % 2, equal finish
+        // times. The flush contract sorts by (client, version).
+        let entries: Vec<(usize, usize, Vec<f32>, f32)> = vals
+            .iter()
+            .take(n)
+            .enumerate()
+            .map(|(i, v)| (i, i % 2, v.clone(), 0.5 + i as f32 * 0.25))
+            .collect();
+        let flush = |order: &[usize]| -> Vec<f32> {
+            let mut buf: Vec<&(usize, usize, Vec<f32>, f32)> =
+                order.iter().map(|&i| &entries[i]).collect();
+            buf.sort_by_key(|e| (e.0, e.1));
+            let weighted: Vec<(Vec<f32>, f32)> = buf
+                .iter()
+                .map(|(_, ver, v, w)| (v.clone(), w * staleness_weight(*ver, exp)))
+                .collect();
+            weighted_average(&weighted)
+        };
+        let arrival: Vec<usize> = (0..entries.len()).collect();
+        let mut shuffled = arrival.clone();
+        shuffled.shuffle(&mut seeded_rng(shuffle_seed));
+        prop_assert_eq!(flush(&arrival), flush(&shuffled));
+    }
+
     /// Attacks never mutate model parameters.
     #[test]
     fn attacks_leave_parameters_untouched(seed in 0u64..40) {
@@ -258,5 +344,49 @@ proptest! {
         let _ = pgd.attack(&mut target, &x, &[0, 1], &mut rng);
         let _ = target.logits(&x);
         prop_assert_eq!(model.flat_params(), before);
+    }
+}
+
+fn async_env(seed: u64) -> FlEnv {
+    use fedprophet_repro::data::{generate, partition_pathological, SynthConfig};
+    use fedprophet_repro::hwsim::{sample_fleet, SamplingMode, CIFAR_POOL};
+    let cfg = FlConfig::fast(3, seed);
+    let data = generate(&SynthConfig::tiny(4, 8), seed);
+    let splits = partition_pathological(&data.train, cfg.n_clients, 0.8, 0.25, seed);
+    let mut rng = seeded_rng(seed ^ 0xF1EE7);
+    let fleet = sample_fleet(&CIFAR_POOL, cfg.n_clients, SamplingMode::Balanced, &mut rng);
+    let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16]));
+    FlEnv::new(data, splits, fleet, specs, cfg)
+}
+
+proptest! {
+    // These cases train real (tiny) models — keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Async checkpoint save → JSON round-trip → resume is bit-identical
+    /// to the uninterrupted run, for arbitrary policies and stop points —
+    /// including stops with buffered updates and clients in flight.
+    #[test]
+    fn async_checkpoint_resume_is_bit_identical(
+        seed in 0u64..1000,
+        concurrency in 2usize..5,
+        buffer_k in 1usize..4,
+        stop_aggs in 1usize..3,
+        buffered in 0usize..3,
+    ) {
+        let buffer_k = buffer_k.min(concurrency);
+        let buffered = buffered.min(buffer_k - 1);
+        let env = async_env(seed);
+        let sched = AsyncScheduler::new(
+            JFat::new(),
+            AsyncConfig { concurrency, buffer_k, staleness_exp: 0.5 },
+        );
+        let full = sched.run(&env);
+        let ckpt = sched.run_until(&env, AsyncStopPoint { aggregations: stop_aggs, buffered });
+        let json = serde_json::to_string(&ckpt).expect("checkpoint serializes");
+        let restored = serde_json::from_str(&json).expect("checkpoint deserializes");
+        let resumed = sched.resume(&env, &restored);
+        prop_assert_eq!(&resumed.ledger, &full.ledger);
+        prop_assert_eq!(model_hash(&resumed.model), model_hash(&full.model));
     }
 }
