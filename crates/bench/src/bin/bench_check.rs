@@ -1,0 +1,84 @@
+//! CI bench-regression gate: compare fresh `$FP_BENCH_JSON` output
+//! against committed `BENCH_*.json` baselines.
+//!
+//! ```text
+//! bench_check [--tolerance 0.25] <baseline.json> <fresh.json> [<baseline> <fresh>]...
+//! ```
+//!
+//! Exits non-zero when any benchmark's fresh median exceeds
+//! `baseline × (1 + tolerance)` — the default gate fails a >25 %
+//! throughput regression. Benchmarks missing on either side are
+//! reported but never fail the gate.
+
+use fp_bench::check::{compare, parse_report, render};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.25f64;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let v = it
+                .next()
+                .unwrap_or_else(|| usage("missing tolerance value"));
+            tolerance = v
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad tolerance `{v}`")));
+            if !(tolerance > 0.0 && tolerance.is_finite()) {
+                usage("tolerance must be a positive finite fraction");
+            }
+        } else if a == "--help" || a == "-h" {
+            usage("");
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() || !files.len().is_multiple_of(2) {
+        usage("expected one or more <baseline> <fresh> file pairs");
+    }
+
+    let mut all_pass = true;
+    for pair in files.chunks(2) {
+        let (base_path, fresh_path) = (&pair[0], &pair[1]);
+        let baseline = load(base_path);
+        let fresh = load(fresh_path);
+        let comparisons = compare(&baseline, &fresh, tolerance);
+        let (report, pass) = render(&comparisons, tolerance);
+        println!(
+            "bench_check: {base_path} (baseline) vs {fresh_path} (fresh), tolerance {:.0}%",
+            tolerance * 100.0
+        );
+        print!("{report}");
+        if !pass {
+            all_pass = false;
+        }
+    }
+    if all_pass {
+        println!("bench_check: PASS");
+    } else {
+        println!("bench_check: FAIL (throughput regression beyond tolerance)");
+        std::process::exit(1);
+    }
+}
+
+fn load(path: &str) -> Vec<fp_bench::check::BenchEntry> {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_report(&json).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("bench_check: {err}");
+    }
+    eprintln!(
+        "usage: bench_check [--tolerance 0.25] <baseline.json> <fresh.json> [<baseline> <fresh>]..."
+    );
+    std::process::exit(2);
+}

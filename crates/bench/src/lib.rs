@@ -12,6 +12,7 @@
 //! The `repro` binary dispatches one experiment per subcommand and prints
 //! paper-vs-measured rows; `EXPERIMENTS.md` records a full run.
 
+pub mod check;
 pub mod costmodel;
 pub mod envs;
 pub mod exp;

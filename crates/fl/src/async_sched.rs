@@ -57,8 +57,7 @@
 use crate::config::FlConfig;
 use crate::engine::FlEnv;
 use crate::metrics::{FlOutcome, RoundRecord};
-use crate::sched::sample_availability;
-use fp_nn::checkpoint::Checkpoint;
+use crate::sched::{sample_availability, ModelState, ScheduledTrainer};
 use fp_nn::CascadeModel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -348,14 +347,16 @@ pub struct AsyncScheduler<T> {
 }
 
 /// The result of an asynchronous run.
-pub struct AsyncOutcome {
-    /// Final global model.
+pub struct AsyncOutcome<S = ModelState> {
+    /// Final deployable global model (extracted from the state).
     pub model: CascadeModel,
+    /// Final server state.
+    pub state: S,
     /// Per-aggregation ledger.
     pub ledger: Vec<AsyncAggRecord>,
 }
 
-impl AsyncOutcome {
+impl<S> AsyncOutcome<S> {
     /// Total virtual training time.
     pub fn virtual_time_s(&self) -> f64 {
         self.ledger.last().map_or(0.0, |r| r.clock_s)
@@ -431,8 +432,11 @@ pub struct PendingDispatch {
 /// updates and in-flight clients (as replay descriptors — see
 /// [`PendingDispatch`]). Validated on [`AsyncScheduler::resume`] so a
 /// checkpoint can never silently continue under different rules.
-#[derive(Serialize, Deserialize)]
-pub struct AsyncCheckpoint {
+///
+/// The server state serializes under the historical `"model"` key (and
+/// past versions under `"past_models"`): for [`ModelState`] the JSON is
+/// bit-identical to the pre-generalization format.
+pub struct AsyncCheckpoint<S = ModelState> {
     /// Aggregations already performed (= current model version).
     pub version: usize,
     /// Virtual clock at capture time.
@@ -452,8 +456,9 @@ pub struct AsyncCheckpoint {
     /// Total aggregations of the originating run (eval cadence depends
     /// on it).
     pub rounds: usize,
-    /// Current global model.
-    pub model: Checkpoint,
+    /// Current server state (historically a bare model checkpoint, hence
+    /// the serialized field name `model`).
+    pub state: S,
     /// Ledger of the aggregations already performed.
     pub ledger: Vec<AsyncAggRecord>,
     /// Buffered updates, in arrival order.
@@ -462,9 +467,74 @@ pub struct AsyncCheckpoint {
     pub in_flight: Vec<PendingDispatch>,
     /// Clients already dispatched at the current version.
     pub dispatched_at_version: Vec<usize>,
-    /// Snapshots of past model versions still referenced by pending
+    /// Snapshots of past state versions still referenced by pending
     /// dispatches.
-    pub past_models: Vec<(usize, Checkpoint)>,
+    pub past_states: Vec<(usize, S)>,
+}
+
+impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("version".to_string(), self.version.serialize()),
+            ("clock_s".to_string(), self.clock_s.serialize()),
+            (
+                "last_agg_clock_s".to_string(),
+                self.last_agg_clock_s.serialize(),
+            ),
+            (
+                "dispatch_count".to_string(),
+                self.dispatch_count.serialize(),
+            ),
+            ("seed".to_string(), self.seed.serialize()),
+            ("acfg".to_string(), self.acfg.serialize()),
+            ("algorithm".to_string(), self.algorithm.serialize()),
+            ("n_clients".to_string(), self.n_clients.serialize()),
+            ("rounds".to_string(), self.rounds.serialize()),
+            ("model".to_string(), self.state.serialize()),
+            ("ledger".to_string(), self.ledger.serialize()),
+            ("buffer".to_string(), self.buffer.serialize()),
+            ("in_flight".to_string(), self.in_flight.serialize()),
+            (
+                "dispatched_at_version".to_string(),
+                self.dispatched_at_version.serialize(),
+            ),
+            ("past_models".to_string(), self.past_states.serialize()),
+        ])
+    }
+}
+
+impl<S: Deserialize> Deserialize for AsyncCheckpoint<S> {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        const TY: &str = "AsyncCheckpoint";
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for AsyncCheckpoint"))?;
+        Ok(AsyncCheckpoint {
+            version: Deserialize::deserialize(serde::map_field(m, "version", TY)?)?,
+            clock_s: Deserialize::deserialize(serde::map_field(m, "clock_s", TY)?)?,
+            last_agg_clock_s: Deserialize::deserialize(serde::map_field(
+                m,
+                "last_agg_clock_s",
+                TY,
+            )?)?,
+            dispatch_count: Deserialize::deserialize(serde::map_field(m, "dispatch_count", TY)?)?,
+            seed: Deserialize::deserialize(serde::map_field(m, "seed", TY)?)?,
+            acfg: Deserialize::deserialize(serde::map_field(m, "acfg", TY)?)?,
+            algorithm: Deserialize::deserialize(serde::map_field(m, "algorithm", TY)?)?,
+            n_clients: Deserialize::deserialize(serde::map_field(m, "n_clients", TY)?)?,
+            rounds: Deserialize::deserialize(serde::map_field(m, "rounds", TY)?)?,
+            state: Deserialize::deserialize(serde::map_field(m, "model", TY)?)?,
+            ledger: Deserialize::deserialize(serde::map_field(m, "ledger", TY)?)?,
+            buffer: Deserialize::deserialize(serde::map_field(m, "buffer", TY)?)?,
+            in_flight: Deserialize::deserialize(serde::map_field(m, "in_flight", TY)?)?,
+            dispatched_at_version: Deserialize::deserialize(serde::map_field(
+                m,
+                "dispatched_at_version",
+                TY,
+            )?)?,
+            past_states: Deserialize::deserialize(serde::map_field(m, "past_models", TY)?)?,
+        })
+    }
 }
 
 /// Mutable state of a live asynchronous run.
@@ -474,37 +544,37 @@ pub struct AsyncCheckpoint {
 /// snapshot of each entry's dispatch version. Nothing is ever trained
 /// and then discarded, and a checkpoint is just these descriptors plus
 /// the referenced model snapshots.
-struct AsyncState {
-    model: CascadeModel,
+struct AsyncState<S> {
+    state: S,
     version: usize,
     timeline: AsyncTimeline,
     /// Buffered (finished, unflushed) dispatches in arrival order.
     buffer: Vec<PendingDispatch>,
     /// In-flight dispatches (unordered; keyed by client).
     in_flight: Vec<PendingDispatch>,
-    /// Past model versions still referenced by pending dispatches.
-    past_models: Vec<(usize, CascadeModel)>,
+    /// Past state versions still referenced by pending dispatches.
+    past_states: Vec<(usize, S)>,
     ledger: Vec<AsyncAggRecord>,
     last_agg_clock: f64,
 }
 
-impl AsyncState {
-    /// The model a dispatch at `version` trains against.
-    fn model_of(&self, version: usize) -> &CascadeModel {
+impl<S> AsyncState<S> {
+    /// The server state a dispatch at `version` trains against.
+    fn state_of(&self, version: usize) -> &S {
         if version == self.version {
-            &self.model
+            &self.state
         } else {
             &self
-                .past_models
+                .past_states
                 .iter()
                 .find(|(pv, _)| *pv == version)
-                .expect("referenced past model is stored")
+                .expect("referenced past state is stored")
                 .1
         }
     }
 }
 
-impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
+impl<T: ScheduledTrainer> AsyncScheduler<T> {
     /// Creates an asynchronous scheduler.
     ///
     /// # Panics
@@ -516,11 +586,12 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
     }
 
     /// Runs `env.cfg.rounds` aggregations.
-    pub fn run(&self, env: &FlEnv) -> AsyncOutcome {
+    pub fn run(&self, env: &FlEnv) -> AsyncOutcome<T::ServerState> {
         let mut st = self.fresh_state(env);
         self.drive(env, &mut st, AsyncStopPoint::after_agg(env.cfg.rounds));
         AsyncOutcome {
-            model: st.model,
+            model: self.trainer.global_model(&st.state).clone(),
+            state: st.state,
             ledger: st.ledger,
         }
     }
@@ -531,7 +602,7 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
     ///
     /// Panics if `stop.buffered >= buffer_k` (the buffer would have
     /// flushed before reaching it).
-    pub fn run_until(&self, env: &FlEnv, stop: AsyncStopPoint) -> AsyncCheckpoint {
+    pub fn run_until(&self, env: &FlEnv, stop: AsyncStopPoint) -> AsyncCheckpoint<T::ServerState> {
         assert!(
             stop.buffered < self.acfg.buffer_k,
             "cannot stop at {} buffered updates: the buffer flushes at {}",
@@ -554,18 +625,14 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
             algorithm: self.trainer.name().to_string(),
             n_clients: env.cfg.n_clients,
             rounds: env.cfg.rounds,
-            model: Checkpoint::capture(&st.model),
+            state: st.state,
             ledger: st.ledger,
             buffer: st.buffer,
             in_flight: st.in_flight,
             dispatched_at_version: (0..env.cfg.n_clients)
                 .filter(|&k| st.timeline.dispatched_at_version[k])
                 .collect(),
-            past_models: st
-                .past_models
-                .iter()
-                .map(|(v, m)| (*v, Checkpoint::capture(m)))
-                .collect(),
+            past_states: st.past_states,
         }
     }
 
@@ -575,32 +642,35 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
     /// # Panics
     ///
     /// Panics if the checkpoint disagrees with the resuming environment
-    /// or scheduler, or a stored model does not restore.
-    pub fn resume(&self, env: &FlEnv, ckpt: &AsyncCheckpoint) -> AsyncOutcome {
+    /// or scheduler — each mismatch message names the offending
+    /// `AsyncCheckpoint` field (`seed`, `acfg`, `algorithm`, `n_clients`,
+    /// `rounds`).
+    pub fn resume(
+        &self,
+        env: &FlEnv,
+        ckpt: &AsyncCheckpoint<T::ServerState>,
+    ) -> AsyncOutcome<T::ServerState> {
         assert_eq!(
             ckpt.seed, env.cfg.seed,
-            "checkpoint was taken under a different master seed"
+            "AsyncCheckpoint field `seed`: checkpoint was taken under a different master seed"
         );
         assert_eq!(
             ckpt.acfg, self.acfg,
-            "checkpoint was taken under a different async policy"
+            "AsyncCheckpoint field `acfg`: checkpoint was taken under a different async policy"
         );
         assert_eq!(
             ckpt.algorithm,
             self.trainer.name(),
-            "checkpoint was taken by a different algorithm"
+            "AsyncCheckpoint field `algorithm`: checkpoint was taken by a different algorithm"
         );
         assert_eq!(
-            (ckpt.n_clients, ckpt.rounds),
-            (env.cfg.n_clients, env.cfg.rounds),
-            "checkpoint was taken under a different environment shape"
+            ckpt.n_clients, env.cfg.n_clients,
+            "AsyncCheckpoint field `n_clients`: checkpoint was taken on a different fleet size"
         );
-        let model: CascadeModel = ckpt.model.restore().expect("checkpoint model restores");
-        let past_models: Vec<(usize, CascadeModel)> = ckpt
-            .past_models
-            .iter()
-            .map(|(v, c)| (*v, c.restore().expect("past model restores")))
-            .collect();
+        assert_eq!(
+            ckpt.rounds, env.cfg.rounds,
+            "AsyncCheckpoint field `rounds`: checkpoint was taken for a different run length"
+        );
         let timeline = AsyncTimeline::restore(
             env.cfg.seed,
             env.cfg.n_clients,
@@ -618,23 +688,24 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
         // re-derived at flush time like in the uninterrupted run, so
         // nothing needs retraining here.
         let mut st = AsyncState {
-            model,
+            state: ckpt.state.clone(),
             version: ckpt.version,
             timeline,
             buffer: ckpt.buffer.clone(),
             in_flight: ckpt.in_flight.clone(),
-            past_models,
+            past_states: ckpt.past_states.clone(),
             ledger: ckpt.ledger.clone(),
             last_agg_clock: ckpt.last_agg_clock_s,
         };
         self.drive(env, &mut st, AsyncStopPoint::after_agg(env.cfg.rounds));
         AsyncOutcome {
-            model: st.model,
+            model: self.trainer.global_model(&st.state).clone(),
+            state: st.state,
             ledger: st.ledger,
         }
     }
 
-    fn fresh_state(&self, env: &FlEnv) -> AsyncState {
+    fn fresh_state(&self, env: &FlEnv) -> AsyncState<T::ServerState> {
         self.acfg.validate();
         assert!(
             self.acfg.concurrency <= env.cfg.n_clients,
@@ -645,12 +716,12 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
             "buffer_k above n_clients deadlocks: at most one update per client per version"
         );
         AsyncState {
-            model: self.trainer.init(env),
+            state: self.trainer.init(env),
             version: 0,
             timeline: AsyncTimeline::new(env.cfg.seed, env.cfg.n_clients, self.acfg.concurrency),
             buffer: Vec::new(),
             in_flight: Vec::new(),
-            past_models: Vec::new(),
+            past_states: Vec::new(),
             ledger: Vec::new(),
             last_agg_clock: 0.0,
         }
@@ -664,7 +735,7 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
     /// so a plain `run` never trains updates it would then discard. A
     /// resumed run re-arms on its first iteration from the checkpointed
     /// `dispatch_count`, reproducing the exact dispatch stream.
-    fn drive(&self, env: &FlEnv, st: &mut AsyncState, stop: AsyncStopPoint) {
+    fn drive(&self, env: &FlEnv, st: &mut AsyncState<T::ServerState>, stop: AsyncStopPoint) {
         let cadence = crate::baselines::eval_cadence(env.cfg.rounds);
         while st.version < stop.aggregations
             || (st.version == stop.aggregations && st.buffer.len() < stop.buffered)
@@ -691,7 +762,7 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
     /// Fills free slots: picks eligible clients and costs + schedules
     /// their dispatches on their currently-degraded devices. The local
     /// training itself runs lazily at flush time.
-    fn arm(&self, env: &FlEnv, st: &mut AsyncState) {
+    fn arm(&self, env: &FlEnv, st: &mut AsyncState<T::ServerState>) {
         let picked = st.timeline.pick_dispatches();
         let cfg: &FlConfig = &env.cfg;
         let v = st.version;
@@ -719,7 +790,7 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
     /// pure functions of `(version, client)`), merges them into the
     /// global model with staleness-discounted FedAvg weights, and
     /// records the aggregation.
-    fn aggregate(&self, env: &FlEnv, st: &mut AsyncState, cadence: usize) {
+    fn aggregate(&self, env: &FlEnv, st: &mut AsyncState<T::ServerState>, cadence: usize) {
         let v = st.version;
         let mut entries = std::mem::take(&mut st.buffer);
         // Deterministic merge order, independent of arrival order among
@@ -732,7 +803,7 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
         let results = fp_tensor::parallel::parallel_map(&entries, outer, |_, d| {
             self.trainer.train(
                 env,
-                st.model_of(d.version),
+                st.state_of(d.version),
                 d.version,
                 d.client,
                 env.cfg.lr.at(d.version),
@@ -761,24 +832,25 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
             .zip(results)
             .map(|(d, (u, _))| (d.client, u))
             .collect();
-        // The model is about to change; snapshot it while in-flight
+        // The state is about to change; snapshot it while in-flight
         // clients dispatched against it still need it for their flush
         // (and for checkpoints).
         if st.in_flight.iter().any(|d| d.version == v) {
-            st.past_models.push((v, st.model.clone()));
+            st.past_states.push((v, st.state.clone()));
         }
         self.trainer
-            .merge_weighted(env, &mut st.model, v, updates, &weights);
+            .merge_weighted(env, &mut st.state, v, updates, &weights);
         st.version += 1;
         st.timeline.bump_version();
         // GC: the buffer is empty here, so in-flight dispatches are the
         // only remaining referents of past versions.
-        st.past_models
+        st.past_states
             .retain(|(pv, _)| st.in_flight.iter().any(|d| d.version == *pv));
         let (mut vc, mut va) = (None, None);
         if v % cadence == cadence - 1 || v + 1 == env.cfg.rounds {
-            vc = Some(env.val_clean(&mut st.model, 64));
-            va = Some(env.val_adv(&mut st.model, 64));
+            let model = self.trainer.global_model_mut(&mut st.state);
+            vc = Some(env.val_clean(model, 64));
+            va = Some(env.val_adv(model, 64));
         }
         let clock = st.timeline.clock_s();
         st.ledger.push(AsyncAggRecord {
@@ -800,7 +872,7 @@ impl<T: crate::sched::ScheduledTrainer> AsyncScheduler<T> {
     }
 }
 
-impl<T: crate::sched::ScheduledTrainer> crate::engine::FlAlgorithm for AsyncScheduler<T> {
+impl<T: ScheduledTrainer> crate::engine::FlAlgorithm for AsyncScheduler<T> {
     fn name(&self) -> &'static str {
         self.trainer.name()
     }

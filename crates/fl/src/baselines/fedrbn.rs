@@ -4,7 +4,7 @@ use super::fedavg_into;
 use crate::engine::{FlAlgorithm, FlEnv};
 use crate::local::{local_train, LocalTrainConfig};
 use crate::metrics::FlOutcome;
-use crate::sched::{EventScheduler, SchedConfig, ScheduledTrainer};
+use crate::sched::{EventScheduler, ModelTrainer, SchedConfig, ScheduledTrainer};
 use fp_attack::PgdConfig;
 use fp_hwsim::{forward_macs, LatencyModel, TrainingPassProfile};
 use fp_nn::CascadeModel;
@@ -43,7 +43,7 @@ impl FedRbn {
     }
 }
 
-impl ScheduledTrainer for FedRbn {
+impl ModelTrainer for FedRbn {
     type Update = (CascadeModel, bool);
 
     fn name(&self) -> &'static str {

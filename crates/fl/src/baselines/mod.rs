@@ -6,7 +6,7 @@ mod jfat;
 mod partial;
 
 pub use crate::submodel::SubmodelScheme;
-pub use distill::{Distill, DistillVariant};
+pub use distill::{Distill, DistillState, DistillVariant};
 pub use fedrbn::FedRbn;
 pub use jfat::JFat;
 pub use partial::PartialTraining;

@@ -3,7 +3,7 @@
 use crate::engine::{FlAlgorithm, FlEnv};
 use crate::local::{local_train, LocalTrainConfig};
 use crate::metrics::FlOutcome;
-use crate::sched::{EventScheduler, SchedConfig, ScheduledTrainer};
+use crate::sched::{EventScheduler, ModelTrainer, SchedConfig, ScheduledTrainer};
 use crate::submodel::{
     channel_groups, extract_submodel, keep_sets, SubmodelAccumulator, SubmodelScheme,
 };
@@ -57,7 +57,7 @@ impl PartialTraining {
     }
 }
 
-impl ScheduledTrainer for PartialTraining {
+impl ModelTrainer for PartialTraining {
     type Update = (CascadeModel, HashMap<usize, Vec<usize>>);
 
     fn name(&self) -> &'static str {

@@ -20,8 +20,13 @@
 //!   sampling, and per-client memory budgets;
 //! * [`sched`] — the heterogeneity-aware event-driven round scheduler
 //!   (virtual-time event queue, straggler deadlines, dropout,
-//!   over-selection, checkpoint/resume, per-round metrics ledger); the
-//!   baselines below run through it;
+//!   over-selection, checkpoint/resume, per-round metrics ledger);
+//!   **every** algorithm above runs through it. The driven contract
+//!   ([`ScheduledTrainer`]) is generic over serializable **server
+//!   state**: single-model algorithms use the [`ModelTrainer`] +
+//!   [`ModelState`] adapter (checkpoint-format-identical to the
+//!   historical single-model shape), while FedDF/FedET carry their
+//!   model zoo + temperature schedule as [`DistillState`];
 //! * [`async_sched`] — barrier-free FedBuff-style asynchronous
 //!   aggregation on a continuous virtual clock (staleness-weighted
 //!   buffer, concurrency cap, immediate re-dispatch, mid-flight
@@ -49,13 +54,15 @@ pub use async_sched::{
     staleness_weight, AsyncAggRecord, AsyncCheckpoint, AsyncConfig, AsyncOutcome, AsyncScheduler,
     AsyncStopPoint, AsyncTimeline, PendingDispatch,
 };
-pub use baselines::{Distill, DistillVariant, FedRbn, JFat, PartialTraining, SubmodelScheme};
+pub use baselines::{
+    Distill, DistillState, DistillVariant, FedRbn, JFat, PartialTraining, SubmodelScheme,
+};
 pub use config::FlConfig;
 pub use engine::{scale_budgets, FlAlgorithm, FlEnv};
 pub use local::{local_train, LocalTrainConfig};
 pub use metrics::{FlOutcome, RoundRecord};
 pub use sched::{
     draw_dropouts, model_hash, over_select_count, sample_availability, simulate_round,
-    DeadlinePolicy, EventScheduler, RoundSim, SchedCheckpoint, SchedConfig, SchedOutcome,
-    SchedRound, ScheduledTrainer,
+    DeadlinePolicy, EventScheduler, ModelState, ModelTrainer, RoundSim, SchedCheckpoint,
+    SchedConfig, SchedOutcome, SchedRound, ScheduledTrainer,
 };

@@ -391,7 +391,12 @@ pub fn model_hash(model: &CascadeModel) -> u64 {
 
 /// An algorithm the event scheduler can drive: it describes each client's
 /// round workload (for the latency draw), trains one client, and merges
-/// completed updates into the global model.
+/// completed updates into the **server state** — an arbitrary
+/// serializable type ([`ScheduledTrainer::ServerState`]). Single-model
+/// algorithms implement the thinner [`ModelTrainer`] instead and get this
+/// trait for free via the [`ModelState`] wrapper; algorithms with richer
+/// server state (the distillation baselines' model zoo, future
+/// secure-aggregation mask bookkeeping) implement it directly.
 ///
 /// Implementations must be deterministic functions of
 /// `(env.cfg.seed, round, client)` — the scheduler owns client sampling,
@@ -399,6 +404,14 @@ pub fn model_hash(model: &CascadeModel) -> u64 {
 pub trait ScheduledTrainer: Sync {
     /// One client's round result, merged by [`ScheduledTrainer::merge`].
     type Update: Send;
+
+    /// Everything the server mutates across rounds. Serialization is how
+    /// checkpoints capture it (the vendored serde has no separate
+    /// `DeserializeOwned`; its `Deserialize` is already owning), `Clone`
+    /// is how the async scheduler snapshots the versions still referenced
+    /// by in-flight dispatches, and `Sync` lets client training borrow it
+    /// across worker threads.
+    type ServerState: Serialize + Deserialize + Clone + Sync;
 
     /// Human-readable name, as used in the paper's tables.
     fn name(&self) -> &'static str;
@@ -409,13 +422,101 @@ pub trait ScheduledTrainer: Sync {
     /// draw the local-training duration.
     fn cost(&self, env: &FlEnv, t: usize, k: usize) -> LatencyModel;
 
+    /// The freshly initialized server state.
+    fn init(&self, env: &FlEnv) -> Self::ServerState;
+
+    /// The deployable global model inside the state — what validation
+    /// metrics and [`SchedOutcome::model`] report.
+    fn global_model<'a>(&self, state: &'a Self::ServerState) -> &'a CascadeModel;
+
+    /// Mutable access to the deployable global model (forward passes
+    /// update BN activations caches, so evaluation needs `&mut`).
+    fn global_model_mut<'a>(&self, state: &'a mut Self::ServerState) -> &'a mut CascadeModel;
+
+    /// Trains client `k` for round `t` against the current server state
+    /// and returns its update plus local training loss.
+    fn train(
+        &self,
+        env: &FlEnv,
+        state: &Self::ServerState,
+        t: usize,
+        k: usize,
+        lr: f32,
+        backend: BackendHandle,
+    ) -> (Self::Update, f32);
+
+    /// Merges the completed updates into the server state with explicit
+    /// aggregation weights (`weights[i]` belongs to `updates[i]`; the
+    /// async scheduler passes FedAvg weights discounted by staleness).
+    /// This is the only hook that mutates state, so a checkpoint taken
+    /// between rounds captures everything. Never called with an empty
+    /// vector.
+    fn merge_weighted(
+        &self,
+        env: &FlEnv,
+        state: &mut Self::ServerState,
+        t: usize,
+        updates: Vec<(usize, Self::Update)>,
+        weights: &[f32],
+    );
+
+    /// Merges the completed updates (ascending client id) with plain
+    /// FedAvg weights. Never called with an empty vector.
+    fn merge(
+        &self,
+        env: &FlEnv,
+        state: &mut Self::ServerState,
+        t: usize,
+        updates: Vec<(usize, Self::Update)>,
+    ) {
+        let weights: Vec<f32> = updates.iter().map(|(k, _)| env.splits[*k].weight).collect();
+        self.merge_weighted(env, state, t, updates, &weights);
+    }
+}
+
+/// The server state of a single-global-model algorithm: a thin wrapper
+/// whose serialized form **is** the plain [`Checkpoint`] — so checkpoints
+/// of [`ModelTrainer`] algorithms are bit-identical to the pre-generalization
+/// format (pinned by fixture tests against committed v1 JSON).
+#[derive(Debug, Clone)]
+pub struct ModelState(pub CascadeModel);
+
+impl Serialize for ModelState {
+    fn serialize(&self) -> serde::Value {
+        Checkpoint::capture(&self.0).serialize()
+    }
+}
+
+impl Deserialize for ModelState {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Checkpoint::deserialize(v)?
+            .restore()
+            .map(ModelState)
+            .map_err(serde::Error::custom)
+    }
+}
+
+/// The historical single-model trainer contract. Algorithms whose whole
+/// server state is one global model (jFAT, the partial-training family,
+/// FedRBN) implement this; the blanket impl below adapts them to
+/// [`ScheduledTrainer`] with [`ModelState`] as the server state —
+/// bit-identical to when the scheduler hard-coded a single `fp-nn` model.
+pub trait ModelTrainer: Sync {
+    /// One client's round result.
+    type Update: Send;
+
+    /// Human-readable name, as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The cost-model description of client `k`'s round-`t` workload.
+    fn cost(&self, env: &FlEnv, t: usize, k: usize) -> LatencyModel;
+
     /// The freshly initialized global model.
     fn init(&self, env: &FlEnv) -> CascadeModel {
         crate::baselines::init_global(env)
     }
 
-    /// Trains client `k` for round `t` against the current global model
-    /// and returns its update plus local training loss.
+    /// Trains client `k` for round `t` against the current global model.
     fn train(
         &self,
         env: &FlEnv,
@@ -426,10 +527,7 @@ pub trait ScheduledTrainer: Sync {
         backend: BackendHandle,
     ) -> (Self::Update, f32);
 
-    /// Merges the completed updates into `global` with explicit
-    /// aggregation weights (`weights[i]` belongs to `updates[i]`; the
-    /// async scheduler passes FedAvg weights discounted by staleness).
-    /// Never called with an empty vector.
+    /// Merges the completed updates into `global` with explicit weights.
     fn merge_weighted(
         &self,
         env: &FlEnv,
@@ -438,18 +536,53 @@ pub trait ScheduledTrainer: Sync {
         updates: Vec<(usize, Self::Update)>,
         weights: &[f32],
     );
+}
 
-    /// Merges the completed updates (ascending client id) into `global`
-    /// with plain FedAvg weights. Never called with an empty vector.
-    fn merge(
+impl<T: ModelTrainer> ScheduledTrainer for T {
+    type Update = <T as ModelTrainer>::Update;
+    type ServerState = ModelState;
+
+    fn name(&self) -> &'static str {
+        ModelTrainer::name(self)
+    }
+
+    fn cost(&self, env: &FlEnv, t: usize, k: usize) -> LatencyModel {
+        ModelTrainer::cost(self, env, t, k)
+    }
+
+    fn init(&self, env: &FlEnv) -> ModelState {
+        ModelState(ModelTrainer::init(self, env))
+    }
+
+    fn global_model<'a>(&self, state: &'a ModelState) -> &'a CascadeModel {
+        &state.0
+    }
+
+    fn global_model_mut<'a>(&self, state: &'a mut ModelState) -> &'a mut CascadeModel {
+        &mut state.0
+    }
+
+    fn train(
         &self,
         env: &FlEnv,
-        global: &mut CascadeModel,
+        state: &ModelState,
+        t: usize,
+        k: usize,
+        lr: f32,
+        backend: BackendHandle,
+    ) -> (Self::Update, f32) {
+        ModelTrainer::train(self, env, &state.0, t, k, lr, backend)
+    }
+
+    fn merge_weighted(
+        &self,
+        env: &FlEnv,
+        state: &mut ModelState,
         t: usize,
         updates: Vec<(usize, Self::Update)>,
+        weights: &[f32],
     ) {
-        let weights: Vec<f32> = updates.iter().map(|(k, _)| env.splits[*k].weight).collect();
-        self.merge_weighted(env, global, t, updates, &weights);
+        ModelTrainer::merge_weighted(self, env, &mut state.0, t, updates, weights);
     }
 }
 
@@ -464,15 +597,18 @@ pub struct EventScheduler<T> {
     pub sched: SchedConfig,
 }
 
-/// The result of a scheduled run: final model plus the round ledger.
-pub struct SchedOutcome {
-    /// Final global model.
+/// The result of a scheduled run: final model, final server state, and
+/// the round ledger.
+pub struct SchedOutcome<S = ModelState> {
+    /// Final deployable global model (extracted from the state).
     pub model: CascadeModel,
+    /// Final server state.
+    pub state: S,
     /// Per-round ledger.
     pub ledger: Vec<SchedRound>,
 }
 
-impl SchedOutcome {
+impl<S> SchedOutcome<S> {
     /// Total virtual training time.
     pub fn virtual_time_s(&self) -> f64 {
         self.ledger.last().map_or(0.0, |r| r.clock_s)
@@ -504,12 +640,20 @@ impl SchedOutcome {
 
 /// A serializable snapshot of a scheduled run, taken between rounds.
 ///
-/// Besides the model and clock it records everything the bit-identity
-/// guarantee depends on — the master seed, the scheduling policy, and
-/// the environment shape — all validated on [`EventScheduler::resume`]
-/// so a checkpoint can never silently continue under different rules.
-#[derive(Serialize, Deserialize)]
-pub struct SchedCheckpoint {
+/// Besides the server state and clock it records everything the
+/// bit-identity guarantee depends on — the master seed, the scheduling
+/// policy, and the environment shape — all validated on
+/// [`EventScheduler::resume`] so a checkpoint can never silently continue
+/// under different rules. Because [`ScheduledTrainer::merge_weighted`] is
+/// the only hook that mutates server state, a between-round snapshot of
+/// that state captures the whole run: algorithms like the distillation
+/// baselines (model zoo + temperature schedule) resume exactly, not just
+/// their student model.
+///
+/// The state serializes under the historical `"model"` key: for
+/// [`ModelState`] (single-model algorithms) the JSON is bit-identical to
+/// the pre-generalization format, so old checkpoints keep loading.
+pub struct SchedCheckpoint<S = ModelState> {
     /// The first round the resumed run will execute.
     pub next_round: usize,
     /// Virtual clock at capture time.
@@ -528,15 +672,61 @@ pub struct SchedCheckpoint {
     pub clients_per_round: usize,
     /// Total rounds of the originating run (eval cadence depends on it).
     pub rounds: usize,
-    /// Global model snapshot.
-    pub model: Checkpoint,
+    /// Server-state snapshot (historically a bare model checkpoint, hence
+    /// the serialized field name `model`).
+    pub state: S,
     /// Ledger of the rounds already run.
     pub ledger: Vec<SchedRound>,
 }
 
+impl<S: Serialize> Serialize for SchedCheckpoint<S> {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("next_round".to_string(), self.next_round.serialize()),
+            ("clock_s".to_string(), self.clock_s.serialize()),
+            ("seed".to_string(), self.seed.serialize()),
+            ("sched".to_string(), self.sched.serialize()),
+            ("algorithm".to_string(), self.algorithm.serialize()),
+            ("n_clients".to_string(), self.n_clients.serialize()),
+            (
+                "clients_per_round".to_string(),
+                self.clients_per_round.serialize(),
+            ),
+            ("rounds".to_string(), self.rounds.serialize()),
+            ("model".to_string(), self.state.serialize()),
+            ("ledger".to_string(), self.ledger.serialize()),
+        ])
+    }
+}
+
+impl<S: Deserialize> Deserialize for SchedCheckpoint<S> {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        const TY: &str = "SchedCheckpoint";
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for SchedCheckpoint"))?;
+        Ok(SchedCheckpoint {
+            next_round: Deserialize::deserialize(serde::map_field(m, "next_round", TY)?)?,
+            clock_s: Deserialize::deserialize(serde::map_field(m, "clock_s", TY)?)?,
+            seed: Deserialize::deserialize(serde::map_field(m, "seed", TY)?)?,
+            sched: Deserialize::deserialize(serde::map_field(m, "sched", TY)?)?,
+            algorithm: Deserialize::deserialize(serde::map_field(m, "algorithm", TY)?)?,
+            n_clients: Deserialize::deserialize(serde::map_field(m, "n_clients", TY)?)?,
+            clients_per_round: Deserialize::deserialize(serde::map_field(
+                m,
+                "clients_per_round",
+                TY,
+            )?)?,
+            rounds: Deserialize::deserialize(serde::map_field(m, "rounds", TY)?)?,
+            state: Deserialize::deserialize(serde::map_field(m, "model", TY)?)?,
+            ledger: Deserialize::deserialize(serde::map_field(m, "ledger", TY)?)?,
+        })
+    }
+}
+
 /// Mutable cross-round state of a scheduled run.
-struct DriveState {
-    model: CascadeModel,
+struct DriveState<S> {
+    state: S,
     clock_s: f64,
     ledger: Vec<SchedRound>,
 }
@@ -553,24 +743,25 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
     }
 
     /// Runs all `env.cfg.rounds` rounds.
-    pub fn run(&self, env: &FlEnv) -> SchedOutcome {
+    pub fn run(&self, env: &FlEnv) -> SchedOutcome<T::ServerState> {
         let mut st = DriveState {
-            model: self.trainer.init(env),
+            state: self.trainer.init(env),
             clock_s: 0.0,
             ledger: Vec::with_capacity(env.cfg.rounds),
         };
         self.drive(env, &mut st, 0, env.cfg.rounds);
         SchedOutcome {
-            model: st.model,
+            model: self.trainer.global_model(&st.state).clone(),
+            state: st.state,
             ledger: st.ledger,
         }
     }
 
     /// Runs rounds `0..stop_after` and returns a resumable checkpoint.
-    pub fn run_until(&self, env: &FlEnv, stop_after: usize) -> SchedCheckpoint {
+    pub fn run_until(&self, env: &FlEnv, stop_after: usize) -> SchedCheckpoint<T::ServerState> {
         let stop = stop_after.min(env.cfg.rounds);
         let mut st = DriveState {
-            model: self.trainer.init(env),
+            state: self.trainer.init(env),
             clock_s: 0.0,
             ledger: Vec::with_capacity(stop),
         };
@@ -584,7 +775,7 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             n_clients: env.cfg.n_clients,
             clients_per_round: env.cfg.clients_per_round,
             rounds: env.cfg.rounds,
-            model: Checkpoint::capture(&st.model),
+            state: st.state,
             ledger: st.ledger,
         }
     }
@@ -595,49 +786,62 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
     /// # Panics
     ///
     /// Panics if the checkpoint disagrees with the resuming environment
-    /// or scheduler — master seed, scheduling policy, or environment
-    /// shape (the run would silently diverge) — or the stored model does
-    /// not restore.
-    pub fn resume(&self, env: &FlEnv, ckpt: &SchedCheckpoint) -> SchedOutcome {
+    /// or scheduler — each mismatch message names the offending
+    /// `SchedCheckpoint` field (`seed`, `sched`, `algorithm`,
+    /// `n_clients`, `clients_per_round`, `rounds`) so a failed resume
+    /// says exactly which rule changed instead of silently diverging.
+    pub fn resume(
+        &self,
+        env: &FlEnv,
+        ckpt: &SchedCheckpoint<T::ServerState>,
+    ) -> SchedOutcome<T::ServerState> {
         assert_eq!(
             ckpt.seed, env.cfg.seed,
-            "checkpoint was taken under a different master seed"
+            "SchedCheckpoint field `seed`: checkpoint was taken under a different master seed"
         );
         assert_eq!(
             ckpt.sched, self.sched,
-            "checkpoint was taken under a different scheduling policy"
+            "SchedCheckpoint field `sched`: checkpoint was taken under a different scheduling policy"
         );
         assert_eq!(
             ckpt.algorithm,
             self.trainer.name(),
-            "checkpoint was taken by a different algorithm"
+            "SchedCheckpoint field `algorithm`: checkpoint was taken by a different algorithm"
         );
         assert_eq!(
-            (ckpt.n_clients, ckpt.clients_per_round, ckpt.rounds),
-            (env.cfg.n_clients, env.cfg.clients_per_round, env.cfg.rounds),
-            "checkpoint was taken under a different environment shape"
+            ckpt.n_clients, env.cfg.n_clients,
+            "SchedCheckpoint field `n_clients`: checkpoint was taken on a different fleet size"
+        );
+        assert_eq!(
+            ckpt.clients_per_round, env.cfg.clients_per_round,
+            "SchedCheckpoint field `clients_per_round`: checkpoint was taken under a different cohort size"
+        );
+        assert_eq!(
+            ckpt.rounds, env.cfg.rounds,
+            "SchedCheckpoint field `rounds`: checkpoint was taken for a different run length"
         );
         let mut st = DriveState {
-            model: ckpt.model.restore().expect("checkpoint model restores"),
+            state: ckpt.state.clone(),
             clock_s: ckpt.clock_s,
             ledger: ckpt.ledger.clone(),
         };
         self.drive(env, &mut st, ckpt.next_round, env.cfg.rounds);
         SchedOutcome {
-            model: st.model,
+            model: self.trainer.global_model(&st.state).clone(),
+            state: st.state,
             ledger: st.ledger,
         }
     }
 
     /// The shared round driver.
-    fn drive(&self, env: &FlEnv, st: &mut DriveState, from: usize, to: usize) {
+    fn drive(&self, env: &FlEnv, st: &mut DriveState<T::ServerState>, from: usize, to: usize) {
         let cfg = &env.cfg;
         let cadence = crate::baselines::eval_cadence(cfg.rounds);
         for t in from..to {
             let sim = self.plan_round(env, cfg, t);
             let lr = cfg.lr.at(t);
             let results = crate::baselines::parallel_clients(&sim.completed, |k, backend| {
-                self.trainer.train(env, &st.model, t, k, lr, backend)
+                self.trainer.train(env, &st.state, t, k, lr, backend)
             });
             let train_loss = if results.is_empty() {
                 0.0
@@ -656,12 +860,13 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                     .copied()
                     .zip(results.into_iter().map(|(u, _)| u))
                     .collect();
-                self.trainer.merge(env, &mut st.model, t, updates);
+                self.trainer.merge(env, &mut st.state, t, updates);
             }
             let (mut vc, mut va) = (None, None);
             if t % cadence == cadence - 1 || t + 1 == cfg.rounds {
-                vc = Some(env.val_clean(&mut st.model, 64));
-                va = Some(env.val_adv(&mut st.model, 64));
+                let model = self.trainer.global_model_mut(&mut st.state);
+                vc = Some(env.val_clean(model, 64));
+                va = Some(env.val_adv(model, 64));
             }
             st.clock_s += sim.round_time_s;
             st.ledger.push(SchedRound {

@@ -1,0 +1,112 @@
+//! Backward compatibility of the generalized server-state checkpoints.
+//!
+//! The committed fixtures under `tests/fixtures/` were emitted by the
+//! pre-generalization schedulers (whose checkpoints hard-coded one
+//! `fp-nn` model under the `"model"` key). The generalized
+//! `SchedCheckpoint<S>` / `AsyncCheckpoint<S>` with the default
+//! single-model [`ModelState`] wrapper must keep loading them and must
+//! re-serialize them **byte-identically** — the wrapper's serialized
+//! form *is* the plain model checkpoint.
+
+use fedprophet_repro::data::{generate, partition_pathological, SynthConfig};
+use fedprophet_repro::fl::{
+    AsyncCheckpoint, AsyncConfig, AsyncScheduler, DeadlinePolicy, EventScheduler, FlConfig, FlEnv,
+    JFat, SchedCheckpoint, SchedConfig,
+};
+use fedprophet_repro::hwsim::{sample_fleet, SamplingMode, CIFAR_POOL};
+use fedprophet_repro::nn::models::{vgg_atom_specs, VggConfig};
+
+fn env(rounds: usize, seed: u64) -> FlEnv {
+    let cfg = FlConfig::fast(rounds, seed);
+    let data = generate(&SynthConfig::tiny(4, 8), seed);
+    let splits = partition_pathological(&data.train, cfg.n_clients, 0.8, 0.25, seed);
+    let mut rng = fedprophet_repro::tensor::seeded_rng(seed ^ 0xF1EE7);
+    let fleet = sample_fleet(&CIFAR_POOL, cfg.n_clients, SamplingMode::Balanced, &mut rng);
+    let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16, 24]));
+    FlEnv::new(data, splits, fleet, specs, cfg)
+}
+
+#[test]
+fn pre_refactor_sched_checkpoint_loads_and_reserializes_bit_identically() {
+    let json = include_str!("fixtures/sched_checkpoint_v1.json");
+    // Default type parameter = ModelState: the historical single-model
+    // checkpoint shape.
+    let ckpt: SchedCheckpoint = serde_json::from_str(json).expect("v1 checkpoint deserializes");
+    assert_eq!(ckpt.next_round, 3);
+    assert_eq!(ckpt.algorithm, "jFAT");
+    assert_eq!(ckpt.ledger.len(), 3);
+    let reserialized = serde_json::to_string(&ckpt).expect("serializes");
+    assert_eq!(
+        reserialized, json,
+        "ModelState must serialize byte-identically to the v1 model checkpoint"
+    );
+}
+
+#[test]
+fn pre_refactor_sched_checkpoint_resumes() {
+    let json = include_str!("fixtures/sched_checkpoint_v1.json");
+    let ckpt: SchedCheckpoint = serde_json::from_str(json).expect("v1 checkpoint deserializes");
+    // The fixture's originating run: seed 77, 6 rounds, the e2e
+    // deadline/dropout/over-selection policy.
+    let sched = EventScheduler::new(
+        JFat::new(),
+        SchedConfig {
+            over_select: 1.5,
+            dropout_p: 0.15,
+            deadline: DeadlinePolicy::MedianMultiple(1.25),
+            min_completions: 1,
+        },
+    );
+    let e = env(6, 77);
+    let out = sched.resume(&e, &ckpt);
+    assert_eq!(out.ledger.len(), 6, "resume finishes the remaining rounds");
+    assert_eq!(
+        &out.ledger[..3],
+        &ckpt.ledger[..],
+        "the checkpointed prefix is preserved verbatim"
+    );
+    // The continuation rides the machine-independent schedule streams:
+    // clocks advance monotonically past the checkpoint.
+    assert!(out.ledger[3..].iter().all(|r| r.clock_s > ckpt.clock_s));
+    assert!(out.ledger.windows(2).all(|w| w[1].clock_s >= w[0].clock_s));
+}
+
+#[test]
+fn pre_refactor_async_checkpoint_loads_and_reserializes_bit_identically() {
+    let json = include_str!("fixtures/async_checkpoint_v1.json");
+    let ckpt: AsyncCheckpoint = serde_json::from_str(json).expect("v1 checkpoint deserializes");
+    assert_eq!(ckpt.version, 2);
+    assert_eq!(ckpt.algorithm, "jFAT");
+    assert_eq!(ckpt.buffer.len(), 1, "fixture was taken mid-flight");
+    assert!(!ckpt.in_flight.is_empty());
+    assert!(
+        !ckpt.past_states.is_empty(),
+        "pending dispatches keep their version's model alive"
+    );
+    let reserialized = serde_json::to_string(&ckpt).expect("serializes");
+    assert_eq!(
+        reserialized, json,
+        "ModelState must serialize byte-identically to the v1 model checkpoint"
+    );
+}
+
+#[test]
+fn pre_refactor_async_checkpoint_resumes() {
+    let json = include_str!("fixtures/async_checkpoint_v1.json");
+    let ckpt: AsyncCheckpoint = serde_json::from_str(json).expect("v1 checkpoint deserializes");
+    let sched = AsyncScheduler::new(
+        JFat::new(),
+        AsyncConfig {
+            concurrency: 4,
+            buffer_k: 2,
+            staleness_exp: 0.5,
+        },
+    );
+    let e = env(5, 77);
+    let out = sched.resume(&e, &ckpt);
+    assert_eq!(out.ledger.len(), 5, "resume finishes the remaining aggs");
+    assert_eq!(&out.ledger[..2], &ckpt.ledger[..]);
+    assert!(out.ledger[2..]
+        .iter()
+        .all(|r| r.clock_s > ckpt.last_agg_clock_s));
+}

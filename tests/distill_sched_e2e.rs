@@ -1,0 +1,490 @@
+//! Distillation-baselines-under-the-scheduler regression suite.
+//!
+//! FedDF/FedET were the last algorithms on the retired lockstep loop;
+//! they now run through the same event-driven sync scheduler and
+//! barrier-free async loop as every other algorithm, with their model
+//! zoo + temperature schedule as generalized server state. Pinned here:
+//!
+//! 1. **Lockstep equivalence.** The wait-all default reproduces the
+//!    retired lockstep distillation loop **bit-for-bit** — checked
+//!    against a faithful transcription of the old loop kept in this
+//!    test, so the historical Table-2 numbers stay meaningful.
+//! 2. **Golden deadline schedule.** Under over-selection + dropout + a
+//!    median deadline, the exact participation counts and virtual round
+//!    times derive purely from the f64 hwsim cost of each client's
+//!    *fitted zoo member* — machine-independent literals.
+//! 3. **Async distill.** The zoo runs on the continuous virtual clock
+//!    with staleness-discounted prototype averaging; a mid-flight
+//!    checkpoint (buffered + in-flight dispatches) round-trips through
+//!    JSON and resumes bit-identically.
+//! 4. **Field-named resume validation.** A checkpoint resumed under
+//!    different rules fails naming the offending checkpoint field.
+
+use fedprophet_repro::attack::PgdConfig;
+use fedprophet_repro::data::{generate, partition_pathological, BatchIter, SynthConfig};
+use fedprophet_repro::fl::aggregate::weighted_average;
+use fedprophet_repro::fl::{
+    local_train, model_hash, AsyncConfig, AsyncScheduler, AsyncStopPoint, DeadlinePolicy, Distill,
+    DistillState, DistillVariant, EventScheduler, FlAlgorithm, FlConfig, FlEnv, LocalTrainConfig,
+    SchedCheckpoint, SchedConfig,
+};
+use fedprophet_repro::hwsim::{model_mem_req, sample_fleet, SamplingMode, CIFAR_POOL};
+use fedprophet_repro::nn::models::{
+    cnn_atom_specs, instantiate, vgg_atom_specs, CnnConfig, VggConfig,
+};
+use fedprophet_repro::nn::spec::AtomSpec;
+use fedprophet_repro::nn::{CascadeModel, Mode, Sgd};
+use fedprophet_repro::tensor::{seeded_rng, softmax_rows, Tensor};
+
+fn env(rounds: usize, seed: u64) -> FlEnv {
+    let cfg = FlConfig::fast(rounds, seed);
+    let data = generate(&SynthConfig::tiny(4, 8), seed);
+    let splits = partition_pathological(&data.train, cfg.n_clients, 0.8, 0.25, seed);
+    let mut rng = fedprophet_repro::tensor::seeded_rng(seed ^ 0xF1EE7);
+    let fleet = sample_fleet(&CIFAR_POOL, cfg.n_clients, SamplingMode::Balanced, &mut rng);
+    let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16, 24]));
+    FlEnv::new(data, splits, fleet, specs, cfg)
+}
+
+/// A three-member zoo ascending in memory; the last entry is the
+/// reference architecture of `env`.
+fn zoo() -> Vec<Vec<AtomSpec>> {
+    vec![
+        cnn_atom_specs(&CnnConfig {
+            in_channels: 3,
+            input_hw: 8,
+            n_classes: 4,
+            widths: vec![4],
+            first_stride: 1,
+        }),
+        vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[4, 8])),
+        vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16, 24])),
+    ]
+}
+
+fn feddf(distill_iters: usize) -> Distill {
+    Distill::new(DistillVariant::FedDf, zoo(), distill_iters)
+}
+
+/// Restores the hardware thread budget even if an assertion unwinds.
+struct BudgetGuard;
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        fedprophet_repro::tensor::parallel::set_thread_budget(0);
+    }
+}
+
+// --------------------------------------------------------------------------
+// 1. The retired lockstep loop, transcribed verbatim (modulo visibility)
+//    from the pre-generalization `fp_fl::baselines::distill` — the
+//    reference the scheduler path must reproduce bit-for-bit under the
+//    default wait-all config.
+// --------------------------------------------------------------------------
+
+struct LockstepRecord {
+    train_loss: f32,
+    val_clean: Option<f32>,
+    val_adv: Option<f32>,
+}
+
+fn fedavg_into_ref(global: &mut CascadeModel, locals: &[(CascadeModel, f32)]) {
+    let updates: Vec<(Vec<f32>, f32)> = locals.iter().map(|(m, w)| (m.flat_params(), *w)).collect();
+    let avg = weighted_average(&updates);
+    global.set_flat_params(&avg);
+    let total: f32 = locals.iter().map(|(_, w)| *w).sum();
+    if total <= 0.0 {
+        return;
+    }
+    let template = locals[0].0.bn_stats();
+    if template.is_empty() {
+        return;
+    }
+    let mut means: Vec<Tensor> = template
+        .iter()
+        .map(|(m, _)| Tensor::zeros(m.shape()))
+        .collect();
+    let mut vars: Vec<Tensor> = template
+        .iter()
+        .map(|(_, v)| Tensor::zeros(v.shape()))
+        .collect();
+    for (m, w) in locals {
+        let wn = *w / total;
+        for (i, (mean, var)) in m.bn_stats().iter().enumerate() {
+            means[i].axpy(wn, mean);
+            vars[i].axpy(wn, var);
+        }
+    }
+    let stats: Vec<(Tensor, Tensor)> = means.into_iter().zip(vars).collect();
+    global.set_bn_stats(&stats);
+}
+
+fn ensemble_probs_ref(alg: &Distill, teachers: &mut [CascadeModel], x: &Tensor) -> Tensor {
+    let per_teacher: Vec<Tensor> = teachers
+        .iter_mut()
+        .map(|m| softmax_rows(&m.forward(x, Mode::Eval)))
+        .collect();
+    let (batch, classes) = (per_teacher[0].shape()[0], per_teacher[0].shape()[1]);
+    let mut out = Tensor::zeros(&[batch, classes]);
+    match alg.variant {
+        DistillVariant::FedDf => {
+            for p in &per_teacher {
+                out.axpy(1.0 / per_teacher.len() as f32, p);
+            }
+        }
+        DistillVariant::FedEt => unreachable!("reference loop is exercised with FedDF"),
+    }
+    out
+}
+
+fn lockstep_reference(alg: &Distill, env: &FlEnv) -> (CascadeModel, Vec<LockstepRecord>) {
+    let cfg = &env.cfg;
+    let n_classes = env.data.train.n_classes();
+    let mut global = {
+        let mut rng = seeded_rng(cfg.seed ^ 0x610BA1);
+        instantiate(&env.reference_specs, &env.input_shape, n_classes, &mut rng)
+    };
+    let mut prototypes: Vec<CascadeModel> = alg
+        .zoo
+        .iter()
+        .enumerate()
+        .map(|(i, specs)| {
+            let mut rng = seeded_rng(cfg.seed ^ 0x200 ^ i as u64);
+            instantiate(specs, &env.input_shape, n_classes, &mut rng)
+        })
+        .collect();
+    let zoo_mem: Vec<u64> = alg
+        .zoo
+        .iter()
+        .map(|s| model_mem_req(s, &env.input_shape, cfg.batch_size).total())
+        .collect();
+    let mut history = Vec::with_capacity(cfg.rounds);
+    let cadence = (cfg.rounds / 8).max(1);
+    for t in 0..cfg.rounds {
+        let ids = env.sample_round(t);
+        let lr = cfg.lr.at(t);
+        let (outer, inner) = fedprophet_repro::tensor::parallel::thread_split(ids.len());
+        let results = fedprophet_repro::tensor::parallel::parallel_map(&ids, outer, |_, &k| {
+            let arch = zoo_mem
+                .iter()
+                .rposition(|&m| m <= env.mem_budget(k))
+                .unwrap_or(0);
+            let mut model = prototypes[arch].clone();
+            model.set_backend(&fedprophet_repro::tensor::backend_for_threads(inner));
+            let ltc = LocalTrainConfig {
+                iters: cfg.local_iters,
+                batch_size: cfg.batch_size,
+                lr,
+                momentum: cfg.momentum,
+                weight_decay: cfg.weight_decay,
+                pgd: Some(PgdConfig {
+                    steps: cfg.pgd_steps,
+                    ..PgdConfig::train_linf(cfg.eps0)
+                }),
+                seed: cfg.seed ^ (t as u64) << 24 ^ k as u64,
+            };
+            let loss = local_train(&mut model, &env.data.train, &env.splits[k].indices, &ltc);
+            (arch, model, env.splits[k].weight, loss)
+        });
+        let mean_loss = results.iter().map(|(_, _, _, l)| *l).sum::<f32>() / results.len() as f32;
+        #[allow(clippy::needless_range_loop)]
+        for arch in 0..alg.zoo.len() {
+            let members: Vec<(CascadeModel, f32)> = results
+                .iter()
+                .filter(|(a, _, _, _)| *a == arch)
+                .map(|(_, m, w, _)| (m.clone(), *w))
+                .collect();
+            if !members.is_empty() {
+                fedavg_into_ref(&mut prototypes[arch], &members);
+            }
+        }
+        // Server-side ensemble distillation into the global model.
+        {
+            let public = &env.data.val;
+            let idx: Vec<usize> = (0..public.len()).collect();
+            let mut it = BatchIter::new(public, &idx, cfg.batch_size, cfg.seed ^ 0xD157 ^ t as u64);
+            let mut teachers: Vec<CascadeModel> = prototypes.clone();
+            let mut opt = Sgd::new(cfg.momentum, cfg.weight_decay);
+            for _ in 0..alg.distill_iters {
+                let (x, _) = it.next_batch();
+                let target = ensemble_probs_ref(alg, &mut teachers, &x);
+                let logits = global.forward(&x, Mode::Train);
+                let batch = logits.shape()[0];
+                let probs = softmax_rows(&logits);
+                let grad = probs.sub(&target).scale(1.0 / batch as f32);
+                global.zero_grad();
+                global.backward(&grad);
+                opt.step(&mut global.params_mut(), lr);
+            }
+        }
+        let (mut vc, mut va) = (None, None);
+        if t % cadence == cadence - 1 || t + 1 == cfg.rounds {
+            vc = Some(env.val_clean(&mut global, 64));
+            va = Some(env.val_adv(&mut global, 64));
+        }
+        history.push(LockstepRecord {
+            train_loss: mean_loss,
+            val_clean: vc,
+            val_adv: va,
+        });
+    }
+    (global, history)
+}
+
+#[test]
+fn wait_all_scheduler_reproduces_lockstep_distill_bit_for_bit() {
+    let e = env(4, 2024);
+    let alg = feddf(8);
+    let (ref_model, ref_history) = lockstep_reference(&alg, &e);
+    let out = alg.run(&e);
+
+    assert_eq!(out.history.len(), ref_history.len());
+    for (got, want) in out.history.iter().zip(&ref_history) {
+        assert_eq!(got.train_loss, want.train_loss, "round {} loss", got.round);
+        assert_eq!(got.val_clean, want.val_clean, "round {} clean", got.round);
+        assert_eq!(got.val_adv, want.val_adv, "round {} adv", got.round);
+    }
+    assert_eq!(
+        model_hash(&out.model),
+        model_hash(&ref_model),
+        "student must be bit-identical to the retired lockstep loop"
+    );
+}
+
+// --------------------------------------------------------------------------
+// 2. Golden deadline schedule: cost heterogeneity now comes from the
+//    *fitted zoo member* of each client, so CNN clients finish early and
+//    reference-model clients straggle.
+// --------------------------------------------------------------------------
+
+fn golden_sched() -> SchedConfig {
+    SchedConfig {
+        over_select: 1.5,
+        dropout_p: 0.15,
+        deadline: DeadlinePolicy::MedianMultiple(1.25),
+        min_completions: 1,
+    }
+}
+
+const GOLDEN_SEED: u64 = 2024;
+const GOLDEN_ROUNDS: usize = 4;
+
+/// Golden participation schedule for seed 2024: per round
+/// `(selected, completed, stragglers, dropped_out)` — pure cost-model
+/// arithmetic over each client's fitted zoo member.
+const GOLDEN_SCHEDULE: [(usize, usize, usize, usize); GOLDEN_ROUNDS] =
+    [(6, 4, 2, 0), (6, 3, 2, 1), (6, 3, 2, 1), (6, 3, 2, 1)];
+
+/// Golden virtual round durations (seconds) for seed 2024, full bit
+/// precision so the 1e-12 relative comparison round-trips exactly.
+#[allow(clippy::excessive_precision)]
+const GOLDEN_ROUND_TIMES: [f64; GOLDEN_ROUNDS] = [
+    7.84269615781208842e-6,
+    5.69382040980209844e-5,
+    1.01447982482267806e-5,
+    1.33985010003279304e-5,
+];
+
+#[test]
+fn distill_golden_deadline_schedule_is_thread_count_invariant() {
+    let run = |workers: usize| {
+        let _guard = BudgetGuard;
+        fedprophet_repro::tensor::parallel::set_thread_budget(workers);
+        EventScheduler::new(feddf(8), golden_sched()).run(&env(GOLDEN_ROUNDS, GOLDEN_SEED))
+    };
+    let a = run(1);
+    let b = run(2);
+    let c = run(4);
+
+    assert_eq!(a.ledger, b.ledger, "1 vs 2 workers");
+    assert_eq!(a.ledger, c.ledger, "1 vs 4 workers");
+    let h = model_hash(&a.model);
+    assert_eq!(h, model_hash(&b.model), "final-model hash, 1 vs 2 workers");
+    assert_eq!(h, model_hash(&c.model), "final-model hash, 1 vs 4 workers");
+
+    let schedule: Vec<(usize, usize, usize, usize)> = a
+        .ledger
+        .iter()
+        .map(|r| (r.selected, r.completed, r.stragglers, r.dropped_out))
+        .collect();
+    assert_eq!(schedule, GOLDEN_SCHEDULE, "golden participation schedule");
+    for (r, want) in a.ledger.iter().zip(GOLDEN_ROUND_TIMES) {
+        assert!(
+            ((r.round_time_s - want) / want).abs() < 1e-12,
+            "round {} time {:.17e} vs golden {want:.17e}",
+            r.round,
+            r.round_time_s
+        );
+    }
+    for r in &a.ledger {
+        assert_eq!(r.selected, r.completed + r.stragglers + r.dropped_out);
+        assert!(r.completed >= 1, "progress guarantee");
+        assert!(r.train_loss.is_finite());
+    }
+
+    // Emit the ledger as a JSON artifact for CI.
+    if let Ok(path) = std::env::var("FP_DISTILL_SCHED_METRICS") {
+        std::fs::write(path, a.ledger_json()).expect("write metrics artifact");
+    }
+}
+
+// --------------------------------------------------------------------------
+// 3. Async distill: staleness-discounted zoo averaging on the continuous
+//    clock, mid-flight checkpoint/resume.
+// --------------------------------------------------------------------------
+
+fn golden_async() -> AsyncConfig {
+    AsyncConfig {
+        concurrency: 4,
+        buffer_k: 2,
+        staleness_exp: 0.5,
+    }
+}
+
+#[test]
+fn async_distill_runs_with_staleness_and_learns() {
+    let _guard = BudgetGuard;
+    fedprophet_repro::tensor::parallel::set_thread_budget(2);
+    let e = env(8, 11);
+    let out = AsyncScheduler::new(feddf(8), golden_async()).run(&e);
+    assert_eq!(out.ledger.len(), 8);
+    for r in &out.ledger {
+        assert_eq!(r.merged, 2, "every flush merges buffer_k updates");
+        assert!(r.train_loss.is_finite());
+        assert!(
+            r.mean_transfer_s > 0.0,
+            "zoo dispatches carry transfer cost"
+        );
+    }
+    assert!(
+        out.ledger.iter().any(|r| r.max_staleness > 0),
+        "4 slots over flushes of 2 must produce stale merges"
+    );
+    assert!(
+        out.ledger
+            .iter()
+            .filter(|r| r.max_staleness > 0)
+            .all(|r| r.weight_retained < 1.0),
+        "stale zoo merges must lose FedAvg mass at a > 0"
+    );
+    assert!(out.final_clean_above(0.25), "async distill failed to learn");
+
+    if let Ok(path) = std::env::var("FP_DISTILL_ASYNC_METRICS") {
+        std::fs::write(path, out.ledger_json()).expect("write metrics artifact");
+    }
+}
+
+trait FinalClean {
+    fn final_clean_above(&self, floor: f32) -> bool;
+}
+
+impl FinalClean for fedprophet_repro::fl::AsyncOutcome<DistillState> {
+    fn final_clean_above(&self, floor: f32) -> bool {
+        self.ledger
+            .iter()
+            .rev()
+            .find_map(|r| r.val_clean)
+            .is_some_and(|v| v > floor)
+    }
+}
+
+#[test]
+fn async_distill_checkpoint_resumes_bit_identically_mid_flight() {
+    let e = env(5, 77);
+    let sched = AsyncScheduler::new(feddf(8), golden_async());
+    let full = sched.run(&e);
+
+    // Interrupt with one buffered update and clients still in flight, so
+    // the checkpoint must carry the zoo snapshots of still-referenced
+    // past versions; round-trip through JSON; resume to completion.
+    let ckpt = sched.run_until(
+        &e,
+        AsyncStopPoint {
+            aggregations: 2,
+            buffered: 1,
+        },
+    );
+    assert_eq!(ckpt.version, 2);
+    assert_eq!(ckpt.buffer.len(), 1);
+    assert!(!ckpt.in_flight.is_empty());
+    let json = serde_json::to_string(&ckpt).expect("checkpoint serializes");
+    let restored: fedprophet_repro::fl::AsyncCheckpoint<DistillState> =
+        serde_json::from_str(&json).expect("checkpoint deserializes");
+    assert_eq!(restored.state.temperature, ckpt.state.temperature);
+    let resumed = sched.resume(&e, &restored);
+
+    assert_eq!(resumed.ledger, full.ledger, "ledger bit-identical");
+    assert_eq!(
+        model_hash(&resumed.model),
+        model_hash(&full.model),
+        "student bit-identical after resume"
+    );
+    for (a, b) in resumed.state.zoo.iter().zip(&full.state.zoo) {
+        assert_eq!(
+            a.flat_params(),
+            b.flat_params(),
+            "zoo prototypes bit-identical after resume"
+        );
+    }
+}
+
+#[test]
+fn sync_distill_checkpoint_resumes_bit_identically() {
+    let e = env(6, 77);
+    let sched = EventScheduler::new(feddf(8), golden_sched());
+    let full = sched.run(&e);
+
+    let ckpt = sched.run_until(&e, 3);
+    let json = serde_json::to_string(&ckpt).expect("checkpoint serializes");
+    let restored: SchedCheckpoint<DistillState> =
+        serde_json::from_str(&json).expect("checkpoint deserializes");
+    let resumed = sched.resume(&e, &restored);
+
+    assert_eq!(resumed.ledger, full.ledger);
+    assert_eq!(model_hash(&resumed.model), model_hash(&full.model));
+    for (a, b) in resumed.state.zoo.iter().zip(&full.state.zoo) {
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+    assert_eq!(resumed.state.temperature, full.state.temperature);
+}
+
+// --------------------------------------------------------------------------
+// 4. Resume validation names the offending checkpoint field.
+// --------------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "SchedCheckpoint field `rounds`")]
+fn sync_resume_names_the_mismatched_rounds_field() {
+    let e = env(3, 5);
+    let sched = EventScheduler::new(feddf(2), SchedConfig::default());
+    let ckpt = sched.run_until(&e, 1);
+    let longer = env(5, 5);
+    let _ = sched.resume(&longer, &ckpt);
+}
+
+#[test]
+#[should_panic(expected = "SchedCheckpoint field `sched`")]
+fn sync_resume_names_the_mismatched_policy_field() {
+    let e = env(3, 5);
+    let ckpt = EventScheduler::new(feddf(2), golden_sched()).run_until(&e, 1);
+    let _ = EventScheduler::new(feddf(2), SchedConfig::default()).resume(&e, &ckpt);
+}
+
+#[test]
+#[should_panic(expected = "AsyncCheckpoint field `acfg`")]
+fn async_resume_names_the_mismatched_policy_field() {
+    let e = env(3, 5);
+    let ckpt =
+        AsyncScheduler::new(feddf(2), golden_async()).run_until(&e, AsyncStopPoint::after_agg(1));
+    let _ = AsyncScheduler::new(feddf(2), AsyncConfig::synchronous(8)).resume(&e, &ckpt);
+}
+
+#[test]
+#[should_panic(expected = "AsyncCheckpoint field `rounds`")]
+fn async_resume_names_the_mismatched_rounds_field() {
+    let e = env(3, 5);
+    let ckpt =
+        AsyncScheduler::new(feddf(2), golden_async()).run_until(&e, AsyncStopPoint::after_agg(1));
+    let longer = env(4, 5);
+    let _ = AsyncScheduler::new(feddf(2), golden_async()).resume(&longer, &ckpt);
+}

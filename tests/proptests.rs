@@ -390,3 +390,40 @@ proptest! {
         prop_assert_eq!(model_hash(&resumed.model), model_hash(&full.model));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The single-model `ModelState` wrapper serializes
+    /// **byte-identically** to the bare pre-generalization model
+    /// `Checkpoint`, and round-trips parameters and BN statistics
+    /// bit-exactly — so generalized-server-state checkpoints of
+    /// single-model algorithms *are* the historical format (the committed
+    /// v1 fixtures in `tests/checkpoint_compat.rs` pin the same property
+    /// against on-disk JSON).
+    #[test]
+    fn model_state_wrapper_matches_bare_checkpoint_json(
+        w1 in 2usize..8,
+        w2 in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        use fedprophet_repro::fl::ModelState;
+        use fedprophet_repro::nn::checkpoint::Checkpoint;
+        let mut rng = seeded_rng(seed);
+        let mut model = models::tiny_vgg(3, 8, 4, &[w1, w2], &mut rng);
+        // Make the BN running statistics non-trivial.
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let _ = model.forward(&x, Mode::Train);
+        let wrapper_json = serde_json::to_string(&ModelState(model.clone())).expect("serialize");
+        let bare_json = serde_json::to_string(&Checkpoint::capture(&model)).expect("serialize");
+        prop_assert_eq!(&wrapper_json, &bare_json);
+        let back: ModelState = serde_json::from_str(&wrapper_json).expect("deserialize");
+        prop_assert_eq!(back.0.flat_params(), model.flat_params());
+        let (a, b) = (back.0.bn_stats(), model.bn_stats());
+        prop_assert_eq!(a.len(), b.len());
+        for ((m1, v1), (m2, v2)) in a.iter().zip(&b) {
+            prop_assert_eq!(m1.data(), m2.data());
+            prop_assert_eq!(v1.data(), v2.data());
+        }
+    }
+}
