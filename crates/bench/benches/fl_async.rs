@@ -23,6 +23,7 @@ fn async_cfg() -> AsyncConfig {
         concurrency: 4,
         buffer_k: 2,
         staleness_exp: 0.5,
+        ..AsyncConfig::default()
     }
 }
 

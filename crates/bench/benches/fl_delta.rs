@@ -1,0 +1,124 @@
+//! Delta-encoded downloads vs full payloads on the unbalanced CIFAR
+//! fleet.
+//!
+//! Two reports come out of this bench:
+//!
+//! * criterion wall-clock timings of running the simulator itself with
+//!   the communication plane off and on (written to `$FP_BENCH_JSON`
+//!   like every other bench);
+//! * the virtual-time / wire-traffic comparison the communication plane
+//!   exists for: same HeteroFL-AT run, same final model hash, how many
+//!   down-link bytes and how much simulated wall-clock the per-client
+//!   cache saves. Written to `$FP_DELTA_BENCH_JSON` (default
+//!   `BENCH_fl_delta.json`).
+
+use criterion::{criterion_group, criterion_main, take_results, Criterion};
+use fp_bench::envs::{cifar_env, Het, Scale};
+use fp_fl::{model_hash, CommConfig, EventScheduler, PartialTraining, SchedConfig, SchedOutcome};
+
+const ROUNDS: usize = 16;
+/// Small cohorts leave most of the fleet idle each round, which is what
+/// makes warm-cache deltas sparse (a round's merge only touches the
+/// participants' width slices).
+const COHORT: usize = 3;
+
+fn comm() -> CommConfig {
+    CommConfig {
+        delta_downloads: true,
+        snapshot_retention: 16,
+    }
+}
+
+fn sched() -> SchedConfig {
+    SchedConfig {
+        dropout_p: 0.05,
+        ..SchedConfig::default()
+    }
+}
+
+fn run(rounds: usize, delta: bool) -> SchedOutcome {
+    let mut env = cifar_env(Scale::Fast, Het::Unbalanced, 0);
+    env.cfg.rounds = rounds;
+    env.cfg.clients_per_round = COHORT;
+    // One local iteration: the communication-bound edge regime where
+    // download size, not compute, sets the round clock.
+    env.cfg.local_iters = 1;
+    let alg = PartialTraining::heterofl();
+    if delta {
+        EventScheduler::with_comm(alg, sched(), comm()).run(&env)
+    } else {
+        EventScheduler::new(alg, sched()).run(&env)
+    }
+}
+
+fn bench_wall(c: &mut Criterion) {
+    c.bench_function("fl_delta/full_payload_wall_2_rounds", |b| {
+        b.iter(|| std::hint::black_box(run(2, false)))
+    });
+    c.bench_function("fl_delta/delta_payload_wall_2_rounds", |b| {
+        b.iter(|| std::hint::black_box(run(2, true)))
+    });
+}
+
+fn report_virtual(_c: &mut Criterion) {
+    let full = run(ROUNDS, false);
+    let delta = run(ROUNDS, true);
+    let same_hash = model_hash(&full.model) == model_hash(&delta.model);
+    assert!(
+        same_hash,
+        "delta downloads must reconstruct payloads bit-for-bit"
+    );
+    let sum = |o: &SchedOutcome, f: fn(&fp_fl::SchedRound) -> u64| -> u64 {
+        o.ledger.iter().map(f).sum()
+    };
+    let full_down = sum(&full, |r| r.down_bytes);
+    let delta_down = sum(&delta, |r| r.down_bytes);
+    let up = sum(&delta, |r| r.up_bytes);
+    let delta_count: usize = delta.ledger.iter().map(|r| r.delta_dispatches).sum();
+    let dispatches: usize = delta.ledger.iter().map(|r| r.selected).sum();
+    let wall: Vec<String> = take_results()
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+                r.id, r.median_ns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"env\": \"cifar_fast_unbalanced\", \"algorithm\": \"HeteroFL-AT\", \
+         \"rounds\": {ROUNDS}, \"clients_per_round\": {COHORT}, \"dropout_p\": 0.05, \
+         \"snapshot_retention\": {}}},\n  \
+         \"full\": {{\"virtual_total_s\": {:.6}, \"down_bytes\": {full_down}, \
+         \"up_bytes\": {}}},\n  \
+         \"delta\": {{\"virtual_total_s\": {:.6}, \"down_bytes\": {delta_down}, \
+         \"up_bytes\": {up}, \"delta_dispatches\": {delta_count}, \
+         \"dispatches\": {dispatches}}},\n  \
+         \"identical_model_hash\": {same_hash},\n  \
+         \"down_bytes_saved_frac\": {:.4},\n  \"virtual_speedup\": {:.4},\n  \
+         \"wall\": [\n{}\n  ]\n}}\n",
+        comm().snapshot_retention,
+        full.virtual_time_s(),
+        sum(&full, |r| r.up_bytes),
+        delta.virtual_time_s(),
+        1.0 - delta_down as f64 / full_down as f64,
+        full.virtual_time_s() / delta.virtual_time_s(),
+        wall.join(",\n")
+    );
+    let path =
+        std::env::var("FP_DELTA_BENCH_JSON").unwrap_or_else(|_| "BENCH_fl_delta.json".into());
+    std::fs::write(&path, &json).expect("write fl_delta report");
+    println!(
+        "fl_delta: identical hash, {:.1}% down-link bytes saved, virtual speedup {:.3}x, \
+         report -> {path}",
+        100.0 * (1.0 - delta_down as f64 / full_down as f64),
+        full.virtual_time_s() / delta.virtual_time_s()
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_wall, report_virtual
+}
+criterion_main!(benches);

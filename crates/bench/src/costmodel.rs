@@ -271,7 +271,6 @@ fn generic_cost(
                     fwd_macs_per_sample: macs,
                     // Figure cost models reproduce compute/swap numbers
                     // only; no dispatch transfer is charged.
-                    model_bytes: 0,
                     batch: w.batch,
                     profile,
                 }
@@ -336,7 +335,6 @@ fn prophet_cost(
                     LatencyModel {
                         mem_req_bytes: mem_req,
                         fwd_macs_per_sample: macs,
-                        model_bytes: 0,
                         batch: w.batch,
                         profile: TrainingPassProfile::adversarial(PGD_STEPS),
                     }

@@ -91,7 +91,6 @@ fn mean_fleet_latency(
         mem_req_bytes: mem_req,
         fwd_macs_per_sample: macs,
         // Figure 2 reproduces compute/swap shares; no transfer charged.
-        model_bytes: 0,
         batch: w.batch,
         profile: TrainingPassProfile::adversarial(10),
     };

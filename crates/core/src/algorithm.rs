@@ -10,7 +10,7 @@ use fp_attack::{AttackTarget, ModelTarget, Pgd, PgdConfig};
 use fp_fl::async_sched::{staleness_weight, AsyncConfig, AsyncTimeline};
 use fp_fl::sched::{draw_dropouts, over_select_count, simulate_round, SchedConfig, SALT_AVAIL};
 use fp_fl::{FlAlgorithm, FlEnv, FlOutcome, RoundRecord};
-use fp_hwsim::{param_transfer_bytes, ClientLatency, LatencyModel, TrainingPassProfile};
+use fp_hwsim::{param_transfer_bytes, ClientLatency, LatencyModel, Payload, TrainingPassProfile};
 use fp_nn::CascadeModel;
 use fp_tensor::{argmax_rows, seeded_rng, Tensor};
 use rand::Rng;
@@ -309,11 +309,13 @@ impl FedProphet {
                                     last: m,
                                 }
                             };
-                            let lat = window_latency_model(env, &partition, assign, cfg)
-                                .dispatch_round_trip(
-                                    &degraded_sample(env, k, mem, perf),
-                                    cfg.local_iters,
-                                );
+                            let (model, payload) =
+                                window_latency_model(env, &partition, assign, cfg);
+                            let lat = model.dispatch_round_trip(
+                                &degraded_sample(env, k, mem, perf),
+                                cfg.local_iters,
+                                &payload,
+                            );
                             timeline.schedule_finish(k, timeline.clock_s() + lat.total());
                             assigns.push(assign);
                             lats.push(lat);
@@ -862,14 +864,15 @@ fn prophet_availability(env: &FlEnv, t: usize, k: usize) -> (u64, f64) {
     (mem, perf)
 }
 
-/// The hwsim cost description of one DMA-assigned module window: memory,
-/// MACs, and the serialized window weights that cross the client's link.
+/// The hwsim cost description of one DMA-assigned module window — the
+/// latency model plus the window-weights payload that crosses the
+/// client's link.
 fn window_latency_model(
     env: &FlEnv,
     partition: &ModulePartition,
     assign: ModuleAssignment,
     cfg: &fp_fl::FlConfig,
-) -> LatencyModel {
+) -> (LatencyModel, Payload) {
     let mem_req: u64 = (assign.current..=assign.last)
         .map(|n| partition.mem_bytes[n])
         .sum();
@@ -877,15 +880,17 @@ fn window_latency_model(
         .map(|n| partition.fwd_macs[n])
         .sum();
     let (f, t) = assign.atom_window(partition);
-    LatencyModel {
+    let model = LatencyModel {
         mem_req_bytes: mem_req,
         fwd_macs_per_sample: macs,
-        // Only the window's weights ship; the (GAP→linear) aux head is
-        // negligible next to even one conv atom and is not counted.
-        model_bytes: param_transfer_bytes(&env.reference_specs[f..t]),
         batch: cfg.batch_size,
         profile: TrainingPassProfile::adversarial(cfg.pgd_steps),
-    }
+    };
+    // Only the window's weights ship (down and, after training, back up);
+    // the (GAP→linear) aux head is negligible next to even one conv atom
+    // and is not counted.
+    let payload = Payload::window(param_transfer_bytes(&env.reference_specs[f..t]));
+    (model, payload)
 }
 
 /// Client `k`'s device sample with its availability overridden by the
@@ -912,8 +917,12 @@ fn client_latencies(
         .zip(assignments.iter())
         .zip(avail.iter())
         .map(|((&k, assign), &(mem_avail, perf))| {
-            window_latency_model(env, partition, *assign, cfg)
-                .dispatch_round_trip(&degraded_sample(env, k, mem_avail, perf), cfg.local_iters)
+            let (model, payload) = window_latency_model(env, partition, *assign, cfg);
+            model.dispatch_round_trip(
+                &degraded_sample(env, k, mem_avail, perf),
+                cfg.local_iters,
+                &payload,
+            )
         })
         .collect()
 }
@@ -1058,6 +1067,7 @@ mod tests {
                 concurrency: 4,
                 buffer_k: 2,
                 staleness_exp: 0.5,
+                ..AsyncConfig::default()
             }),
             ..ProphetConfig::default()
         })
@@ -1111,6 +1121,7 @@ mod tests {
                 concurrency: env.cfg.clients_per_round,
                 buffer_k: 2,
                 staleness_exp: 0.5,
+                ..AsyncConfig::default()
             }),
             ..base
         })

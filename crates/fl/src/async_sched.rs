@@ -54,10 +54,12 @@
 //! pending update is a pure function of `(dispatch version, client)`,
 //! and a resumed run re-derives it at its flush, bit-identically.
 
+use crate::comm::{CommConfig, CommPlane, CommState};
 use crate::config::FlConfig;
 use crate::engine::FlEnv;
 use crate::metrics::{FlOutcome, RoundRecord};
-use crate::sched::{sample_availability, ModelState, ScheduledTrainer};
+use crate::sched::{opt_field, sample_availability, ModelState, ScheduledTrainer};
+use fp_hwsim::Payload;
 use fp_nn::CascadeModel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -67,22 +69,48 @@ use std::collections::BinaryHeap;
 /// Domain-separation salt for the per-dispatch client-picking stream.
 const SALT_DISPATCH: u64 = 0xA51D_15BA;
 
+/// Domain-separation salt for per-dispatch dropout draws (rides the same
+/// [`FlEnv::client_rng`] `(version, client)` streams as availability, so
+/// a dropout draw is a pure function of `(seed, version, client)`).
+pub const SALT_ASYNC_DROP: u64 = 0xA5D8_090D;
+
 const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
 
 // ------------------------------------------------------------------ config
 
 /// Barrier-free aggregation policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The dropout/timeout and adaptive-buffer fields were added after the
+/// first checkpoint format shipped; they serialize only when active so
+/// pre-refactor checkpoints round-trip byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AsyncConfig {
     /// Maximum clients training concurrently (FedBuff's `M_c`). Freed
     /// slots re-arm immediately.
     pub concurrency: usize,
-    /// Aggregate every `K` buffered updates (FedBuff's buffer size).
+    /// Aggregate every `K` buffered updates (FedBuff's buffer size; the
+    /// starting threshold when `adaptive_buffer` is set).
     pub buffer_k: usize,
     /// Staleness-discount exponent `a`: an update `s` versions stale is
     /// weighted by `1/(1+s)^a`. `0` disables discounting (plain FedAvg
     /// over the buffer).
     pub staleness_exp: f64,
+    /// Per-dispatch probability that the client silently vanishes and
+    /// never reports (network loss, app eviction). Drawn from the
+    /// per-`(version, client)` [`FlEnv::client_rng`] stream
+    /// ([`SALT_ASYNC_DROP`]). Requires `timeout_s`.
+    pub dropout_p: f64,
+    /// Server-side dispatch timeout (virtual seconds): a dispatch that
+    /// has not reported after this long is abandoned — the slot is
+    /// reclaimed, the (eventual) update discarded, and the client's
+    /// communication-plane cache entry invalidated. `None` waits forever
+    /// (the historical behavior).
+    pub timeout_s: Option<f64>,
+    /// Adaptive flush threshold `(k_min, k_max)`: after every
+    /// aggregation the buffer threshold is rescaled from the observed
+    /// mean staleness (see [`adaptive_k`]), bounded to this range. `None`
+    /// keeps `buffer_k` static.
+    pub adaptive_buffer: Option<(usize, usize)>,
 }
 
 impl Default for AsyncConfig {
@@ -91,6 +119,9 @@ impl Default for AsyncConfig {
             concurrency: 4,
             buffer_k: 2,
             staleness_exp: 0.5,
+            dropout_p: 0.0,
+            timeout_s: None,
+            adaptive_buffer: None,
         }
     }
 }
@@ -104,6 +135,7 @@ impl AsyncConfig {
             concurrency: n_clients,
             buffer_k: n_clients,
             staleness_exp: 0.0,
+            ..AsyncConfig::default()
         }
     }
 
@@ -119,7 +151,78 @@ impl AsyncConfig {
             self.staleness_exp >= 0.0 && self.staleness_exp.is_finite(),
             "staleness_exp must be finite and >= 0"
         );
+        assert!(
+            (0.0..1.0).contains(&self.dropout_p),
+            "dropout_p must be in [0, 1)"
+        );
+        if let Some(to) = self.timeout_s {
+            assert!(to > 0.0 && to.is_finite(), "timeout_s must be positive");
+        }
+        assert!(
+            self.dropout_p == 0.0 || self.timeout_s.is_some(),
+            "dropout_p > 0 requires timeout_s: a dropped dispatch would hold its slot forever"
+        );
+        if let Some((k_min, k_max)) = self.adaptive_buffer {
+            assert!(
+                1 <= k_min && k_min <= k_max,
+                "adaptive_buffer requires 1 <= k_min <= k_max"
+            );
+        }
     }
+
+    /// The flush threshold a fresh run starts with.
+    fn initial_k(&self) -> usize {
+        match self.adaptive_buffer {
+            None => self.buffer_k,
+            Some((k_min, k_max)) => self.buffer_k.clamp(k_min, k_max),
+        }
+    }
+}
+
+impl Serialize for AsyncConfig {
+    fn serialize(&self) -> serde::Value {
+        let mut m = vec![
+            ("concurrency".to_string(), self.concurrency.serialize()),
+            ("buffer_k".to_string(), self.buffer_k.serialize()),
+            ("staleness_exp".to_string(), self.staleness_exp.serialize()),
+        ];
+        if self.dropout_p != 0.0 {
+            m.push(("dropout_p".to_string(), self.dropout_p.serialize()));
+        }
+        if let Some(to) = self.timeout_s {
+            m.push(("timeout_s".to_string(), to.serialize()));
+        }
+        if let Some(bounds) = self.adaptive_buffer {
+            m.push(("adaptive_buffer".to_string(), bounds.serialize()));
+        }
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for AsyncConfig {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        const TY: &str = "AsyncConfig";
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for AsyncConfig"))?;
+        Ok(AsyncConfig {
+            concurrency: Deserialize::deserialize(serde::map_field(m, "concurrency", TY)?)?,
+            buffer_k: Deserialize::deserialize(serde::map_field(m, "buffer_k", TY)?)?,
+            staleness_exp: Deserialize::deserialize(serde::map_field(m, "staleness_exp", TY)?)?,
+            dropout_p: opt_field(m, "dropout_p")?.unwrap_or(0.0),
+            timeout_s: opt_field(m, "timeout_s")?,
+            adaptive_buffer: opt_field(m, "adaptive_buffer")?,
+        })
+    }
+}
+
+/// The adaptive flush threshold after an aggregation with mean staleness
+/// `s̄`: `clamp(round(buffer_k · (1 + s̄)), k_min, k_max)`. High observed
+/// staleness widens the buffer — one flush then absorbs a whole version's
+/// worth of updates, producing fewer version bumps and therefore less
+/// staleness; zero staleness returns to the configured `buffer_k`.
+pub fn adaptive_k(buffer_k: usize, mean_staleness: f32, k_min: usize, k_max: usize) -> usize {
+    ((buffer_k as f64 * (1.0 + mean_staleness as f64)).round() as usize).clamp(k_min, k_max)
 }
 
 /// The FedBuff staleness discount `1/(1+s)^a`. Exactly `1.0` for every
@@ -299,7 +402,11 @@ impl AsyncTimeline {
 // ------------------------------------------------------------------ ledger
 
 /// One asynchronous aggregation's ledger entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The payload/dropout/adaptive fields (`down_bytes`, `up_bytes`,
+/// `delta_merged`, `timed_out`, `flush_k`) serialize only when non-trivial
+/// so pre-refactor ledgers round-trip byte-identically.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AsyncAggRecord {
     /// Aggregation index (the model version this aggregation produced is
     /// `agg + 1`).
@@ -331,6 +438,101 @@ pub struct AsyncAggRecord {
     pub round_time_s: f64,
     /// Virtual clock at this aggregation.
     pub clock_s: f64,
+    /// Down-link payload bytes of the merged dispatches
+    /// (delta-compressed where the cache allowed it).
+    pub down_bytes: u64,
+    /// Up-link update bytes of the merged dispatches.
+    pub up_bytes: u64,
+    /// Merged dispatches whose download was delta-encoded.
+    pub delta_merged: usize,
+    /// Dispatches reclaimed by the server-side timeout since the previous
+    /// aggregation (dropouts and over-deadline stragglers alike — the
+    /// server cannot tell them apart).
+    pub timed_out: usize,
+    /// The adaptive flush threshold this aggregation fired at (`None`
+    /// when the buffer is static).
+    pub flush_k: Option<usize>,
+}
+
+impl Serialize for AsyncAggRecord {
+    fn serialize(&self) -> serde::Value {
+        let mut m = vec![
+            ("agg".to_string(), self.agg.serialize()),
+            ("merged".to_string(), self.merged.serialize()),
+            ("clients".to_string(), self.clients.serialize()),
+            (
+                "mean_staleness".to_string(),
+                self.mean_staleness.serialize(),
+            ),
+            ("max_staleness".to_string(), self.max_staleness.serialize()),
+            (
+                "weight_retained".to_string(),
+                self.weight_retained.serialize(),
+            ),
+            (
+                "participation_weight".to_string(),
+                self.participation_weight.serialize(),
+            ),
+            ("train_loss".to_string(), self.train_loss.serialize()),
+            ("val_clean".to_string(), self.val_clean.serialize()),
+            ("val_adv".to_string(), self.val_adv.serialize()),
+            (
+                "mean_transfer_s".to_string(),
+                self.mean_transfer_s.serialize(),
+            ),
+            ("round_time_s".to_string(), self.round_time_s.serialize()),
+            ("clock_s".to_string(), self.clock_s.serialize()),
+        ];
+        if self.down_bytes != 0 {
+            m.push(("down_bytes".to_string(), self.down_bytes.serialize()));
+        }
+        if self.up_bytes != 0 {
+            m.push(("up_bytes".to_string(), self.up_bytes.serialize()));
+        }
+        if self.delta_merged != 0 {
+            m.push(("delta_merged".to_string(), self.delta_merged.serialize()));
+        }
+        if self.timed_out != 0 {
+            m.push(("timed_out".to_string(), self.timed_out.serialize()));
+        }
+        if let Some(k) = self.flush_k {
+            m.push(("flush_k".to_string(), k.serialize()));
+        }
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for AsyncAggRecord {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        const TY: &str = "AsyncAggRecord";
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for AsyncAggRecord"))?;
+        Ok(AsyncAggRecord {
+            agg: Deserialize::deserialize(serde::map_field(m, "agg", TY)?)?,
+            merged: Deserialize::deserialize(serde::map_field(m, "merged", TY)?)?,
+            clients: Deserialize::deserialize(serde::map_field(m, "clients", TY)?)?,
+            mean_staleness: Deserialize::deserialize(serde::map_field(m, "mean_staleness", TY)?)?,
+            max_staleness: Deserialize::deserialize(serde::map_field(m, "max_staleness", TY)?)?,
+            weight_retained: Deserialize::deserialize(serde::map_field(m, "weight_retained", TY)?)?,
+            participation_weight: Deserialize::deserialize(serde::map_field(
+                m,
+                "participation_weight",
+                TY,
+            )?)?,
+            train_loss: Deserialize::deserialize(serde::map_field(m, "train_loss", TY)?)?,
+            val_clean: Deserialize::deserialize(serde::map_field(m, "val_clean", TY)?)?,
+            val_adv: Deserialize::deserialize(serde::map_field(m, "val_adv", TY)?)?,
+            mean_transfer_s: Deserialize::deserialize(serde::map_field(m, "mean_transfer_s", TY)?)?,
+            round_time_s: Deserialize::deserialize(serde::map_field(m, "round_time_s", TY)?)?,
+            clock_s: Deserialize::deserialize(serde::map_field(m, "clock_s", TY)?)?,
+            down_bytes: opt_field(m, "down_bytes")?.unwrap_or(0),
+            up_bytes: opt_field(m, "up_bytes")?.unwrap_or(0),
+            delta_merged: opt_field(m, "delta_merged")?.unwrap_or(0),
+            timed_out: opt_field(m, "timed_out")?.unwrap_or(0),
+            flush_k: opt_field(m, "flush_k")?,
+        })
+    }
 }
 
 // --------------------------------------------------------------- scheduler
@@ -344,6 +546,10 @@ pub struct AsyncScheduler<T> {
     pub trainer: T,
     /// Aggregation policy.
     pub acfg: AsyncConfig,
+    /// Communication-plane policy (delta downloads / client caching).
+    /// Disabled by default — dispatch costs are then bit-identical to the
+    /// pre-communication-plane aggregator.
+    pub comm: CommConfig,
 }
 
 /// The result of an asynchronous run.
@@ -414,7 +620,11 @@ impl AsyncStopPoint {
 /// checkpoint. The update itself is *not* stored: it is a pure function
 /// of `(version, client)` and the version's model, so resume re-derives
 /// it bit-identically.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The `payload` and `lost` fields serialize only when non-trivial so
+/// pre-refactor checkpoints round-trip byte-identically (a legacy entry
+/// deserializes as a delivered full-payload dispatch).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PendingDispatch {
     /// Client id.
     pub client: usize,
@@ -422,10 +632,55 @@ pub struct PendingDispatch {
     pub version: usize,
     /// Virtual dispatch time.
     pub dispatch_s: f64,
-    /// Virtual finish time (dispatch + hwsim round trip).
+    /// Virtual finish time: dispatch + hwsim round trip, or the timeout
+    /// instant for a lost dispatch (when its slot is reclaimed).
     pub finish_s: f64,
     /// Up/down-link transfer seconds of the dispatch.
     pub transfer_s: f64,
+    /// The wire payload of the dispatch (`None` on entries loaded from
+    /// pre-communication-plane checkpoints).
+    pub payload: Option<Payload>,
+    /// Whether the dispatch is lost (client dropout or over-timeout
+    /// straggler): its event reclaims the slot instead of buffering an
+    /// update, and the client's cache entry is invalidated.
+    pub lost: bool,
+}
+
+impl Serialize for PendingDispatch {
+    fn serialize(&self) -> serde::Value {
+        let mut m = vec![
+            ("client".to_string(), self.client.serialize()),
+            ("version".to_string(), self.version.serialize()),
+            ("dispatch_s".to_string(), self.dispatch_s.serialize()),
+            ("finish_s".to_string(), self.finish_s.serialize()),
+            ("transfer_s".to_string(), self.transfer_s.serialize()),
+        ];
+        if let Some(p) = &self.payload {
+            m.push(("payload".to_string(), p.serialize()));
+        }
+        if self.lost {
+            m.push(("lost".to_string(), self.lost.serialize()));
+        }
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for PendingDispatch {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        const TY: &str = "PendingDispatch";
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for PendingDispatch"))?;
+        Ok(PendingDispatch {
+            client: Deserialize::deserialize(serde::map_field(m, "client", TY)?)?,
+            version: Deserialize::deserialize(serde::map_field(m, "version", TY)?)?,
+            dispatch_s: Deserialize::deserialize(serde::map_field(m, "dispatch_s", TY)?)?,
+            finish_s: Deserialize::deserialize(serde::map_field(m, "finish_s", TY)?)?,
+            transfer_s: Deserialize::deserialize(serde::map_field(m, "transfer_s", TY)?)?,
+            payload: opt_field(m, "payload")?,
+            lost: opt_field(m, "lost")?.unwrap_or(false),
+        })
+    }
 }
 
 /// A serializable snapshot of an asynchronous run, including buffered
@@ -470,11 +725,19 @@ pub struct AsyncCheckpoint<S = ModelState> {
     /// Snapshots of past state versions still referenced by pending
     /// dispatches.
     pub past_states: Vec<(usize, S)>,
+    /// Communication-plane state; `None` when caching is disabled (and
+    /// then absent from the JSON).
+    pub comm: Option<CommState<S>>,
+    /// Live adaptive flush threshold (`None` when the buffer is static).
+    pub cur_k: Option<usize>,
+    /// Dispatches reclaimed by timeout since the last aggregation (the
+    /// count the next ledger record reports).
+    pub timed_out: usize,
 }
 
 impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
     fn serialize(&self) -> serde::Value {
-        serde::Value::Map(vec![
+        let mut m = vec![
             ("version".to_string(), self.version.serialize()),
             ("clock_s".to_string(), self.clock_s.serialize()),
             (
@@ -499,7 +762,17 @@ impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
                 self.dispatched_at_version.serialize(),
             ),
             ("past_models".to_string(), self.past_states.serialize()),
-        ])
+        ];
+        if let Some(comm) = &self.comm {
+            m.push(("comm".to_string(), comm.serialize()));
+        }
+        if let Some(k) = self.cur_k {
+            m.push(("cur_k".to_string(), k.serialize()));
+        }
+        if self.timed_out != 0 {
+            m.push(("timed_out".to_string(), self.timed_out.serialize()));
+        }
+        serde::Value::Map(m)
     }
 }
 
@@ -533,6 +806,9 @@ impl<S: Deserialize> Deserialize for AsyncCheckpoint<S> {
                 TY,
             )?)?,
             past_states: Deserialize::deserialize(serde::map_field(m, "past_models", TY)?)?,
+            comm: opt_field(m, "comm")?,
+            cur_k: opt_field(m, "cur_k")?,
+            timed_out: opt_field(m, "timed_out")?.unwrap_or(0),
         })
     }
 }
@@ -556,6 +832,12 @@ struct AsyncState<S> {
     past_states: Vec<(usize, S)>,
     ledger: Vec<AsyncAggRecord>,
     last_agg_clock: f64,
+    /// Communication plane (cache table + snapshot retention).
+    comm: CommPlane<S>,
+    /// Current flush threshold (rescaled per aggregation when adaptive).
+    cur_k: usize,
+    /// Dispatches reclaimed by timeout since the last aggregation.
+    timed_out: usize,
 }
 
 impl<S> AsyncState<S> {
@@ -575,14 +857,32 @@ impl<S> AsyncState<S> {
 }
 
 impl<T: ScheduledTrainer> AsyncScheduler<T> {
-    /// Creates an asynchronous scheduler.
+    /// Creates an asynchronous scheduler with the communication plane
+    /// disabled (every dispatch ships the whole payload — the historical
+    /// behavior).
     ///
     /// # Panics
     ///
     /// Panics if `acfg` is invalid.
     pub fn new(trainer: T, acfg: AsyncConfig) -> Self {
+        AsyncScheduler::with_comm(trainer, acfg, CommConfig::default())
+    }
+
+    /// Creates an asynchronous scheduler with an explicit
+    /// communication-plane policy (delta downloads against per-client
+    /// cached versions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acfg` or `comm` is invalid.
+    pub fn with_comm(trainer: T, acfg: AsyncConfig, comm: CommConfig) -> Self {
         acfg.validate();
-        AsyncScheduler { trainer, acfg }
+        comm.validate();
+        AsyncScheduler {
+            trainer,
+            acfg,
+            comm,
+        }
     }
 
     /// Runs `env.cfg.rounds` aggregations.
@@ -603,11 +903,15 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
     /// Panics if `stop.buffered >= buffer_k` (the buffer would have
     /// flushed before reaching it).
     pub fn run_until(&self, env: &FlEnv, stop: AsyncStopPoint) -> AsyncCheckpoint<T::ServerState> {
+        let min_k = self
+            .acfg
+            .adaptive_buffer
+            .map_or(self.acfg.buffer_k, |(k_min, _)| k_min);
         assert!(
-            stop.buffered < self.acfg.buffer_k,
+            stop.buffered < min_k,
             "cannot stop at {} buffered updates: the buffer flushes at {}",
             stop.buffered,
-            self.acfg.buffer_k
+            min_k
         );
         let stop = AsyncStopPoint {
             aggregations: stop.aggregations.min(env.cfg.rounds),
@@ -625,6 +929,9 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             algorithm: self.trainer.name().to_string(),
             n_clients: env.cfg.n_clients,
             rounds: env.cfg.rounds,
+            comm: st.comm.to_state(),
+            cur_k: self.acfg.adaptive_buffer.map(|_| st.cur_k),
+            timed_out: st.timed_out,
             state: st.state,
             ledger: st.ledger,
             buffer: st.buffer,
@@ -671,6 +978,14 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             ckpt.rounds, env.cfg.rounds,
             "AsyncCheckpoint field `rounds`: checkpoint was taken for a different run length"
         );
+        // A disabled plane checkpoints as `None` whatever its inert
+        // retention knob says, so compare enabled-ness first and the
+        // full policy only when the checkpoint actually carries one.
+        assert_eq!(
+            ckpt.comm.as_ref().map(|c| c.cfg),
+            self.comm.delta_downloads.then_some(self.comm),
+            "AsyncCheckpoint field `comm`: checkpoint was taken under a different communication-plane policy"
+        );
         let timeline = AsyncTimeline::restore(
             env.cfg.seed,
             env.cfg.n_clients,
@@ -696,6 +1011,9 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             past_states: ckpt.past_states.clone(),
             ledger: ckpt.ledger.clone(),
             last_agg_clock: ckpt.last_agg_clock_s,
+            comm: CommPlane::from_state(ckpt.comm.as_ref(), env.cfg.n_clients),
+            cur_k: ckpt.cur_k.unwrap_or_else(|| self.acfg.initial_k()),
+            timed_out: ckpt.timed_out,
         };
         self.drive(env, &mut st, AsyncStopPoint::after_agg(env.cfg.rounds));
         AsyncOutcome {
@@ -715,8 +1033,17 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             self.acfg.buffer_k <= env.cfg.n_clients,
             "buffer_k above n_clients deadlocks: at most one update per client per version"
         );
+        if let Some((_, k_max)) = self.acfg.adaptive_buffer {
+            assert!(
+                k_max <= env.cfg.n_clients,
+                "adaptive k_max above n_clients deadlocks: at most one update per client per version"
+            );
+        }
+        let state = self.trainer.init(env);
+        let mut comm = CommPlane::new(self.comm, env.cfg.n_clients);
+        comm.note_version(0, &state);
         AsyncState {
-            state: self.trainer.init(env),
+            state,
             version: 0,
             timeline: AsyncTimeline::new(env.cfg.seed, env.cfg.n_clients, self.acfg.concurrency),
             buffer: Vec::new(),
@@ -724,6 +1051,9 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             past_states: Vec::new(),
             ledger: Vec::new(),
             last_agg_clock: 0.0,
+            comm,
+            cur_k: self.acfg.initial_k(),
+            timed_out: 0,
         }
     }
 
@@ -741,10 +1071,21 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             || (st.version == stop.aggregations && st.buffer.len() < stop.buffered)
         {
             self.arm(env, st);
-            let (time, client) = st
-                .timeline
-                .next_finish()
-                .expect("clients stay in flight while aggregations remain");
+            let Some((time, client)) = st.timeline.next_finish() else {
+                // Nothing in flight and nothing armable: every remaining
+                // eligible dispatch of this version was lost. A partial
+                // flush is the only way to make progress (the version
+                // bump re-arms the whole fleet).
+                if st.buffer.is_empty() {
+                    panic!(
+                        "async run starved at version {}: every dispatched client was lost \
+                         and the buffer is empty",
+                        st.version
+                    );
+                }
+                self.aggregate(env, st, cadence);
+                continue;
+            };
             let idx = st
                 .in_flight
                 .iter()
@@ -752,16 +1093,32 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
                 .expect("finished client is in flight");
             let entry = st.in_flight.swap_remove(idx);
             debug_assert_eq!(entry.finish_s, time);
+            if entry.lost {
+                // Server-side timeout: reclaim the slot (next_finish
+                // already freed it), discard the update, and stop
+                // trusting the client's cache.
+                st.comm.invalidate(entry.client);
+                st.timed_out += 1;
+                continue;
+            }
             st.buffer.push(entry);
-            if st.buffer.len() >= self.acfg.buffer_k {
+            if st.buffer.len() >= st.cur_k {
                 self.aggregate(env, st, cadence);
             }
         }
     }
 
-    /// Fills free slots: picks eligible clients and costs + schedules
-    /// their dispatches on their currently-degraded devices. The local
-    /// training itself runs lazily at flush time.
+    /// Fills free slots: picks eligible clients, plans each dispatch's
+    /// payload against the communication plane, and costs + schedules the
+    /// dispatches on their currently-degraded devices. The local training
+    /// itself runs lazily at flush time.
+    ///
+    /// A dispatch is **lost** when the client's dropout draw fires or its
+    /// round trip exceeds the server timeout; its event is scheduled at
+    /// the timeout instant (slot reclaim) instead of the finish. A
+    /// dropped client never materializes the download, so its cache entry
+    /// is not advanced; a merely-slow one did, but the server invalidates
+    /// it at the timeout anyway — it cannot distinguish the two.
     fn arm(&self, env: &FlEnv, st: &mut AsyncState<T::ServerState>) {
         let picked = st.timeline.pick_dispatches();
         let cfg: &FlConfig = &env.cfg;
@@ -769,11 +1126,33 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
         let clock = st.timeline.clock_s();
         for k in picked {
             let dev = sample_availability(env, v, k);
-            let lat = self
-                .trainer
-                .cost(env, v, k)
-                .dispatch_round_trip(&dev, cfg.local_iters);
-            let finish_s = clock + lat.total();
+            let spec = self.trainer.payload_spec(env, v, k);
+            let payload = st.comm.plan(
+                k,
+                v,
+                &spec,
+                || self.trainer.payload_params(env, &st.state, v, k),
+                |old| self.trainer.payload_params(env, old, v, k),
+            );
+            let lat =
+                self.trainer
+                    .cost(env, v, k)
+                    .dispatch_round_trip(&dev, cfg.local_iters, &payload);
+            let dropped = self.acfg.dropout_p > 0.0
+                && env.client_rng(v, k, SALT_ASYNC_DROP).gen::<f64>() < self.acfg.dropout_p;
+            let lost = dropped || self.acfg.timeout_s.is_some_and(|to| lat.total() > to);
+            let finish_s = if lost {
+                clock
+                    + self
+                        .acfg
+                        .timeout_s
+                        .expect("lost dispatches imply a timeout")
+            } else {
+                clock + lat.total()
+            };
+            if !dropped {
+                st.comm.record_dispatch(k, v, spec.shape_id);
+            }
             st.timeline.schedule_finish(k, finish_s);
             st.in_flight.push(PendingDispatch {
                 client: k,
@@ -781,6 +1160,8 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
                 dispatch_s: clock,
                 finish_s,
                 transfer_s: lat.transfer_s,
+                payload: Some(payload),
+                lost,
             });
         }
     }
@@ -822,6 +1203,22 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             .collect();
         let train_loss = results.iter().map(|(_, l)| *l).sum::<f32>() / n as f32;
         let mean_transfer_s = entries.iter().map(|d| d.transfer_s).sum::<f64>() / n as f64;
+        // Wire-traffic tally of the merged dispatches. Entries loaded
+        // from pre-communication-plane checkpoints carry no payload; they
+        // were full-payload dispatches, re-derivable from the trainer.
+        let mut down_bytes = 0u64;
+        let mut up_bytes = 0u64;
+        let mut delta_merged = 0usize;
+        for d in &entries {
+            let p = d.payload.unwrap_or_else(|| {
+                self.trainer
+                    .payload_spec(env, d.version, d.client)
+                    .materialize()
+            });
+            down_bytes += p.down_bytes;
+            up_bytes += p.up_bytes;
+            delta_merged += p.is_delta() as usize;
+        }
         let mean_staleness = stalenesses.iter().sum::<usize>() as f32 / n as f32;
         let max_staleness = stalenesses.iter().copied().max().unwrap_or(0);
         let participation_weight = base.iter().sum::<f32>();
@@ -842,6 +1239,9 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             .merge_weighted(env, &mut st.state, v, updates, &weights);
         st.version += 1;
         st.timeline.bump_version();
+        // The new version is what subsequent dispatches download; retain
+        // its snapshot for future deltas.
+        st.comm.note_version(st.version, &st.state);
         // GC: the buffer is empty here, so in-flight dispatches are the
         // only remaining referents of past versions.
         st.past_states
@@ -853,6 +1253,7 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             va = Some(env.val_adv(model, 64));
         }
         let clock = st.timeline.clock_s();
+        let flush_k = self.acfg.adaptive_buffer.map(|_| st.cur_k);
         st.ledger.push(AsyncAggRecord {
             agg: v,
             merged: n,
@@ -867,8 +1268,18 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             mean_transfer_s,
             round_time_s: clock - st.last_agg_clock,
             clock_s: clock,
+            down_bytes,
+            up_bytes,
+            delta_merged,
+            timed_out: st.timed_out,
+            flush_k,
         });
         st.last_agg_clock = clock;
+        st.timed_out = 0;
+        // Rescale the flush threshold from the staleness just observed.
+        if let Some((k_min, k_max)) = self.acfg.adaptive_buffer {
+            st.cur_k = adaptive_k(self.acfg.buffer_k, mean_staleness, k_min, k_max);
+        }
     }
 }
 
@@ -1018,5 +1429,100 @@ mod tests {
             ..AsyncConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires timeout_s")]
+    fn rejects_dropout_without_timeout() {
+        AsyncConfig {
+            dropout_p: 0.1,
+            ..AsyncConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "k_min <= k_max")]
+    fn rejects_inverted_adaptive_bounds() {
+        AsyncConfig {
+            adaptive_buffer: Some((4, 2)),
+            ..AsyncConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn dropout_with_timeout_validates() {
+        AsyncConfig {
+            dropout_p: 0.3,
+            timeout_s: Some(1.0),
+            adaptive_buffer: Some((1, 4)),
+            ..AsyncConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn adaptive_k_scales_with_staleness_and_clamps() {
+        // Zero staleness returns the configured threshold.
+        assert_eq!(adaptive_k(2, 0.0, 1, 8), 2);
+        // round(2 · 1.5) = 3, round(2 · 2.6) = 5.
+        assert_eq!(adaptive_k(2, 0.5, 1, 8), 3);
+        assert_eq!(adaptive_k(2, 1.6, 1, 8), 5);
+        // Bounds bind on both sides.
+        assert_eq!(adaptive_k(2, 10.0, 1, 4), 4);
+        assert_eq!(adaptive_k(1, 0.0, 2, 4), 2);
+    }
+
+    #[test]
+    fn async_config_serde_omits_inactive_fields() {
+        // The legacy three-field shape round-trips byte-identically…
+        let legacy = AsyncConfig {
+            concurrency: 4,
+            buffer_k: 2,
+            staleness_exp: 0.5,
+            ..AsyncConfig::default()
+        };
+        let json = serde_json::to_string(&legacy).unwrap();
+        assert!(!json.contains("dropout_p"));
+        assert!(!json.contains("timeout_s"));
+        assert!(!json.contains("adaptive_buffer"));
+        assert_eq!(serde_json::from_str::<AsyncConfig>(&json).unwrap(), legacy);
+        // …and the extended shape round-trips with its fields.
+        let full = AsyncConfig {
+            dropout_p: 0.25,
+            timeout_s: Some(2.5),
+            adaptive_buffer: Some((1, 6)),
+            ..legacy
+        };
+        let v = full.serialize();
+        assert_eq!(AsyncConfig::deserialize(&v).unwrap(), full);
+    }
+
+    #[test]
+    fn pending_dispatch_serde_omits_trivial_fields() {
+        let legacy = PendingDispatch {
+            client: 3,
+            version: 1,
+            dispatch_s: 0.5,
+            finish_s: 1.5,
+            transfer_s: 0.25,
+            payload: None,
+            lost: false,
+        };
+        let json = serde_json::to_string(&legacy).unwrap();
+        assert!(!json.contains("payload"));
+        assert!(!json.contains("lost"));
+        assert_eq!(
+            serde_json::from_str::<PendingDispatch>(&json).unwrap(),
+            legacy
+        );
+        let live = PendingDispatch {
+            payload: Some(Payload::delta(0, 10, 100)),
+            lost: true,
+            ..legacy
+        };
+        let v = live.serialize();
+        assert_eq!(PendingDispatch::deserialize(&v).unwrap(), live);
     }
 }

@@ -186,15 +186,30 @@ impl ScheduledTrainer for Distill {
     fn cost(&self, env: &FlEnv, _t: usize, k: usize) -> fp_hwsim::LatencyModel {
         // Each dispatch ships the client's own zoo member down and its
         // update back up — so a CNN3 client pays CNN3 bytes and MACs, not
-        // the reference model's.
+        // the reference model's (the bytes ride in via `payload_spec`).
         let specs = &self.zoo[self.fit_arch(env, k)];
         fp_hwsim::LatencyModel {
             mem_req_bytes: model_mem_req(specs, &env.input_shape, env.cfg.batch_size).total(),
             fwd_macs_per_sample: forward_macs(specs, &env.input_shape),
-            model_bytes: param_transfer_bytes(specs),
             batch: env.cfg.batch_size,
             profile: TrainingPassProfile::adversarial(env.cfg.pgd_steps),
         }
+    }
+
+    fn payload_spec(&self, env: &FlEnv, _t: usize, k: usize) -> fp_hwsim::PayloadSpec {
+        // The payload is the client's fitted zoo prototype; its shape is
+        // the architecture index, so a client whose prototype went
+        // untouched since its last dispatch (no same-arch client merged)
+        // gets a near-empty delta.
+        let arch = self.fit_arch(env, k);
+        fp_hwsim::PayloadSpec::window(
+            param_transfer_bytes(&self.zoo[arch]),
+            0xD15_7111 ^ (arch as u64 + 1),
+        )
+    }
+
+    fn payload_params(&self, env: &FlEnv, state: &DistillState, _t: usize, k: usize) -> Vec<f32> {
+        state.zoo[self.fit_arch(env, k)].flat_params()
     }
 
     fn init(&self, env: &FlEnv) -> DistillState {
@@ -487,7 +502,13 @@ mod tests {
         assert!(alg.fit_arch(&env, k_max) > 0, "largest budget gets VGG");
         let lo = alg.cost(&env, 0, k_min);
         let hi = alg.cost(&env, 0, k_max);
-        assert!(lo.model_bytes < hi.model_bytes);
+        let lo_payload = alg.payload_spec(&env, 0, k_min);
+        let hi_payload = alg.payload_spec(&env, 0, k_max);
+        assert!(lo_payload.bytes < hi_payload.bytes);
+        assert_ne!(
+            lo_payload.shape_id, hi_payload.shape_id,
+            "different zoo members must carry different payload shapes"
+        );
         assert!(lo.fwd_macs_per_sample < hi.fwd_macs_per_sample);
         assert!(lo.mem_req_bytes < hi.mem_req_bytes);
     }

@@ -53,10 +53,11 @@ impl ModelTrainer for FedRbn {
     fn cost(&self, env: &FlEnv, _t: usize, k: usize) -> LatencyModel {
         // AT clients pay the full PGD inner loop; ST clients only the
         // standard forward/backward — the scheduler sees the split.
+        // The dispatch payload is the full reference model — the default
+        // `payload_spec` (and delta-eligible full-model downloads).
         LatencyModel {
             mem_req_bytes: env.full_mem_req(),
             fwd_macs_per_sample: forward_macs(&env.reference_specs, &env.input_shape),
-            model_bytes: env.model_param_bytes(),
             batch: env.cfg.batch_size,
             profile: if Self::can_afford_at(env, k) {
                 TrainingPassProfile::adversarial(env.cfg.pgd_steps)

@@ -44,10 +44,11 @@ impl ModelTrainer for JFat {
     }
 
     fn cost(&self, env: &FlEnv, _t: usize, _k: usize) -> LatencyModel {
+        // The dispatch payload is the full reference model — the default
+        // `payload_spec` (and delta-eligible full-model downloads).
         LatencyModel {
             mem_req_bytes: env.full_mem_req(),
             fwd_macs_per_sample: forward_macs(&env.reference_specs, &env.input_shape),
-            model_bytes: env.model_param_bytes(),
             batch: env.cfg.batch_size,
             profile: if self.standard_training {
                 TrainingPassProfile::standard()

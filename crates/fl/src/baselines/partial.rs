@@ -8,10 +8,13 @@ use crate::submodel::{
     channel_groups, extract_submodel, keep_sets, SubmodelAccumulator, SubmodelScheme,
 };
 use fp_attack::PgdConfig;
-use fp_hwsim::{forward_macs, LatencyModel, TrainingPassProfile};
+use fp_hwsim::{forward_macs, LatencyModel, PayloadSpec, TrainingPassProfile};
 use fp_nn::CascadeModel;
 use fp_tensor::seeded_rng;
 use std::collections::HashMap;
+
+/// Shape-fingerprint salt for width-sliced submodel payloads.
+const SHAPE_SALT: u64 = 0x51_1CE5;
 
 /// Partial-training federated adversarial training: each client trains a
 /// width-sliced sub-model sized to its memory budget
@@ -55,6 +58,34 @@ impl PartialTraining {
     fn ratio(env: &FlEnv, k: usize) -> f32 {
         ((env.mem_budget(k) as f64 / env.full_mem_req() as f64) as f32).clamp(0.1, 1.0)
     }
+
+    /// The RNG feeding a client's round-`t` keep-set draw and submodel
+    /// extraction — shared verbatim by `train` and `payload_params` so
+    /// the payload the server diffs is bit-identical to the submodel the
+    /// client trains.
+    fn submodel_rng(env: &FlEnv, t: usize, k: usize) -> rand::rngs::StdRng {
+        seeded_rng(env.cfg.seed ^ 0x5B_0000 ^ (t as u64) << 20 ^ k as u64)
+    }
+
+    /// Fingerprint of the keep-set shape of client `k`'s round-`t`
+    /// payload. A delta download is only valid when the client's cached
+    /// slice has the same channels: the `Static` scheme keeps one slice
+    /// per ratio forever (delta-eligible round over round), `Rolling`
+    /// shifts every round and `Random` redraws per `(round, client)` —
+    /// their fingerprints change, forcing full windows.
+    fn shape_id(&self, env: &FlEnv, t: usize, k: usize) -> u64 {
+        let mut h = SHAPE_SALT ^ Self::ratio(env, k).to_bits() as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+        h ^= match self.scheme {
+            SubmodelScheme::Static => 0,
+            SubmodelScheme::Rolling => 1 + t as u64,
+            SubmodelScheme::Random => ((1 + t as u64) << 20) | ((k as u64 + 1) << 1),
+        };
+        // Checkpoint JSON carries integers as exact-to-2^53 numbers, so
+        // fingerprints stay within 48 bits; `| 1` keeps clear of
+        // FULL_SHAPE.
+        (h | 1) & 0xFFFF_FFFF_FFFF
+    }
 }
 
 impl ModelTrainer for PartialTraining {
@@ -77,12 +108,31 @@ impl ModelTrainer for PartialTraining {
         LatencyModel {
             mem_req_bytes: (ratio * env.full_mem_req() as f64) as u64,
             fwd_macs_per_sample: (ratio * ratio * full_macs) as u64,
-            // Only the kept slice crosses the wire; like MACs, conv
-            // weights shrink in both operands, so params ≈ ratio².
-            model_bytes: (ratio * ratio * env.model_param_bytes() as f64) as u64,
             batch: env.cfg.batch_size,
             profile: TrainingPassProfile::adversarial(env.cfg.pgd_steps),
         }
+    }
+
+    fn payload_spec(&self, env: &FlEnv, t: usize, k: usize) -> PayloadSpec {
+        // Only the kept slice crosses the wire; like MACs, conv weights
+        // shrink in both operands, so params ≈ ratio² (the historical
+        // transfer-cost convention, kept bit-identical).
+        let ratio = Self::ratio(env, k) as f64;
+        PayloadSpec::window(
+            (ratio * ratio * env.model_param_bytes() as f64) as u64,
+            self.shape_id(env, t, k),
+        )
+    }
+
+    fn payload_params(&self, env: &FlEnv, global: &CascadeModel, t: usize, k: usize) -> Vec<f32> {
+        // The exact parameters the client materializes: its keep-set
+        // slice of `global`, extracted with the same RNG stream `train`
+        // uses — so diffing two versions of the same slice is exact.
+        let groups = channel_groups(&env.reference_specs);
+        let ratio = Self::ratio(env, k);
+        let mut rng = Self::submodel_rng(env, t, k);
+        let keep = keep_sets(&groups, ratio, self.scheme, t, &mut rng);
+        extract_submodel(global, &keep, &mut rng).flat_params()
     }
 
     fn train(
@@ -97,7 +147,7 @@ impl ModelTrainer for PartialTraining {
         let cfg = &env.cfg;
         let groups = channel_groups(&env.reference_specs);
         let ratio = Self::ratio(env, k);
-        let mut rng = seeded_rng(cfg.seed ^ 0x5B_0000 ^ (t as u64) << 20 ^ k as u64);
+        let mut rng = Self::submodel_rng(env, t, k);
         let keep = keep_sets(&groups, ratio, self.scheme, t, &mut rng);
         let mut sub = extract_submodel(global, &keep, &mut rng);
         sub.set_backend(&backend);

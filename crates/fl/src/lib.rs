@@ -29,8 +29,14 @@
 //!   model zoo + temperature schedule as [`DistillState`];
 //! * [`async_sched`] — barrier-free FedBuff-style asynchronous
 //!   aggregation on a continuous virtual clock (staleness-weighted
-//!   buffer, concurrency cap, immediate re-dispatch, mid-flight
-//!   checkpoint/resume); drives the same [`ScheduledTrainer`] contract;
+//!   buffer, concurrency cap, immediate re-dispatch, per-dispatch
+//!   dropout with server-side timeouts, optional staleness-adaptive
+//!   flush threshold, mid-flight checkpoint/resume); drives the same
+//!   [`ScheduledTrainer`] contract;
+//! * [`comm`] — the server-side communication plane: per-client payload
+//!   cache table, bounded snapshot retention, and delta-encoded
+//!   downloads; both schedulers choose delta-vs-full per dispatch and
+//!   cost the two transfer legs asymmetrically;
 //! * [`local_train`] — the local SGD/adversarial-training loop;
 //! * [`aggregate`] — weighted FedAvg and the partial-average accumulator
 //!   (paper Eq. 16–17);
@@ -43,6 +49,7 @@
 pub mod aggregate;
 pub mod async_sched;
 pub mod baselines;
+pub mod comm;
 mod config;
 mod engine;
 mod local;
@@ -51,12 +58,13 @@ pub mod sched;
 pub mod submodel;
 
 pub use async_sched::{
-    staleness_weight, AsyncAggRecord, AsyncCheckpoint, AsyncConfig, AsyncOutcome, AsyncScheduler,
-    AsyncStopPoint, AsyncTimeline, PendingDispatch,
+    adaptive_k, staleness_weight, AsyncAggRecord, AsyncCheckpoint, AsyncConfig, AsyncOutcome,
+    AsyncScheduler, AsyncStopPoint, AsyncTimeline, PendingDispatch, SALT_ASYNC_DROP,
 };
 pub use baselines::{
     Distill, DistillState, DistillVariant, FedRbn, JFat, PartialTraining, SubmodelScheme,
 };
+pub use comm::{CacheEntry, CommConfig, CommPlane, CommState};
 pub use config::FlConfig;
 pub use engine::{scale_budgets, FlAlgorithm, FlEnv};
 pub use local::{local_train, LocalTrainConfig};

@@ -47,10 +47,11 @@
 //! per-round RNG streams are re-derived from `(seed, round)`, resuming at
 //! round `k` reproduces rounds `k+1..n` bit-identically.
 
+use crate::comm::{CommConfig, CommPlane, CommState};
 use crate::config::FlConfig;
 use crate::engine::FlEnv;
 use crate::metrics::{FlOutcome, RoundRecord};
-use fp_hwsim::{ClientLatency, DeviceSample, LatencyModel};
+use fp_hwsim::{ClientLatency, DeviceSample, LatencyModel, PayloadSpec};
 use fp_nn::checkpoint::Checkpoint;
 use fp_nn::CascadeModel;
 use fp_tensor::BackendHandle;
@@ -336,7 +337,12 @@ pub fn simulate_round(
 // ------------------------------------------------------------------ ledger
 
 /// One scheduled round's ledger entry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The payload fields (`down_bytes`, `up_bytes`, `delta_dispatches`) were
+/// added with the communication plane; they serialize only when non-zero
+/// so pre-refactor ledgers (embedded in committed v1 checkpoints)
+/// round-trip byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedRound {
     /// Round index.
     pub round: usize,
@@ -360,6 +366,87 @@ pub struct SchedRound {
     pub round_time_s: f64,
     /// Virtual clock at the end of this round.
     pub clock_s: f64,
+    /// Down-link payload bytes broadcast to every dispatched client this
+    /// round (delta-compressed where the cache allowed it).
+    pub down_bytes: u64,
+    /// Up-link update bytes received from the completed clients.
+    pub up_bytes: u64,
+    /// Dispatches whose download was delta-encoded.
+    pub delta_dispatches: usize,
+}
+
+impl Serialize for SchedRound {
+    fn serialize(&self) -> serde::Value {
+        let mut m = vec![
+            ("round".to_string(), self.round.serialize()),
+            ("selected".to_string(), self.selected.serialize()),
+            ("dropped_out".to_string(), self.dropped_out.serialize()),
+            ("stragglers".to_string(), self.stragglers.serialize()),
+            ("completed".to_string(), self.completed.serialize()),
+            (
+                "participation_weight".to_string(),
+                self.participation_weight.serialize(),
+            ),
+            ("train_loss".to_string(), self.train_loss.serialize()),
+            ("val_clean".to_string(), self.val_clean.serialize()),
+            ("val_adv".to_string(), self.val_adv.serialize()),
+            ("round_time_s".to_string(), self.round_time_s.serialize()),
+            ("clock_s".to_string(), self.clock_s.serialize()),
+        ];
+        if self.down_bytes != 0 {
+            m.push(("down_bytes".to_string(), self.down_bytes.serialize()));
+        }
+        if self.up_bytes != 0 {
+            m.push(("up_bytes".to_string(), self.up_bytes.serialize()));
+        }
+        if self.delta_dispatches != 0 {
+            m.push((
+                "delta_dispatches".to_string(),
+                self.delta_dispatches.serialize(),
+            ));
+        }
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for SchedRound {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        const TY: &str = "SchedRound";
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for SchedRound"))?;
+        Ok(SchedRound {
+            round: Deserialize::deserialize(serde::map_field(m, "round", TY)?)?,
+            selected: Deserialize::deserialize(serde::map_field(m, "selected", TY)?)?,
+            dropped_out: Deserialize::deserialize(serde::map_field(m, "dropped_out", TY)?)?,
+            stragglers: Deserialize::deserialize(serde::map_field(m, "stragglers", TY)?)?,
+            completed: Deserialize::deserialize(serde::map_field(m, "completed", TY)?)?,
+            participation_weight: Deserialize::deserialize(serde::map_field(
+                m,
+                "participation_weight",
+                TY,
+            )?)?,
+            train_loss: Deserialize::deserialize(serde::map_field(m, "train_loss", TY)?)?,
+            val_clean: Deserialize::deserialize(serde::map_field(m, "val_clean", TY)?)?,
+            val_adv: Deserialize::deserialize(serde::map_field(m, "val_adv", TY)?)?,
+            round_time_s: Deserialize::deserialize(serde::map_field(m, "round_time_s", TY)?)?,
+            clock_s: Deserialize::deserialize(serde::map_field(m, "clock_s", TY)?)?,
+            down_bytes: opt_field(m, "down_bytes")?.unwrap_or(0),
+            up_bytes: opt_field(m, "up_bytes")?.unwrap_or(0),
+            delta_dispatches: opt_field(m, "delta_dispatches")?.unwrap_or(0),
+        })
+    }
+}
+
+/// Deserializes a field that older serialized forms may omit.
+pub(crate) fn opt_field<T: Deserialize>(
+    m: &[(String, serde::Value)],
+    field: &str,
+) -> Result<Option<T>, serde::Error> {
+    m.iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| T::deserialize(v))
+        .transpose()
 }
 
 /// FNV-1a over the little-endian bit patterns of every parameter and BN
@@ -421,6 +508,33 @@ pub trait ScheduledTrainer: Sync {
     /// evaluates it against the client's sampled device availability to
     /// draw the local-training duration.
     fn cost(&self, env: &FlEnv, t: usize, k: usize) -> LatencyModel;
+
+    /// The naive down-link payload of client `k`'s round-`t` dispatch:
+    /// exact serialized bytes of the (sub)model it must materialize and a
+    /// shape fingerprint (deltas are only valid against a cache entry of
+    /// the same shape). Default: the full reference model — override for
+    /// submodel windows, width slices, and zoo members.
+    fn payload_spec(&self, env: &FlEnv, t: usize, k: usize) -> PayloadSpec {
+        let _ = (t, k);
+        PayloadSpec::full(env.model_param_bytes())
+    }
+
+    /// Materializes the parameters of client `k`'s round-`t` payload from
+    /// an arbitrary server state — the vector the communication plane
+    /// diffs between the client's cached version and the current one to
+    /// size a delta download exactly. Must be a pure function of
+    /// `(state, t, k)` whose length is fixed by the payload's shape
+    /// fingerprint. Default: the global model's flat parameters.
+    fn payload_params(
+        &self,
+        env: &FlEnv,
+        state: &Self::ServerState,
+        t: usize,
+        k: usize,
+    ) -> Vec<f32> {
+        let _ = (env, t, k);
+        self.global_model(state).flat_params()
+    }
 
     /// The freshly initialized server state.
     fn init(&self, env: &FlEnv) -> Self::ServerState;
@@ -511,6 +625,21 @@ pub trait ModelTrainer: Sync {
     /// The cost-model description of client `k`'s round-`t` workload.
     fn cost(&self, env: &FlEnv, t: usize, k: usize) -> LatencyModel;
 
+    /// The naive down-link payload of client `k`'s round-`t` dispatch
+    /// (see [`ScheduledTrainer::payload_spec`]).
+    fn payload_spec(&self, env: &FlEnv, t: usize, k: usize) -> PayloadSpec {
+        let _ = (t, k);
+        PayloadSpec::full(env.model_param_bytes())
+    }
+
+    /// Materializes the parameters of client `k`'s round-`t` payload from
+    /// an arbitrary global model (see
+    /// [`ScheduledTrainer::payload_params`]).
+    fn payload_params(&self, env: &FlEnv, global: &CascadeModel, t: usize, k: usize) -> Vec<f32> {
+        let _ = (env, t, k);
+        global.flat_params()
+    }
+
     /// The freshly initialized global model.
     fn init(&self, env: &FlEnv) -> CascadeModel {
         crate::baselines::init_global(env)
@@ -548,6 +677,14 @@ impl<T: ModelTrainer> ScheduledTrainer for T {
 
     fn cost(&self, env: &FlEnv, t: usize, k: usize) -> LatencyModel {
         ModelTrainer::cost(self, env, t, k)
+    }
+
+    fn payload_spec(&self, env: &FlEnv, t: usize, k: usize) -> PayloadSpec {
+        ModelTrainer::payload_spec(self, env, t, k)
+    }
+
+    fn payload_params(&self, env: &FlEnv, state: &ModelState, t: usize, k: usize) -> Vec<f32> {
+        ModelTrainer::payload_params(self, env, &state.0, t, k)
     }
 
     fn init(&self, env: &FlEnv) -> ModelState {
@@ -595,6 +732,10 @@ pub struct EventScheduler<T> {
     pub trainer: T,
     /// Scheduling policy.
     pub sched: SchedConfig,
+    /// Communication-plane policy (delta downloads / client caching).
+    /// Disabled by default — dispatch costs are then bit-identical to the
+    /// pre-communication-plane scheduler.
+    pub comm: CommConfig,
 }
 
 /// The result of a scheduled run: final model, final server state, and
@@ -677,11 +818,15 @@ pub struct SchedCheckpoint<S = ModelState> {
     pub state: S,
     /// Ledger of the rounds already run.
     pub ledger: Vec<SchedRound>,
+    /// Communication-plane state (cache table + retained snapshots);
+    /// `None` when caching is disabled, and then absent from the JSON —
+    /// pre-refactor checkpoints round-trip byte-identically.
+    pub comm: Option<CommState<S>>,
 }
 
 impl<S: Serialize> Serialize for SchedCheckpoint<S> {
     fn serialize(&self) -> serde::Value {
-        serde::Value::Map(vec![
+        let mut m = vec![
             ("next_round".to_string(), self.next_round.serialize()),
             ("clock_s".to_string(), self.clock_s.serialize()),
             ("seed".to_string(), self.seed.serialize()),
@@ -695,7 +840,11 @@ impl<S: Serialize> Serialize for SchedCheckpoint<S> {
             ("rounds".to_string(), self.rounds.serialize()),
             ("model".to_string(), self.state.serialize()),
             ("ledger".to_string(), self.ledger.serialize()),
-        ])
+        ];
+        if let Some(comm) = &self.comm {
+            m.push(("comm".to_string(), comm.serialize()));
+        }
+        serde::Value::Map(m)
     }
 }
 
@@ -720,6 +869,7 @@ impl<S: Deserialize> Deserialize for SchedCheckpoint<S> {
             rounds: Deserialize::deserialize(serde::map_field(m, "rounds", TY)?)?,
             state: Deserialize::deserialize(serde::map_field(m, "model", TY)?)?,
             ledger: Deserialize::deserialize(serde::map_field(m, "ledger", TY)?)?,
+            comm: opt_field(m, "comm")?,
         })
     }
 }
@@ -729,26 +879,48 @@ struct DriveState<S> {
     state: S,
     clock_s: f64,
     ledger: Vec<SchedRound>,
+    comm: CommPlane<S>,
 }
 
 impl<T: ScheduledTrainer> EventScheduler<T> {
-    /// Creates a scheduler.
+    /// Creates a scheduler with the communication plane disabled (every
+    /// dispatch ships the whole payload — the historical behavior).
     ///
     /// # Panics
     ///
     /// Panics if `sched` is invalid.
     pub fn new(trainer: T, sched: SchedConfig) -> Self {
+        EventScheduler::with_comm(trainer, sched, CommConfig::default())
+    }
+
+    /// Creates a scheduler with an explicit communication-plane policy
+    /// (delta downloads against per-client cached versions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sched` or `comm` is invalid.
+    pub fn with_comm(trainer: T, sched: SchedConfig, comm: CommConfig) -> Self {
         sched.validate();
-        EventScheduler { trainer, sched }
+        comm.validate();
+        EventScheduler {
+            trainer,
+            sched,
+            comm,
+        }
+    }
+
+    fn fresh_state(&self, env: &FlEnv, capacity: usize) -> DriveState<T::ServerState> {
+        DriveState {
+            state: self.trainer.init(env),
+            clock_s: 0.0,
+            ledger: Vec::with_capacity(capacity),
+            comm: CommPlane::new(self.comm, env.cfg.n_clients),
+        }
     }
 
     /// Runs all `env.cfg.rounds` rounds.
     pub fn run(&self, env: &FlEnv) -> SchedOutcome<T::ServerState> {
-        let mut st = DriveState {
-            state: self.trainer.init(env),
-            clock_s: 0.0,
-            ledger: Vec::with_capacity(env.cfg.rounds),
-        };
+        let mut st = self.fresh_state(env, env.cfg.rounds);
         self.drive(env, &mut st, 0, env.cfg.rounds);
         SchedOutcome {
             model: self.trainer.global_model(&st.state).clone(),
@@ -760,11 +932,7 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
     /// Runs rounds `0..stop_after` and returns a resumable checkpoint.
     pub fn run_until(&self, env: &FlEnv, stop_after: usize) -> SchedCheckpoint<T::ServerState> {
         let stop = stop_after.min(env.cfg.rounds);
-        let mut st = DriveState {
-            state: self.trainer.init(env),
-            clock_s: 0.0,
-            ledger: Vec::with_capacity(stop),
-        };
+        let mut st = self.fresh_state(env, stop);
         self.drive(env, &mut st, 0, stop);
         SchedCheckpoint {
             next_round: stop,
@@ -775,6 +943,7 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             n_clients: env.cfg.n_clients,
             clients_per_round: env.cfg.clients_per_round,
             rounds: env.cfg.rounds,
+            comm: st.comm.to_state(),
             state: st.state,
             ledger: st.ledger,
         }
@@ -820,10 +989,19 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             ckpt.rounds, env.cfg.rounds,
             "SchedCheckpoint field `rounds`: checkpoint was taken for a different run length"
         );
+        // A disabled plane checkpoints as `None` whatever its inert
+        // retention knob says, so compare enabled-ness first and the
+        // full policy only when the checkpoint actually carries one.
+        assert_eq!(
+            ckpt.comm.as_ref().map(|c| c.cfg),
+            self.comm.delta_downloads.then_some(self.comm),
+            "SchedCheckpoint field `comm`: checkpoint was taken under a different communication-plane policy"
+        );
         let mut st = DriveState {
             state: ckpt.state.clone(),
             clock_s: ckpt.clock_s,
             ledger: ckpt.ledger.clone(),
+            comm: CommPlane::from_state(ckpt.comm.as_ref(), env.cfg.n_clients),
         };
         self.drive(env, &mut st, ckpt.next_round, env.cfg.rounds);
         SchedOutcome {
@@ -838,7 +1016,8 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
         let cfg = &env.cfg;
         let cadence = crate::baselines::eval_cadence(cfg.rounds);
         for t in from..to {
-            let sim = self.plan_round(env, cfg, t);
+            let planned = self.plan_round(env, cfg, t, st);
+            let sim = planned.sim;
             let lr = cfg.lr.at(t);
             let results = crate::baselines::parallel_clients(&sim.completed, |k, backend| {
                 self.trainer.train(env, &st.state, t, k, lr, backend)
@@ -881,12 +1060,26 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                 val_adv: va,
                 round_time_s: sim.round_time_s,
                 clock_s: st.clock_s,
+                down_bytes: planned.down_bytes,
+                up_bytes: planned.up_bytes,
+                delta_dispatches: planned.delta_dispatches,
             });
         }
     }
 
-    /// Samples, degrades, drops, and simulates one round's timeline.
-    fn plan_round(&self, env: &FlEnv, cfg: &FlConfig, t: usize) -> RoundSim {
+    /// Samples, degrades, drops, plans payloads, and simulates one
+    /// round's timeline. Dispatch latencies are costed from the payload
+    /// the communication plane actually ships (delta where the client's
+    /// cache allows, full otherwise), and the cache table advances:
+    /// delivered dispatches record `(round, shape)`, dropped ones
+    /// invalidate the entry.
+    fn plan_round(
+        &self,
+        env: &FlEnv,
+        cfg: &FlConfig,
+        t: usize,
+        st: &mut DriveState<T::ServerState>,
+    ) -> PlannedRound {
         let target = cfg.clients_per_round;
         let n_sel = over_select_count(target, self.sched.over_select, cfg.n_clients);
         let ids = env.sample_round_n(t, n_sel);
@@ -895,17 +1088,65 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             .map(|&k| sample_availability(env, t, k))
             .collect();
         let dropped = draw_dropouts(env, t, ids.len(), self.sched.dropout_p);
+        // Snapshot the model the round dispatches (version `t`) so future
+        // rounds can diff against it.
+        st.comm.note_version(t, &st.state);
+        let mut down_bytes = 0u64;
+        let mut delta_dispatches = 0usize;
+        let mut specs: Vec<PayloadSpec> = Vec::with_capacity(ids.len());
         let latency: Vec<ClientLatency> = ids
             .iter()
             .zip(&samples)
             .map(|(&k, s)| {
+                let spec = self.trainer.payload_spec(env, t, k);
+                let payload = st.comm.plan(
+                    k,
+                    t,
+                    &spec,
+                    || self.trainer.payload_params(env, &st.state, t, k),
+                    |old| self.trainer.payload_params(env, old, t, k),
+                );
+                down_bytes += payload.down_bytes;
+                delta_dispatches += payload.is_delta() as usize;
+                specs.push(spec);
                 self.trainer
                     .cost(env, t, k)
-                    .dispatch_round_trip(s, cfg.local_iters)
+                    .dispatch_round_trip(s, cfg.local_iters, &payload)
             })
             .collect();
-        simulate_round(&ids, &latency, &dropped, target, &self.sched)
+        for (i, &k) in ids.iter().enumerate() {
+            if dropped[i] {
+                st.comm.invalidate(k);
+            } else {
+                st.comm.record_dispatch(k, t, specs[i].shape_id);
+            }
+        }
+        let sim = simulate_round(&ids, &latency, &dropped, target, &self.sched);
+        // Only completed clients' updates reach the server's up-link.
+        let up_bytes = sim
+            .completed
+            .iter()
+            .map(|k| {
+                let i = ids.iter().position(|x| x == k).expect("completed id");
+                specs[i].bytes
+            })
+            .sum();
+        PlannedRound {
+            sim,
+            down_bytes,
+            up_bytes,
+            delta_dispatches,
+        }
     }
+}
+
+/// A planned round: the simulated timeline plus the round's wire-traffic
+/// tally.
+struct PlannedRound {
+    sim: RoundSim,
+    down_bytes: u64,
+    up_bytes: u64,
+    delta_dispatches: usize,
 }
 
 /// Client `k`'s device with its round-`t` real-time availability drawn

@@ -1,0 +1,183 @@
+//! The communication plane: what bytes actually move on a dispatch.
+//!
+//! Historically "a dispatch ships the model" was implicit — every latency
+//! call charged `2 × model_bytes` regardless of what the client already
+//! held. This module makes the wire traffic explicit:
+//!
+//! * a [`PayloadSpec`] describes the (sub)model a dispatch *would* ship
+//!   naively: its exact serialized byte size (from atom specs via
+//!   [`crate::param_transfer_bytes`]) and a **shape fingerprint** that
+//!   identifies the payload's structure (the full reference model, a
+//!   module window, a channel-sliced submodel, a zoo architecture);
+//! * a [`Payload`] is the transfer actually performed after the server
+//!   consulted its per-client cache table: a full snapshot, a submodel
+//!   window, or a delta against the version the client last
+//!   materialized — with asymmetric down-link/up-link byte counts
+//!   (deltas compress the broadcast; the trained update uploads dense);
+//! * [`crate::LatencyModel::dispatch_round_trip`] costs the dispatch
+//!   from the payload's byte counts instead of a baked-in model size.
+//!
+//! Shape fingerprints are how the server knows a delta is even
+//! *meaningful*: a delta encoded against last round's rolling window or
+//! random mask would patch the wrong parameters, so any shape change
+//! forces a full payload.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape fingerprint of a payload that is the whole reference model.
+pub const FULL_SHAPE: u64 = 0;
+
+/// What a dispatch would ship naively (before delta optimization): the
+/// exact serialized size of the (sub)model and its shape fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PayloadSpec {
+    /// Serialized parameter bytes of the (sub)model.
+    pub bytes: u64,
+    /// Shape fingerprint; [`FULL_SHAPE`] for the full reference model,
+    /// anything else for submodel windows / slices / zoo members. Two
+    /// dispatches with equal fingerprints must materialize **identical
+    /// payload parameter vectors** from the same server state — the
+    /// precondition for a delta download (and for sharing one diff
+    /// across a cohort caching the same version).
+    pub shape_id: u64,
+}
+
+impl PayloadSpec {
+    /// A full-reference-model payload.
+    pub fn full(bytes: u64) -> Self {
+        PayloadSpec {
+            bytes,
+            shape_id: FULL_SHAPE,
+        }
+    }
+
+    /// A submodel-window payload with a caller-chosen shape fingerprint
+    /// (must not collide with [`FULL_SHAPE`]; windows of different atoms,
+    /// slices of different ratios, and different zoo members must hash to
+    /// different ids). Fingerprints must stay below 2^53: checkpoint JSON
+    /// carries integers as exact-to-2^53 numbers.
+    pub fn window(bytes: u64, shape_id: u64) -> Self {
+        debug_assert_ne!(shape_id, FULL_SHAPE, "window shape id collides with FULL");
+        debug_assert!(shape_id < (1 << 53), "shape id exceeds exact JSON range");
+        PayloadSpec { bytes, shape_id }
+    }
+
+    /// The payload of a cache-miss dispatch: the spec shipped whole.
+    pub fn materialize(&self) -> Payload {
+        Payload {
+            kind: if self.shape_id == FULL_SHAPE {
+                PayloadKind::Full
+            } else {
+                PayloadKind::Window
+            },
+            down_bytes: self.bytes,
+            up_bytes: self.bytes,
+        }
+    }
+}
+
+/// How the down-link payload of a dispatch is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PayloadKind {
+    /// Full reference-model snapshot.
+    Full,
+    /// A submodel window / slice / zoo member, shipped whole.
+    Window,
+    /// A sparse delta against the model version the client last
+    /// materialized (same shape fingerprint).
+    Delta {
+        /// The cached version the delta patches.
+        since_version: usize,
+    },
+}
+
+/// The transfer one dispatch actually performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Payload {
+    /// Down-link encoding.
+    pub kind: PayloadKind,
+    /// Bytes broadcast down to the client (delta-compressed when
+    /// [`PayloadKind::Delta`]).
+    pub down_bytes: u64,
+    /// Bytes the client uploads back (the trained update is dense — every
+    /// parameter of the dispatched (sub)model moved).
+    pub up_bytes: u64,
+}
+
+impl Payload {
+    /// A full-model payload of `bytes` both ways.
+    pub fn full(bytes: u64) -> Self {
+        Payload {
+            kind: PayloadKind::Full,
+            down_bytes: bytes,
+            up_bytes: bytes,
+        }
+    }
+
+    /// A submodel-window payload of `bytes` both ways.
+    pub fn window(bytes: u64) -> Self {
+        Payload {
+            kind: PayloadKind::Window,
+            down_bytes: bytes,
+            up_bytes: bytes,
+        }
+    }
+
+    /// A delta-encoded download of `down_bytes` against `since_version`,
+    /// with a dense `up_bytes` update upload.
+    pub fn delta(since_version: usize, down_bytes: u64, up_bytes: u64) -> Self {
+        Payload {
+            kind: PayloadKind::Delta { since_version },
+            down_bytes,
+            up_bytes,
+        }
+    }
+
+    /// Whether the down-link was delta-encoded.
+    pub fn is_delta(&self) -> bool {
+        matches!(self.kind, PayloadKind::Delta { .. })
+    }
+
+    /// Total bytes moved over the client's link (down + up).
+    pub fn total_bytes(&self) -> u64 {
+        self.down_bytes + self.up_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_materializes_by_shape() {
+        let full = PayloadSpec::full(100).materialize();
+        assert_eq!(full.kind, PayloadKind::Full);
+        assert_eq!(full.total_bytes(), 200);
+        let win = PayloadSpec::window(40, 7).materialize();
+        assert_eq!(win.kind, PayloadKind::Window);
+        assert_eq!(win.down_bytes, 40);
+        assert_eq!(win.up_bytes, 40);
+    }
+
+    #[test]
+    fn delta_is_asymmetric() {
+        let p = Payload::delta(3, 10, 100);
+        assert!(p.is_delta());
+        assert_eq!(p.down_bytes, 10);
+        assert_eq!(p.up_bytes, 100);
+        assert_eq!(p.total_bytes(), 110);
+        assert!(!Payload::full(10).is_delta());
+    }
+
+    #[test]
+    fn payload_serde_roundtrip() {
+        for p in [
+            Payload::full(64),
+            Payload::window(32),
+            Payload::delta(5, 8, 32),
+        ] {
+            let v = p.serialize();
+            assert_eq!(Payload::deserialize(&v).unwrap(), p);
+        }
+    }
+}

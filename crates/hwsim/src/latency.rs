@@ -10,12 +10,16 @@
 //!   driver management overhead and low storage I/O bandwidth").
 //!
 //! A full federated *dispatch* additionally pays **communication**: the
-//! (sub)model is downloaded before training and the update uploaded after
-//! it, each over the device's `io_gbps` link
-//! ([`LatencyModel::dispatch_round_trip`]). Both the event-driven round
-//! scheduler and the barrier-free async aggregator cost dispatches with
-//! the round-trip, so deadline estimates and the virtual clock account
-//! for the clients whose link — not compute — is the bottleneck.
+//! down-link [`Payload`] is broadcast before training and the update
+//! uploaded after it, each over the device's `io_gbps` link
+//! ([`LatencyModel::dispatch_round_trip`]). Payloads are produced by the
+//! communication plane ([`crate::comm`]) — a full snapshot, a submodel
+//! window, or a delta against the version the client already holds — so
+//! the down-link and up-link legs are costed **asymmetrically** from what
+//! actually moves. Both the event-driven round scheduler and the
+//! barrier-free async aggregator cost dispatches with the round-trip, so
+//! deadline estimates and the virtual clock account for the clients whose
+//! link — not compute — is the bottleneck.
 //!
 //! The driver overhead factor is the single calibrated constant of the
 //! model (`DRIVER_OVERHEAD = 2.0`), chosen so the swap-latency share of
@@ -24,6 +28,7 @@
 //! factor: they stream sequentially, without the per-sweep management
 //! overhead of swapping.
 
+use crate::comm::Payload;
 use crate::devices::{Device, DeviceSample};
 use crate::flops::TrainingPassProfile;
 use serde::{Deserialize, Serialize};
@@ -41,15 +46,14 @@ pub fn transfer_seconds(bytes: u64, device: &Device) -> f64 {
 }
 
 /// Latency model for one client training one module/model configuration.
+/// What crosses the wire is no longer baked in: the caller hands the
+/// dispatch's [`Payload`] to [`LatencyModel::dispatch_round_trip`].
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LatencyModel {
     /// Memory requirement of the trained window (bytes).
     pub mem_req_bytes: u64,
     /// Forward MACs per sample of the trained window.
     pub fwd_macs_per_sample: u64,
-    /// Serialized parameter bytes of the (sub)model exchanged with the
-    /// server: downloaded at dispatch, uploaded at completion.
-    pub model_bytes: u64,
     /// Batch size.
     pub batch: usize,
     /// Pass structure (PGD steps).
@@ -128,13 +132,24 @@ impl LatencyModel {
         }
     }
 
-    /// Latency of one full dispatch on `client`: down-link model
-    /// broadcast, `iters` local iterations, up-link update report. This is
-    /// the duration the virtual-time schedulers (sync deadlines and the
-    /// async buffer alike) charge per selected client.
-    pub fn dispatch_round_trip(&self, client: &DeviceSample, iters: usize) -> ClientLatency {
+    /// Latency of one full dispatch on `client`: down-link payload
+    /// broadcast, `iters` local iterations, up-link update report — the
+    /// two transfer legs costed asymmetrically from the payload's byte
+    /// counts. This is the duration the virtual-time schedulers (sync
+    /// deadlines and the async buffer alike) charge per selected client.
+    ///
+    /// A symmetric payload (`down = up = b`) reproduces the historical
+    /// `2 × model_bytes` charge bit-for-bit: `t + t` and `2.0 × t` are
+    /// the same IEEE value.
+    pub fn dispatch_round_trip(
+        &self,
+        client: &DeviceSample,
+        iters: usize,
+        payload: &Payload,
+    ) -> ClientLatency {
         let mut lat = self.local_training(client, iters);
-        lat.transfer_s = 2.0 * transfer_seconds(self.model_bytes, &client.device);
+        lat.transfer_s = transfer_seconds(payload.down_bytes, &client.device)
+            + transfer_seconds(payload.up_bytes, &client.device);
         lat
     }
 }
@@ -168,11 +183,12 @@ mod tests {
         }
     }
 
+    const VGG_BYTES: u64 = 60 * 1024 * 1024;
+
     fn vgg_like_model(mem_mb: u64) -> LatencyModel {
         LatencyModel {
             mem_req_bytes: mem_mb * 1024 * 1024,
             fwd_macs_per_sample: 314_000_000,
-            model_bytes: 60 * 1024 * 1024,
             batch: 64,
             profile: TrainingPassProfile::adversarial(10),
         }
@@ -245,8 +261,9 @@ mod tests {
     fn round_trip_adds_up_and_down_link_transfer() {
         let m = vgg_like_model(100);
         let c = client(1.0, 8.0, 16.0);
+        let payload = Payload::full(VGG_BYTES);
         let train = m.local_training(&c, 3);
-        let rt = m.dispatch_round_trip(&c, 3);
+        let rt = m.dispatch_round_trip(&c, 3, &payload);
         // Training components are untouched; transfer is the only delta.
         assert_eq!(rt.compute_s, train.compute_s);
         assert_eq!(rt.data_access_s, train.data_access_s);
@@ -254,7 +271,37 @@ mod tests {
         assert!((rt.transfer_s - expect).abs() < 1e-15);
         assert!(rt.total() > train.total());
         // Transfer is paid once per dispatch, not per iteration.
-        assert_eq!(m.dispatch_round_trip(&c, 30).transfer_s, rt.transfer_s);
+        assert_eq!(
+            m.dispatch_round_trip(&c, 30, &payload).transfer_s,
+            rt.transfer_s
+        );
+    }
+
+    #[test]
+    fn symmetric_payload_matches_historical_double_transfer() {
+        // The refactor's bit-identity guarantee: down + up legs of equal
+        // size reproduce the old `2 × model_bytes` charge exactly.
+        let m = vgg_like_model(100);
+        let c = client(1.3, 4.0, 1.5);
+        let sym = m.dispatch_round_trip(&c, 5, &Payload::full(VGG_BYTES));
+        let legacy = 2.0 * transfer_seconds(VGG_BYTES, &c.device);
+        assert_eq!(sym.transfer_s, legacy);
+    }
+
+    #[test]
+    fn delta_payload_cuts_only_the_down_link() {
+        let m = vgg_like_model(100);
+        let c = client(1.0, 8.0, 16.0);
+        let full = m.dispatch_round_trip(&c, 1, &Payload::full(VGG_BYTES));
+        let delta = m.dispatch_round_trip(&c, 1, &Payload::delta(3, VGG_BYTES / 10, VGG_BYTES));
+        assert!(delta.transfer_s < full.transfer_s);
+        // Exactly the down-link difference: (b - b/10) / link.
+        let expect =
+            transfer_seconds(VGG_BYTES, &c.device) - transfer_seconds(VGG_BYTES / 10, &c.device);
+        assert!((full.transfer_s - delta.transfer_s - expect).abs() < 1e-18);
+        // Compute and swap are payload-independent.
+        assert_eq!(full.compute_s, delta.compute_s);
+        assert_eq!(full.data_access_s, delta.data_access_s);
     }
 
     #[test]

@@ -17,17 +17,23 @@
 //! * [`latency`] — the training-latency model: compute time from available
 //!   TFLOPS, data-access time from memory-swap traffic over storage I/O
 //!   bandwidth (Rajbhandari et al. 2020-style offload accounting), and
-//!   up/down-link (sub)model transfer per dispatch over the same `io_gbps`
-//!   link — the communication term both schedulers' virtual clocks charge.
+//!   up/down-link payload transfer per dispatch over the same `io_gbps`
+//!   link — the communication term both schedulers' virtual clocks charge;
+//! * [`comm`] — the communication plane's wire descriptors: what a
+//!   dispatch ships ([`Payload`] — full snapshot, submodel window, or
+//!   delta against the client's cached version) with exact, asymmetric
+//!   down/up-link byte counts.
 //!
 //! Everything here operates on weight-free [`fp_nn::spec`] descriptions, so
 //! full-scale VGG16/ResNet34 are costed without allocating their weights.
 
+pub mod comm;
 pub mod devices;
 pub mod flops;
 pub mod latency;
 pub mod memory;
 
+pub use comm::{Payload, PayloadKind, PayloadSpec, FULL_SHAPE};
 pub use devices::{sample_fleet, Device, DeviceSample, SamplingMode, CALTECH_POOL, CIFAR_POOL};
 pub use flops::{forward_macs, forward_macs_range, training_flops_per_iter, TrainingPassProfile};
 pub use latency::{transfer_seconds, ClientLatency, LatencyModel};

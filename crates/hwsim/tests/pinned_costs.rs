@@ -6,7 +6,8 @@
 
 use fp_hwsim::{
     model_mem_req, module_mem_req, param_transfer_bytes, training_flops_per_iter, transfer_seconds,
-    AuxHeadSpec, Device, DeviceSample, LatencyModel, TrainingPassProfile, BYTES_PER_PARAM_STATE,
+    AuxHeadSpec, Device, DeviceSample, LatencyModel, Payload, TrainingPassProfile,
+    BYTES_PER_PARAM_STATE,
 };
 use fp_nn::spec::{AtomSpec, LayerKind, LayerSpec};
 
@@ -40,13 +41,16 @@ fn gtx1650m(avail_mem_bytes: u64) -> DeviceSample {
     }
 }
 
+/// Serialized size of the pinned workload's model: 24 MiB.
+const MODEL_BYTES: u64 = 24 * MIB;
+
 /// The pinned workload: 100 MiB working set, 1 M forward MACs/sample,
-/// 24 MiB serialized model, batch 32, PGD-3 adversarial training.
+/// batch 32, PGD-3 adversarial training (the 24 MiB serialized model
+/// rides in as the dispatch payload).
 fn workload() -> LatencyModel {
     LatencyModel {
         mem_req_bytes: 100 * MIB,
         fwd_macs_per_sample: 1_000_000,
-        model_bytes: 24 * MIB,
         batch: 32,
         profile: TrainingPassProfile::adversarial(3),
     }
@@ -169,11 +173,12 @@ fn transfer_latency_is_pinned_on_both_profiles() {
     // trip (download + upload) is 1/32 s, independent of iteration count.
     let tx2_dev = tx2(4 * 1024 * MIB);
     assert_rel(
-        transfer_seconds(w.model_bytes, &tx2_dev.device),
+        transfer_seconds(MODEL_BYTES, &tx2_dev.device),
         1.0 / 64.0,
         "tx2 one-way",
     );
-    let rt = w.dispatch_round_trip(&tx2_dev, 5);
+    let full = Payload::full(MODEL_BYTES);
+    let rt = w.dispatch_round_trip(&tx2_dev, 5, &full);
     assert_rel(rt.transfer_s, 1.0 / 32.0, "tx2 round-trip transfer");
     // Training terms are exactly the memory-sufficient local_training ones.
     assert_rel(rt.compute_s, 5.0 * 2.56e8 / 1.3e12, "tx2 rt compute");
@@ -182,7 +187,7 @@ fn transfer_latency_is_pinned_on_both_profiles() {
     // GTX 1650m (16 GiB/s link): round trip = 2·24/(16·1024) s = 3/1024 s
     // — 10.7× faster than the TX2, the same ratio as the swap path.
     let gtx_dev = gtx1650m(4 * 1024 * MIB);
-    let rt_gtx = w.dispatch_round_trip(&gtx_dev, 5);
+    let rt_gtx = w.dispatch_round_trip(&gtx_dev, 5, &full);
     assert_rel(rt_gtx.transfer_s, 3.0 / 1024.0, "gtx round-trip transfer");
     assert_rel(rt.transfer_s / rt_gtx.transfer_s, 16.0 / 1.5, "link ratio");
 
@@ -191,20 +196,27 @@ fn transfer_latency_is_pinned_on_both_profiles() {
     // round trip is 2·896 / 1610612736 = 7/6291456 s.
     let window_bytes = param_transfer_bytes(&[conv_atom()]);
     assert_eq!(window_bytes, 224 * 4);
-    let window = LatencyModel {
-        model_bytes: window_bytes,
-        ..w
-    };
+    let window = Payload::window(window_bytes);
     assert_rel(
-        window.dispatch_round_trip(&tx2_dev, 5).transfer_s,
+        w.dispatch_round_trip(&tx2_dev, 5, &window).transfer_s,
         7.0 / 6_291_456.0,
         "tx2 module-window transfer",
     );
     // The window transfer is proportionally cheaper than the full model.
     assert_rel(
-        rt.transfer_s / window.dispatch_round_trip(&tx2_dev, 5).transfer_s,
+        rt.transfer_s / w.dispatch_round_trip(&tx2_dev, 5, &window).transfer_s,
         24.0 * MIB as f64 / 896.0,
         "full vs window ratio",
+    );
+
+    // An asymmetric delta dispatch pays each leg separately: a 896 B
+    // delta down + 24 MiB dense update up on the TX2 =
+    // 896/1610612736 + 1/64 s.
+    let delta = Payload::delta(0, window_bytes, MODEL_BYTES);
+    assert_rel(
+        w.dispatch_round_trip(&tx2_dev, 5, &delta).transfer_s,
+        896.0 / 1_610_612_736.0 + 1.0 / 64.0,
+        "tx2 delta transfer",
     );
 }
 

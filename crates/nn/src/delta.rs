@@ -1,0 +1,205 @@
+//! Bitwise-exact sparse parameter deltas.
+//!
+//! The communication plane ships a client the *difference* between the
+//! model version it last materialized and the current one instead of the
+//! whole (sub)model. The encoding here is lossless and bitwise exact —
+//! [`apply_param_delta`]`(base, `[`param_diff`]`(base, target)) == target`
+//! for every bit pattern including NaNs and signed zeros — so a
+//! delta-downloaded model is *the same model*, and the schedulers'
+//! bit-identity guarantees survive delta transfer untouched.
+//!
+//! The wire format it sizes ([`ParamDelta::wire_bytes`]) is a bitmap +
+//! XOR-plane layout (the delta-compression scheme of checkpoint systems
+//! like LC-Checkpoint): one presence bit per parameter, and for every
+//! changed parameter the XOR of the old and new bit patterns with its
+//! leading zero bytes elided (a 2-bit length tag + the 1–4 significant
+//! bytes). Aggregation steps move parameters by small relative amounts,
+//! so old and new values share sign, exponent, and high-mantissa bits —
+//! the XOR's leading bytes vanish and a *dense* delta still undercuts
+//! shipping raw values. A delta across many versions (large steps) can
+//! exceed the whole payload (4 significant bytes + tag + bitmap is pure
+//! overhead), which is why the server picks `min(delta, full)` per
+//! dispatch rather than assuming deltas always win.
+
+use serde::{Deserialize, Serialize};
+
+/// Significant bytes of `old XOR new` for one changed value: 4 minus the
+/// number of leading zero bytes, floored at 1 (a changed value always
+/// moves at least one byte; the tag still distinguishes 1–4).
+pub fn xor_significant_bytes(old: f32, new: f32) -> u32 {
+    let x = old.to_bits() ^ new.to_bits();
+    (4 - x.leading_zeros() / 8).max(1)
+}
+
+/// A sparse, bitwise-exact delta between two equal-length parameter
+/// vectors: the positions whose bit patterns differ and the target values
+/// at those positions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDelta {
+    /// Length of the vectors being diffed (patch-target validation).
+    pub len: usize,
+    /// Ascending positions whose values changed.
+    pub idx: Vec<u32>,
+    /// Target values at those positions (`val[i]` replaces `base[idx[i]]`).
+    pub val: Vec<f32>,
+    /// Total significant XOR bytes across the changed values (the
+    /// compressed value payload this delta puts on the wire).
+    pub xor_bytes: u64,
+}
+
+impl ParamDelta {
+    /// Number of changed parameters.
+    pub fn changed(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Serialized size of the delta on the wire: a one-bit-per-parameter
+    /// presence bitmap, a packed 2-bit length tag per changed value, and
+    /// each value's significant XOR bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.len as u64).div_ceil(8) + (self.idx.len() as u64).div_ceil(4) + self.xor_bytes
+    }
+}
+
+/// The sparse delta that patches `from` into `to`, comparing **bit
+/// patterns** (so `-0.0 → 0.0` is a change and an unchanged NaN is not).
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ.
+pub fn param_diff(from: &[f32], to: &[f32]) -> ParamDelta {
+    assert_eq!(from.len(), to.len(), "param_diff length mismatch");
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    let mut xor_bytes = 0u64;
+    for (i, (a, b)) in from.iter().zip(to).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            idx.push(i as u32);
+            val.push(*b);
+            xor_bytes += xor_significant_bytes(*a, *b) as u64;
+        }
+    }
+    ParamDelta {
+        len: from.len(),
+        idx,
+        val,
+        xor_bytes,
+    }
+}
+
+/// Applies a delta to `base`, reproducing the diff's target vector
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `base` is not the length the delta was computed over, or the
+/// delta is internally inconsistent (index/value arity mismatch or an
+/// out-of-range index).
+pub fn apply_param_delta(base: &[f32], delta: &ParamDelta) -> Vec<f32> {
+    assert_eq!(base.len(), delta.len, "apply_param_delta length mismatch");
+    assert_eq!(
+        delta.idx.len(),
+        delta.val.len(),
+        "delta index/value arity mismatch"
+    );
+    let mut out = base.to_vec();
+    for (&i, &v) in delta.idx.iter().zip(&delta.val) {
+        out[i as usize] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_apply_roundtrips_bitwise() {
+        let a = vec![1.0f32, -2.5, 0.0, 3.75, f32::NAN];
+        let mut b = a.clone();
+        b[1] = 7.0;
+        b[2] = -0.0; // sign flip is a bit change
+        let d = param_diff(&a, &b);
+        assert_eq!(d.changed(), 2);
+        assert_eq!(d.idx, vec![1, 2]);
+        let restored = apply_param_delta(&a, &d);
+        for (x, y) in restored.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn identical_vectors_diff_to_empty() {
+        // NaN == NaN bitwise: an unchanged NaN is not a change.
+        let a = vec![f32::NAN, 1.0, 2.0];
+        let d = param_diff(&a, &a);
+        assert_eq!(d.changed(), 0);
+        assert_eq!(d.wire_bytes(), 1); // 3 bits of bitmap → 1 byte
+        let restored = apply_param_delta(&a, &d);
+        assert_eq!(restored[1], 1.0);
+        assert!(restored[0].is_nan());
+    }
+
+    #[test]
+    fn xor_plane_elides_leading_zero_bytes() {
+        // 1.0 → 1.0 + 2^-20: only low mantissa bytes move.
+        let old = 1.0f32;
+        let new = f32::from_bits(old.to_bits() + 8); // tiny step
+        assert_eq!(xor_significant_bytes(old, new), 1);
+        // A sign flip touches the top byte: all 4 significant.
+        assert_eq!(xor_significant_bytes(1.0, -1.0), 4);
+        // Any change costs at least one byte.
+        assert_eq!(xor_significant_bytes(0.0, -0.0), 4); // sign bit = top byte
+        assert_eq!(xor_significant_bytes(1.0, 1.0000001), 1);
+    }
+
+    #[test]
+    fn wire_bytes_counts_bitmap_tags_and_xor_planes() {
+        let a = vec![0.0f32; 16];
+        let mut b = a.clone();
+        b[3] = 1.0; // 0.0 → 1.0 flips the exponent: 4 significant bytes
+        b[9] = 2.0;
+        let d = param_diff(&a, &b);
+        // 2 B bitmap + ceil(2/4) = 1 B of tags + 2 × 4 XOR bytes = 11 B.
+        assert_eq!(d.xor_bytes, 8);
+        assert_eq!(d.wire_bytes(), 11);
+        // A small perturbation of every value still undercuts shipping
+        // the vector raw — the codec's whole point.
+        let ones = vec![1.0f32; 16];
+        let nudged: Vec<f32> = ones.iter().map(|v| v + 1e-5).collect();
+        let dense = param_diff(&ones, &nudged);
+        assert_eq!(dense.changed(), 16);
+        assert!(
+            dense.wire_bytes() < 16 * 4,
+            "dense small-step delta {} must beat raw {}",
+            dense.wire_bytes(),
+            16 * 4
+        );
+        // Arbitrary-magnitude changes can exceed raw (tag + bitmap
+        // overhead) — the server falls back to full payloads there.
+        let flipped: Vec<f32> = ones.iter().map(|v| -v * 1e9).collect();
+        let worst = param_diff(&ones, &flipped);
+        assert!(worst.wire_bytes() > 16 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn diff_rejects_length_mismatch() {
+        param_diff(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn apply_rejects_wrong_base() {
+        let d = param_diff(&[1.0, 2.0], &[1.0, 3.0]);
+        apply_param_delta(&[1.0], &d);
+    }
+
+    #[test]
+    fn delta_serde_roundtrip() {
+        let d = param_diff(&[1.0, 2.0, 3.0], &[1.0, 9.0, 3.5]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: ParamDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

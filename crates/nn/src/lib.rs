@@ -16,7 +16,10 @@
 //!   sequence that FedProphet's model partitioner (paper §6.1) consumes;
 //! * [`spec`] — weight-free architecture descriptions ([`LayerSpec`],
 //!   [`AtomSpec`]) used by the hardware simulator to cost full-scale
-//!   VGG16/ResNet34 without allocating their weights.
+//!   VGG16/ResNet34 without allocating their weights;
+//! * [`delta`] — bitwise-exact sparse parameter deltas
+//!   ([`param_diff`]/[`apply_param_delta`]) that size and reproduce the
+//!   communication plane's delta downloads.
 //!
 //! Every differentiable layer is validated against central finite
 //! differences in its unit tests.
@@ -38,6 +41,7 @@
 mod atom;
 mod cascade;
 pub mod checkpoint;
+pub mod delta;
 mod init;
 mod layer;
 mod layers;
@@ -50,6 +54,7 @@ pub mod spec;
 pub use atom::Atom;
 pub use cascade::CascadeModel;
 pub use checkpoint::Checkpoint;
+pub use delta::{apply_param_delta, param_diff, ParamDelta};
 pub use init::{kaiming_normal, kaiming_uniform};
 pub use layer::{copy_params, Layer, Mode};
 pub use layers::basic_block::BasicBlock;

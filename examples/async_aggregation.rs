@@ -50,6 +50,7 @@ fn main() {
         concurrency: 4,
         buffer_k: 2,
         staleness_exp: 0.5,
+        ..AsyncConfig::default()
     };
     let sched = AsyncScheduler::new(JFat::new(), acfg);
     let asy = sched.run(&env);

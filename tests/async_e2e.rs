@@ -48,6 +48,7 @@ fn golden_async() -> AsyncConfig {
         concurrency: 4,
         buffer_k: 2,
         staleness_exp: 0.5,
+        ..AsyncConfig::default()
     }
 }
 

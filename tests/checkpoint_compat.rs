@@ -100,6 +100,7 @@ fn pre_refactor_async_checkpoint_resumes() {
             concurrency: 4,
             buffer_k: 2,
             staleness_exp: 0.5,
+            ..AsyncConfig::default()
         },
     );
     let e = env(5, 77);

@@ -379,7 +379,7 @@ proptest! {
         let env = async_env(seed);
         let sched = AsyncScheduler::new(
             JFat::new(),
-            AsyncConfig { concurrency, buffer_k, staleness_exp: 0.5 },
+            AsyncConfig { concurrency, buffer_k, staleness_exp: 0.5, ..AsyncConfig::default() },
         );
         let full = sched.run(&env);
         let ckpt = sched.run_until(&env, AsyncStopPoint { aggregations: stop_aggs, buffered });
