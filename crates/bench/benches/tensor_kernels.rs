@@ -21,6 +21,7 @@ fn bench_matmul(c: &mut Criterion) {
             [("scalar", &Scalar), ("parallel", &Parallel::new())];
         for (name, backend) in backends {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
+                bench.flops(2.0 * (n * n * n) as f64);
                 bench.iter(|| std::hint::black_box(a.matmul_on(&b, backend)));
             });
         }
@@ -28,16 +29,73 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Non-square GEMM sweep on the `Parallel` packed engine: the shapes
+/// the training stack actually runs (im2col'd convs are skinny —
+/// few rows, conv-kernel-sized K) next to tall/thin edge cases, so the
+/// GFLOP/s gate watches the dispatcher's edge-kernel picks, not just
+/// the square 512³ headline number.
+fn bench_matmul_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_shapes");
+    // (m, k, n): conv fwd (32 ch out, 16·3·3 K, 16×16 pixels), wide-N
+    // classifier head, tall-M batch GEMM, tiny-K rank update.
+    for &(m, k, n) in &[
+        (32usize, 144usize, 256usize),
+        (8, 512, 512),
+        (512, 512, 8),
+        (128, 32, 128),
+    ] {
+        let mut rng = seeded_rng(3);
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let backend = Parallel::new();
+        let id = BenchmarkId::new("parallel", format!("{m}x{k}x{n}"));
+        group.bench_with_input(id, &m, |bench, _| {
+            bench.flops(2.0 * (m * k * n) as f64);
+            bench.iter(|| std::hint::black_box(a.matmul_on(&b, &backend)));
+        });
+    }
+    group.finish();
+}
+
+/// Grouped GEMM over a client cohort: one shared activation against six
+/// per-member weight matrices, the shape the FL fan-out batches when a
+/// width cohort shares a submodel architecture.
+fn bench_matmul_grouped(c: &mut Criterion) {
+    let (m, k, n, groups) = (64usize, 64usize, 256usize, 6usize);
+    let mut rng = seeded_rng(4);
+    let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+    let b_all: Vec<Tensor> = (0..groups)
+        .map(|_| Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng))
+        .collect();
+    let backend = Parallel::new();
+    c.bench_function("matmul_grouped_6x64x64x256", |bench| {
+        bench.flops(2.0 * (groups * m * k * n) as f64);
+        bench.iter(|| {
+            let mut outs: Vec<Vec<f32>> = vec![vec![0.0; m * n]; groups];
+            let bs: Vec<&[f32]> = b_all.iter().map(|b| b.data()).collect();
+            let mut out_refs: Vec<&mut [f32]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+            backend.matmul_grouped_into(a.data(), &bs, &mut out_refs, m, k, n);
+            std::hint::black_box(outs)
+        });
+    });
+}
+
 fn bench_conv_forward_backward(c: &mut Criterion) {
     let mut rng = seeded_rng(1);
     let mut conv = Conv2d::new("c", 16, 32, 3, 1, 1, false, 0, 1, &mut rng);
     let x = Tensor::rand_uniform(&[8, 16, 16, 16], -1.0, 1.0, &mut rng);
+    // One im2col'd GEMM: batch · c_out · (c_in·k·k) · (h_out·w_out) MACs.
+    let gemm_flops = 2.0 * (8 * 32 * (16 * 3 * 3) * (16 * 16)) as f64;
     c.bench_function("conv2d_forward_8x16x16x16", |b| {
+        b.flops(gemm_flops);
         b.iter(|| std::hint::black_box(conv.forward(&x, Mode::Eval)));
     });
     let y = conv.forward(&x, Mode::Train);
     let g = Tensor::rand_uniform(y.shape(), -1.0, 1.0, &mut rng);
     c.bench_function("conv2d_backward_8x16x16x16", |b| {
+        // The iteration runs forward (to refresh cached activations)
+        // plus the dW and dX GEMMs — three same-shape GEMMs total.
+        b.flops(3.0 * gemm_flops);
         b.iter(|| {
             conv.forward(&x, Mode::Train);
             std::hint::black_box(conv.backward(&g))
@@ -56,6 +114,6 @@ fn bench_softmax(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul, bench_conv_forward_backward, bench_softmax
+    targets = bench_matmul, bench_matmul_shapes, bench_matmul_grouped, bench_conv_forward_backward, bench_softmax
 }
 criterion_main!(benches);

@@ -5,7 +5,11 @@
 //! virtual-time reports `BENCH_fl_sched.json` / `BENCH_fl_async.json`)
 //! against a committed baseline and fails on a throughput regression
 //! beyond a tolerance: a benchmark regresses when its fresh median
-//! exceeds `baseline × (1 + tolerance)`.
+//! exceeds `baseline × (1 + tolerance)`, or — for kernel benches that
+//! report GFLOP/s — when its fresh throughput falls below
+//! `baseline ÷ (1 + tolerance)`. The throughput gate matters when a
+//! bench's shape (and so its flop count) changes: a smaller shape can
+//! post a faster median while the kernel itself got slower.
 //!
 //! Benchmarks present on only one side are reported but never fail the
 //! gate (adding a bench must not break CI retroactively); improvements
@@ -13,16 +17,38 @@
 //! (`cargo run -p fp-bench --bin bench_check`) wires this into the
 //! workflow right after the bench-smoke step.
 
-use serde::Deserialize;
+use serde::{map_field, Deserialize, Error, Value};
 
 /// One benchmark measurement (the subset of the report the gate needs;
 /// extra report fields are ignored on deserialization).
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BenchEntry {
     /// Benchmark id, e.g. `matmul/parallel/512`.
     pub id: String,
     /// Median wall-clock per iteration in nanoseconds.
     pub median_ns: f64,
+    /// Arithmetic throughput, when the bench declared its flop count.
+    pub gflops: Option<f64>,
+}
+
+// Hand-written rather than derived: the vendored serde derive errors on
+// absent struct fields, and `gflops` is absent from reports emitted
+// before the packed-GEMM work (and from all virtual-time `"wall"`
+// sections).
+impl Deserialize for BenchEntry {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| Error::custom("expected map for BenchEntry"))?;
+        Ok(BenchEntry {
+            id: String::deserialize(map_field(m, "id", "BenchEntry")?)?,
+            median_ns: f64::deserialize(map_field(m, "median_ns", "BenchEntry")?)?,
+            gflops: match m.iter().find(|(k, _)| k == "gflops") {
+                Some((_, val)) => Option::<f64>::deserialize(val)?,
+                None => None,
+            },
+        })
+    }
 }
 
 /// A kernel-bench report: `{"benchmarks": [...]}` (criterion's
@@ -61,6 +87,9 @@ pub enum Verdict {
     Ok(f64),
     /// Fresh median beyond `baseline × (1 + tolerance)`.
     Regressed(f64),
+    /// Fresh GFLOP/s below `baseline ÷ (1 + tolerance)` even though the
+    /// wall median stayed within bounds (slowdown ratio reported).
+    ThroughputRegressed(f64),
     /// Present only in the baseline.
     MissingFresh,
     /// Present only in the fresh report.
@@ -77,7 +106,8 @@ pub struct Comparison {
 }
 
 /// Compares fresh results against a baseline with the given relative
-/// tolerance (`0.25` = fail beyond a 25 % slowdown). Ordering follows
+/// tolerance (`0.25` = fail beyond a 25 % slowdown, in wall median or
+/// in GFLOP/s throughput where both sides report it). Ordering follows
 /// the baseline, with fresh-only entries appended.
 pub fn compare(baseline: &[BenchEntry], fresh: &[BenchEntry], tolerance: f64) -> Vec<Comparison> {
     let mut out = Vec::new();
@@ -86,8 +116,14 @@ pub fn compare(baseline: &[BenchEntry], fresh: &[BenchEntry], tolerance: f64) ->
             None => Verdict::MissingFresh,
             Some(f) => {
                 let ratio = f.median_ns / b.median_ns;
+                let slowdown = match (b.gflops, f.gflops) {
+                    (Some(bg), Some(fg)) if fg > 0.0 => Some(bg / fg),
+                    _ => None,
+                };
                 if ratio > 1.0 + tolerance {
                     Verdict::Regressed(ratio)
+                } else if let Some(s) = slowdown.filter(|s| *s > 1.0 + tolerance) {
+                    Verdict::ThroughputRegressed(s)
                 } else {
                     Verdict::Ok(ratio)
                 }
@@ -110,7 +146,7 @@ pub fn compare(baseline: &[BenchEntry], fresh: &[BenchEntry], tolerance: f64) ->
 }
 
 /// Renders the comparison and returns whether the gate passes (no
-/// [`Verdict::Regressed`] entry).
+/// [`Verdict::Regressed`] or [`Verdict::ThroughputRegressed`] entry).
 pub fn render(comparisons: &[Comparison], tolerance: f64) -> (String, bool) {
     let mut s = String::new();
     let mut pass = true;
@@ -122,6 +158,15 @@ pub fn render(comparisons: &[Comparison], tolerance: f64) -> (String, bool) {
                 pass = false;
                 format!(
                     "  REGRESSED {:<43} {:.2}x > {:.2}x allowed",
+                    c.id,
+                    r,
+                    1.0 + tolerance
+                )
+            }
+            Verdict::ThroughputRegressed(r) => {
+                pass = false;
+                format!(
+                    "  REGRESSED {:<43} {:.2}x slower (GFLOP/s) > {:.2}x allowed",
                     c.id,
                     r,
                     1.0 + tolerance
@@ -144,6 +189,15 @@ mod tests {
         BenchEntry {
             id: id.to_string(),
             median_ns,
+            gflops: None,
+        }
+    }
+
+    fn entry_g(id: &str, median_ns: f64, gflops: f64) -> BenchEntry {
+        BenchEntry {
+            id: id.to_string(),
+            median_ns,
+            gflops: Some(gflops),
         }
     }
 
@@ -154,6 +208,19 @@ mod tests {
         assert_eq!(parse_report(kernel).unwrap()[0].id, "a");
         assert_eq!(parse_report(wall).unwrap()[0].id, "b");
         assert!(parse_report("{}").is_err());
+    }
+
+    #[test]
+    fn gflops_field_is_optional_and_parsed_when_present() {
+        // Pre-roofline baselines omit `gflops`; fresh kernel reports
+        // carry it. Both must parse, side by side in one report.
+        let kernel = r#"{"benchmarks": [
+            {"id": "old", "median_ns": 10.0, "min_ns": 9.0, "max_ns": 11.0, "samples": 10},
+            {"id": "new", "median_ns": 10.0, "min_ns": 9.0, "max_ns": 11.0, "samples": 10, "gflops": 104.7}
+        ]}"#;
+        let entries = parse_report(kernel).unwrap();
+        assert_eq!(entries[0].gflops, None);
+        assert_eq!(entries[1].gflops, Some(104.7));
     }
 
     #[test]
@@ -178,6 +245,48 @@ mod tests {
         let (report, pass) = render(&cmp, 0.25);
         assert!(!pass, "a >25% regression must fail the gate:\n{report}");
         assert!(report.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn throughput_drop_fails_even_with_faster_median() {
+        // A shape shrink can post a faster wall median while the kernel
+        // itself got slower — the GFLOP/s gate catches exactly this.
+        let base = vec![entry_g("matmul/parallel/512", 100.0, 100.0)];
+        let fresh = vec![entry_g("matmul/parallel/512", 80.0, 60.0)];
+        let cmp = compare(&base, &fresh, 0.25);
+        assert!(
+            matches!(cmp[0].verdict, Verdict::ThroughputRegressed(r) if (r - 100.0 / 60.0).abs() < 1e-9)
+        );
+        let (report, pass) = render(&cmp, 0.25);
+        assert!(!pass, "a >25% GFLOP/s drop must fail the gate:\n{report}");
+        assert!(report.contains("GFLOP/s"));
+    }
+
+    #[test]
+    fn throughput_within_tolerance_passes() {
+        let base = vec![entry_g("m", 100.0, 100.0)];
+        let fresh = vec![entry_g("m", 100.0, 85.0)];
+        let cmp = compare(&base, &fresh, 0.25);
+        assert!(matches!(cmp[0].verdict, Verdict::Ok(_)));
+    }
+
+    #[test]
+    fn gflops_gate_skipped_when_either_side_lacks_it() {
+        // A baseline without gflops (pre-roofline pin) never trips the
+        // throughput gate, whatever the fresh report says — and vice
+        // versa — so re-pinning baselines is not forced.
+        let base = vec![entry("m", 100.0)];
+        let fresh = vec![entry_g("m", 100.0, 1.0)];
+        assert!(matches!(
+            compare(&base, &fresh, 0.25)[0].verdict,
+            Verdict::Ok(_)
+        ));
+        let base = vec![entry_g("m", 100.0, 100.0)];
+        let fresh = vec![entry("m", 100.0)];
+        assert!(matches!(
+            compare(&base, &fresh, 0.25)[0].verdict,
+            Verdict::Ok(_)
+        ));
     }
 
     #[test]

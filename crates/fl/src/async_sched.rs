@@ -1181,16 +1181,24 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
         entries.sort_by_key(|d| (d.client, d.version));
         let n = entries.len();
         let (outer, inner) = fp_tensor::parallel::thread_split(n);
-        let results = fp_tensor::parallel::parallel_map(&entries, outer, |_, d| {
-            self.trainer.train(
-                env,
-                st.state_of(d.version),
-                d.version,
-                d.client,
-                env.cfg.lr.at(d.version),
-                fp_tensor::backend_for_threads(inner),
-            )
-        });
+        // Cohort-batched fan-out: same-shape dispatches run contiguously
+        // per worker (constant-size packed-GEMM workspaces); results stay
+        // in `entries` order, so the merge below is unchanged.
+        let results = fp_tensor::parallel::parallel_map_grouped(
+            &entries,
+            |_, d| self.trainer.payload_spec(env, d.version, d.client).shape_id,
+            outer,
+            |_, d| {
+                self.trainer.train(
+                    env,
+                    st.state_of(d.version),
+                    d.version,
+                    d.client,
+                    env.cfg.lr.at(d.version),
+                    fp_tensor::backend_for_threads(inner),
+                )
+            },
+        );
         let stalenesses: Vec<usize> = entries.iter().map(|d| v - d.version).collect();
         let base: Vec<f32> = entries
             .iter()

@@ -5,10 +5,12 @@ use crate::local::{local_train, LocalTrainConfig};
 use crate::metrics::FlOutcome;
 use crate::sched::{EventScheduler, ModelTrainer, SchedConfig, ScheduledTrainer};
 use crate::submodel::{
-    channel_groups, extract_submodel, keep_sets, SubmodelAccumulator, SubmodelScheme,
+    channel_groups, extract_submodel, keep_sets, slice_specs, SubmodelAccumulator, SubmodelScheme,
 };
 use fp_attack::PgdConfig;
-use fp_hwsim::{forward_macs, LatencyModel, PayloadSpec, TrainingPassProfile};
+use fp_hwsim::{
+    forward_macs, param_transfer_bytes, LatencyModel, PayloadSpec, TrainingPassProfile,
+};
 use fp_nn::CascadeModel;
 use fp_tensor::seeded_rng;
 use std::collections::HashMap;
@@ -114,14 +116,16 @@ impl ModelTrainer for PartialTraining {
     }
 
     fn payload_spec(&self, env: &FlEnv, t: usize, k: usize) -> PayloadSpec {
-        // Only the kept slice crosses the wire; like MACs, conv weights
-        // shrink in both operands, so params ≈ ratio² (the historical
-        // transfer-cost convention, kept bit-identical).
-        let ratio = Self::ratio(env, k) as f64;
-        PayloadSpec::window(
-            (ratio * ratio * env.model_param_bytes() as f64) as u64,
-            self.shape_id(env, t, k),
-        )
+        // Only the kept slice crosses the wire. The byte count is the
+        // *exact* serialized size of the sliced specs — the same slice
+        // `payload_params` materializes — not the historical ratio²
+        // approximation, so narrow clients delta correctly too.
+        let groups = channel_groups(&env.reference_specs);
+        let ratio = Self::ratio(env, k);
+        let mut rng = Self::submodel_rng(env, t, k);
+        let keep = keep_sets(&groups, ratio, self.scheme, t, &mut rng);
+        let sliced = slice_specs(&env.reference_specs, &keep);
+        PayloadSpec::window(param_transfer_bytes(&sliced), self.shape_id(env, t, k))
     }
 
     fn payload_params(&self, env: &FlEnv, global: &CascadeModel, t: usize, k: usize) -> Vec<f32> {
@@ -215,6 +219,32 @@ mod tests {
                 "{} failed to learn: clean {clean}",
                 ScheduledTrainer::name(&alg)
             );
+        }
+    }
+
+    /// The declared payload bytes must equal the serialized size of the
+    /// exact parameter slice the client ships (4 bytes per f32).
+    #[test]
+    fn payload_spec_bytes_are_exact() {
+        let env = make_env(8, 33);
+        let global = crate::baselines::init_global(&env);
+        for alg in [
+            PartialTraining::heterofl(),
+            PartialTraining::fedrolex(),
+            PartialTraining::feddrop(),
+        ] {
+            for t in 0..3 {
+                for k in 0..env.cfg.n_clients {
+                    let spec = ModelTrainer::payload_spec(&alg, &env, t, k);
+                    let params = ModelTrainer::payload_params(&alg, &env, &global, t, k);
+                    assert_eq!(
+                        spec.bytes,
+                        params.len() as u64 * 4,
+                        "{} t={t} k={k}",
+                        ScheduledTrainer::name(&alg)
+                    );
+                }
+            }
         }
     }
 

@@ -1019,9 +1019,11 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             let planned = self.plan_round(env, cfg, t, st);
             let sim = planned.sim;
             let lr = cfg.lr.at(t);
-            let results = crate::baselines::parallel_clients(&sim.completed, |k, backend| {
-                self.trainer.train(env, &st.state, t, k, lr, backend)
-            });
+            let results = crate::baselines::parallel_clients_grouped(
+                &sim.completed,
+                |k| self.trainer.payload_spec(env, t, k).shape_id,
+                |k, backend| self.trainer.train(env, &st.state, t, k, lr, backend),
+            );
             let train_loss = if results.is_empty() {
                 0.0
             } else {

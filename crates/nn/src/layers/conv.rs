@@ -1,4 +1,4 @@
-//! 2-D convolution via im2col.
+//! 2-D convolution via (fused) im2col.
 
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
@@ -10,9 +10,13 @@ use rand::Rng;
 /// optional bias.
 ///
 /// Input `[batch, c_in, h, w]`, output `[batch, c_out, h', w']`. The weight
-/// is `[c_out, c_in, k, k]`. Forward lowers each sample with `im2col` and
-/// performs one `[c_out, c_in·k²] × [c_in·k², h'·w']` multiply; backward
-/// reuses the cached `cols` buffers.
+/// is `[c_out, c_in, k, k]`. Forward and both backward products go through
+/// the backend's batched `conv2d_*` entry points: the `Parallel` backend
+/// fuses im2col into its packed-GEMM panels (no materialized `cols`
+/// buffer), while the `Scalar` reference path materializes the columns in
+/// the layer's reusable workspace. Backward only needs the cached *input*
+/// (`c_in·h·w` floats per sample instead of `c_in·k²·h'·w'` for the old
+/// per-sample `cols` cache).
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     w: Param,
@@ -26,11 +30,15 @@ pub struct Conv2d {
     out_group: usize,
     backend: BackendHandle,
     cached: Option<Cache>,
+    /// Per-layer scratch handed to the backend (packed weight panels on
+    /// the fused path, materialized columns on the reference path),
+    /// reused across iterations instead of reallocating per sample.
+    ws: Vec<f32>,
 }
 
 #[derive(Debug, Clone)]
 struct Cache {
-    cols: Vec<Vec<f32>>,
+    x: Tensor,
     geo: Conv2dGeometry,
     batch: usize,
 }
@@ -68,6 +76,7 @@ impl Conv2d {
             out_group,
             backend: fp_tensor::default_backend(),
             cached: None,
+            ws: Vec::new(),
         }
     }
 
@@ -90,39 +99,19 @@ impl Layer for Conv2d {
         let (batch, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let geo = self.geometry(h, w);
         let (h_out, w_out) = (geo.h_out(), geo.w_out());
-        let (rows, n_cols) = (geo.col_rows(), geo.col_cols());
         let mut out = Tensor::zeros(&[batch, self.c_out, h_out, w_out]);
-        let img_elems = self.c_in * h * w;
-        let out_elems = self.c_out * n_cols;
-        let mut cols_cache = Vec::with_capacity(batch);
-        for s in 0..batch {
-            let mut cols = vec![0.0f32; rows * n_cols];
-            self.backend.im2col(
-                &x.data()[s * img_elems..(s + 1) * img_elems],
-                &geo,
-                &mut cols,
-            );
-            let out_s = &mut out.data_mut()[s * out_elems..(s + 1) * out_elems];
-            self.backend.matmul_into(
-                self.w.value().data(),
-                &cols,
-                out_s,
-                self.c_out,
-                rows,
-                n_cols,
-            );
-            if let Some(b) = &self.b {
-                for c in 0..self.c_out {
-                    let bv = b.value().data()[c];
-                    for o in &mut out_s[c * n_cols..(c + 1) * n_cols] {
-                        *o += bv;
-                    }
-                }
-            }
-            cols_cache.push(cols);
-        }
+        self.backend.conv2d_forward(
+            x.data(),
+            self.w.value().data(),
+            self.b.as_ref().map(|b| b.value().data()),
+            out.data_mut(),
+            batch,
+            self.c_out,
+            &geo,
+            &mut self.ws,
+        );
         self.cached = Some(Cache {
-            cols: cols_cache,
+            x: x.clone(),
             geo,
             batch,
         });
@@ -135,7 +124,7 @@ impl Layer for Conv2d {
             .as_ref()
             .expect("backward called before forward");
         let geo = cache.geo;
-        let (rows, n_cols) = (geo.col_rows(), geo.col_cols());
+        let n_cols = geo.col_cols();
         let batch = cache.batch;
         assert_eq!(
             grad_out.shape(),
@@ -143,37 +132,31 @@ impl Layer for Conv2d {
             "grad_out shape mismatch"
         );
         let out_elems = self.c_out * n_cols;
-        let img_elems = self.c_in * geo.h * geo.w;
         let mut dx = Tensor::zeros(&[batch, self.c_in, geo.h, geo.w]);
-        let mut dcols = vec![0.0f32; rows * n_cols];
-        for s in 0..batch {
-            let g_s = &grad_out.data()[s * out_elems..(s + 1) * out_elems];
-            // dW += dY · colsᵀ   (dY: [c_out, n_cols], cols: [rows, n_cols])
-            self.backend.matmul_nt_into(
-                g_s,
-                &cache.cols[s],
-                self.w.grad_mut().data_mut(),
-                self.c_out,
-                n_cols,
-                rows,
-            );
-            // dcols = Wᵀ · dY
-            dcols.fill(0.0);
-            self.backend.matmul_tn_into(
-                self.w.value().data(),
-                g_s,
-                &mut dcols,
-                self.c_out,
-                rows,
-                n_cols,
-            );
-            self.backend.col2im(
-                &dcols,
-                &geo,
-                &mut dx.data_mut()[s * img_elems..(s + 1) * img_elems],
-            );
-            if let Some(b) = &mut self.b {
-                let db = b.grad_mut().data_mut();
+        // dW += Σ_s dY_s · im2col(x_s)ᵀ
+        self.backend.conv2d_backward_weights(
+            cache.x.data(),
+            grad_out.data(),
+            self.w.grad_mut().data_mut(),
+            batch,
+            self.c_out,
+            &geo,
+            &mut self.ws,
+        );
+        // dx_s = col2im(Wᵀ · dY_s)
+        self.backend.conv2d_backward_input(
+            self.w.value().data(),
+            grad_out.data(),
+            dx.data_mut(),
+            batch,
+            self.c_out,
+            &geo,
+            &mut self.ws,
+        );
+        if let Some(b) = &mut self.b {
+            let db = b.grad_mut().data_mut();
+            for s in 0..batch {
+                let g_s = &grad_out.data()[s * out_elems..(s + 1) * out_elems];
                 for c in 0..self.c_out {
                     db[c] += g_s[c * n_cols..(c + 1) * n_cols].iter().sum::<f32>();
                 }

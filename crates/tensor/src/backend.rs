@@ -7,11 +7,13 @@
 //! * [`Scalar`] — the portable reference kernels (`matmul.rs`,
 //!   `im2col.rs`): simple loops, the ground truth the parallel backend is
 //!   property-tested against.
-//! * [`Parallel`] — cache-blocked, register-tiled kernels (AVX2+FMA when
-//!   the CPU has them, detected at runtime) that split output rows across
-//!   scoped threads for large problems. Thread count is configurable so
-//!   outer client-level parallelism can budget inner kernel threads (see
-//!   [`crate::parallel::thread_split`]).
+//! * [`Parallel`] — the panel-packed, cache-blocked engine in
+//!   `pack.rs`: AVX-512 / AVX2+FMA register-tiled microkernels over
+//!   packed panels (detected at runtime, portable `mul_add` fallback),
+//!   fused im2col convolution entry points, and grouped GEMM, splitting
+//!   output rows across scoped threads for large problems. Thread count
+//!   is configurable so outer client-level parallelism can budget inner
+//!   kernel threads (see [`crate::parallel::thread_split`]).
 //!
 //! A process-wide default backend ([`default_backend`] /
 //! [`set_default_backend`]) seeds newly built layers; individual models
@@ -47,6 +49,152 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     /// Adjoint of [`Backend::im2col`]: scatter-adds a cols-shaped gradient
     /// back into an image-shaped buffer.
     fn col2im(&self, cols: &[f32], geo: &Conv2dGeometry, img_grad: &mut [f32]);
+
+    /// Batched conv forward: `out[s] += W·im2col(x[s])` for every sample,
+    /// plus `bias` per output channel when given. `out` must be
+    /// zero-initialized by the caller for a plain convolution.
+    ///
+    /// `ws` is a caller-held scratch buffer reused across calls (a conv
+    /// layer passes its per-layer workspace): the reference path
+    /// materializes the im2col columns in it; the [`Parallel`] override
+    /// stores packed weight panels there instead and streams the patch
+    /// columns straight into packed B panels — no `cols` buffer at all.
+    #[allow(clippy::too_many_arguments)]
+    fn conv2d_forward(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+        batch: usize,
+        c_out: usize,
+        geo: &Conv2dGeometry,
+        ws: &mut Vec<f32>,
+    ) {
+        let (rows, n_cols, img_len) = check_conv2d_args(x, w, bias, out, batch, c_out, geo);
+        ws.resize(rows * n_cols, 0.0);
+        for s in 0..batch {
+            self.im2col(
+                &x[s * img_len..(s + 1) * img_len],
+                geo,
+                &mut ws[..rows * n_cols],
+            );
+            let out_s = &mut out[s * c_out * n_cols..(s + 1) * c_out * n_cols];
+            self.matmul_into(w, &ws[..rows * n_cols], out_s, c_out, rows, n_cols);
+            if let Some(bias) = bias {
+                for (co, out_row) in out_s.chunks_mut(n_cols).enumerate() {
+                    for v in out_row {
+                        *v += bias[co];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Conv weight gradient: `dw += Σ_s grad[s] · im2col(x[s])ᵀ` with
+    /// `dw: [c_out, c_in·k²]` (accumulated; zero it for a plain gradient).
+    #[allow(clippy::too_many_arguments)]
+    fn conv2d_backward_weights(
+        &self,
+        x: &[f32],
+        grad: &[f32],
+        dw: &mut [f32],
+        batch: usize,
+        c_out: usize,
+        geo: &Conv2dGeometry,
+        ws: &mut Vec<f32>,
+    ) {
+        let (rows, n_cols, img_len) = check_conv2d_args(x, dw, None, grad, batch, c_out, geo);
+        ws.resize(rows * n_cols, 0.0);
+        for s in 0..batch {
+            self.im2col(
+                &x[s * img_len..(s + 1) * img_len],
+                geo,
+                &mut ws[..rows * n_cols],
+            );
+            let g_s = &grad[s * c_out * n_cols..(s + 1) * c_out * n_cols];
+            self.matmul_nt_into(g_s, &ws[..rows * n_cols], dw, c_out, n_cols, rows);
+        }
+    }
+
+    /// Conv input gradient: `dx[s] += col2im(Wᵀ · grad[s])` per sample.
+    /// `dx` must be zero-initialized by the caller for a plain gradient.
+    #[allow(clippy::too_many_arguments)]
+    fn conv2d_backward_input(
+        &self,
+        w: &[f32],
+        grad: &[f32],
+        dx: &mut [f32],
+        batch: usize,
+        c_out: usize,
+        geo: &Conv2dGeometry,
+        ws: &mut Vec<f32>,
+    ) {
+        let (rows, n_cols, img_len) = check_conv2d_args(dx, w, None, grad, batch, c_out, geo);
+        ws.resize(rows * n_cols, 0.0);
+        for s in 0..batch {
+            let g_s = &grad[s * c_out * n_cols..(s + 1) * c_out * n_cols];
+            let dcols = &mut ws[..rows * n_cols];
+            dcols.fill(0.0);
+            self.matmul_tn_into(w, g_s, dcols, c_out, rows, n_cols);
+            let dx_s = &mut dx[s * img_len..(s + 1) * img_len];
+            self.col2im(&ws[..rows * n_cols], geo, dx_s);
+        }
+    }
+
+    /// Grouped GEMM with a shared left operand: `outs[g] += a · bs[g]`
+    /// for every member of a same-shape group. Backends may pack `a`'s
+    /// panels once and reuse them across the whole group (the
+    /// [`Parallel`] override does; the default just loops).
+    fn matmul_grouped_into(
+        &self,
+        a: &[f32],
+        bs: &[&[f32]],
+        outs: &mut [&mut [f32]],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        check_grouped_args(a, bs, outs, m, k, n);
+        for (b, out) in bs.iter().zip(outs.iter_mut()) {
+            self.matmul_into(a, b, out, m, k, n);
+        }
+    }
+}
+
+/// Validates the shared buffer-shape contract of the `conv2d_*` entry
+/// points and returns `(col_rows, col_cols, image_len)`. The `w`/`out`
+/// arguments double as `dw`/`grad` in the backward variants — the size
+/// relations are identical.
+fn check_conv2d_args(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    out: &[f32],
+    batch: usize,
+    c_out: usize,
+    geo: &Conv2dGeometry,
+) -> (usize, usize, usize) {
+    let rows = geo.col_rows();
+    let n_cols = geo.col_cols();
+    let img_len = geo.c_in * geo.h * geo.w;
+    assert_eq!(x.len(), batch * img_len, "image-shaped buffer size");
+    assert_eq!(w.len(), c_out * rows, "weight-shaped buffer size");
+    assert_eq!(out.len(), batch * c_out * n_cols, "cols-shaped buffer size");
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), c_out, "bias buffer size");
+    }
+    (rows, n_cols, img_len)
+}
+
+/// Validates the grouped-GEMM buffer contract.
+fn check_grouped_args(a: &[f32], bs: &[&[f32]], outs: &[&mut [f32]], m: usize, k: usize, n: usize) {
+    assert_eq!(bs.len(), outs.len(), "group size mismatch");
+    assert_eq!(a.len(), m * k, "lhs buffer size");
+    for (g, (b, out)) in bs.iter().zip(outs.iter()).enumerate() {
+        assert_eq!(b.len(), k * n, "rhs buffer size (group member {g})");
+        assert_eq!(out.len(), m * n, "out buffer size (group member {g})");
+    }
 }
 
 // ------------------------------------------------------------------ Scalar
@@ -151,8 +299,13 @@ impl Default for Parallel {
 /// with the kernels' register-tile boundaries — that makes results
 /// bit-identical for every thread count (each row's arithmetic is
 /// independent of which chunk it lands in).
-fn for_row_chunks<F>(out: &mut [f32], rows: usize, row_len: usize, threads: usize, body: F)
-where
+pub(crate) fn for_row_chunks<F>(
+    out: &mut [f32],
+    rows: usize,
+    row_len: usize,
+    threads: usize,
+    body: F,
+) where
     F: Fn(usize, usize, &mut [f32]) + Sync,
 {
     debug_assert_eq!(out.len(), rows * row_len);
@@ -186,7 +339,18 @@ impl Backend for Parallel {
         assert_eq!(out.len(), m * n, "out buffer size");
         let threads = self.plan(m, m * k * n);
         for_row_chunks(out, m, n, threads, |r0, r1, chunk| {
-            kernels::gemm_nn(&a[r0 * k..r1 * k], b, chunk, r1 - r0, k, n);
+            crate::pack::gemm(
+                r1 - r0,
+                k,
+                n,
+                chunk,
+                n,
+                |i, p| a[(r0 + i) * k + p],
+                crate::pack::BSrc::Rows(&|p, j0, dst| {
+                    let w = dst.len();
+                    dst.copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+                }),
+            );
         });
     }
 
@@ -195,8 +359,20 @@ impl Backend for Parallel {
         assert_eq!(b.len(), m * n, "rhs buffer size");
         assert_eq!(out.len(), k * n, "out buffer size");
         let threads = self.plan(k, m * k * n);
+        // Output rows are A's columns; the reduction runs over A/B rows.
         for_row_chunks(out, k, n, threads, |p0, p1, chunk| {
-            kernels::gemm_tn(a, b, chunk, m, k, n, p0, p1);
+            crate::pack::gemm(
+                p1 - p0,
+                m,
+                n,
+                chunk,
+                n,
+                |i, red| a[red * k + p0 + i],
+                crate::pack::BSrc::Rows(&|red, j0, dst| {
+                    let w = dst.len();
+                    dst.copy_from_slice(&b[red * n + j0..red * n + j0 + w]);
+                }),
+            );
         });
     }
 
@@ -205,8 +381,22 @@ impl Backend for Parallel {
         assert_eq!(b.len(), k * n, "rhs buffer size");
         assert_eq!(out.len(), m * k, "out buffer size");
         let threads = self.plan(m, m * k * n);
+        // B is read transposed, but its *source* rows are contiguous:
+        // the Cols packing streams each `b` row once and scatters it
+        // into the L1-resident panel.
         for_row_chunks(out, m, k, threads, |r0, r1, chunk| {
-            kernels::gemm_nt(&a[r0 * n..r1 * n], b, chunk, r1 - r0, n, k);
+            crate::pack::gemm(
+                r1 - r0,
+                n,
+                k,
+                chunk,
+                k,
+                |i, p| a[(r0 + i) * n + p],
+                crate::pack::BSrc::Cols(&|j, p0, dst| {
+                    let w = dst.len();
+                    dst.copy_from_slice(&b[j * n + p0..j * n + p0 + w]);
+                }),
+            );
         });
     }
 
@@ -242,449 +432,65 @@ impl Backend for Parallel {
             col2im_channel_range(cols, geo, chunk, c0, c1);
         });
     }
-}
 
-// ---------------------------------------------------------------- kernels
-
-/// The single-threaded compute kernels behind [`Parallel`].
-///
-/// On x86-64 with AVX2+FMA (detected once at runtime) these use
-/// register-tiled intrinsics; elsewhere they fall back to cache-blocked
-/// portable loops that still beat the naive reference through better
-/// register reuse.
-mod kernels {
-    /// k-dimension block so the streamed panel of `b` stays cache-resident.
-    const KC: usize = 256;
-
-    #[cfg(target_arch = "x86_64")]
-    fn use_fma() -> bool {
-        static FMA: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-        *FMA.get_or_init(|| {
-            std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
-        })
-    }
-
-    /// `out[m×n] += a[m×k]·b[k×n]`.
-    pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-        #[cfg(target_arch = "x86_64")]
-        if use_fma() {
-            // SAFETY: AVX2+FMA presence was verified by `use_fma`.
-            unsafe { x86::gemm_nn_fma(a, b, out, m, k, n) };
-            return;
-        }
-        portable::gemm_nn(a, b, out, m, k, n);
-    }
-
-    /// `out[p0..p1 rows of k×n] += (aᵀ·b)[p0..p1]` with `a: [m×k]`,
-    /// `b: [m×n]`; `out` holds only the `p1-p0` chunk rows.
-    #[allow(clippy::too_many_arguments)]
-    pub fn gemm_tn(
-        a: &[f32],
-        b: &[f32],
+    fn conv2d_forward(
+        &self,
+        x: &[f32],
+        w: &[f32],
+        bias: Option<&[f32]>,
         out: &mut [f32],
+        batch: usize,
+        c_out: usize,
+        geo: &Conv2dGeometry,
+        ws: &mut Vec<f32>,
+    ) {
+        let (rows, n_cols, _) = check_conv2d_args(x, w, bias, out, batch, c_out, geo);
+        let threads = self.plan(batch, batch * c_out * rows * n_cols);
+        crate::pack::conv2d_forward_fused(x, w, bias, out, batch, c_out, geo, ws, threads);
+    }
+
+    fn conv2d_backward_weights(
+        &self,
+        x: &[f32],
+        grad: &[f32],
+        dw: &mut [f32],
+        batch: usize,
+        c_out: usize,
+        geo: &Conv2dGeometry,
+        _ws: &mut Vec<f32>,
+    ) {
+        let (rows, n_cols, _) = check_conv2d_args(x, dw, None, grad, batch, c_out, geo);
+        let threads = self.plan(c_out, batch * c_out * rows * n_cols);
+        crate::pack::conv2d_backward_weights_fused(x, grad, dw, batch, c_out, geo, threads);
+    }
+
+    fn conv2d_backward_input(
+        &self,
+        w: &[f32],
+        grad: &[f32],
+        dx: &mut [f32],
+        batch: usize,
+        c_out: usize,
+        geo: &Conv2dGeometry,
+        ws: &mut Vec<f32>,
+    ) {
+        let (rows, n_cols, _) = check_conv2d_args(dx, w, None, grad, batch, c_out, geo);
+        let threads = self.plan(batch, batch * c_out * rows * n_cols);
+        crate::pack::conv2d_backward_input_fused(w, grad, dx, batch, c_out, geo, ws, threads);
+    }
+
+    fn matmul_grouped_into(
+        &self,
+        a: &[f32],
+        bs: &[&[f32]],
+        outs: &mut [&mut [f32]],
         m: usize,
         k: usize,
         n: usize,
-        p0: usize,
-        p1: usize,
     ) {
-        #[cfg(target_arch = "x86_64")]
-        if use_fma() {
-            // SAFETY: AVX2+FMA presence was verified by `use_fma`.
-            unsafe { x86::gemm_tn_fma(a, b, out, m, k, n, p0, p1) };
-            return;
-        }
-        portable::gemm_tn(a, b, out, m, k, n, p0, p1);
-    }
-
-    /// `out[m×k] += a[m×n]·bᵀ[k×n]` (row-chunked `a`/`out`).
-    pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
-        #[cfg(target_arch = "x86_64")]
-        if use_fma() {
-            // SAFETY: AVX2+FMA presence was verified by `use_fma`.
-            unsafe { x86::gemm_nt_fma(a, b, out, m, n, k) };
-            return;
-        }
-        portable::gemm_nt(a, b, out, m, n, k);
-    }
-
-    /// Cache-blocked portable fallbacks (also the non-x86 path).
-    mod portable {
-        use super::KC;
-
-        pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-            let mut pc = 0;
-            while pc < k {
-                let kb = KC.min(k - pc);
-                let mut rows = out.chunks_mut(n);
-                let mut i = 0;
-                // 4-row register tile: each loaded `b` row feeds 4 FMAs.
-                while i + 4 <= m {
-                    let o0 = rows.next().expect("row count");
-                    let o1 = rows.next().expect("row count");
-                    let o2 = rows.next().expect("row count");
-                    let o3 = rows.next().expect("row count");
-                    for p in 0..kb {
-                        let x0 = a[i * k + pc + p];
-                        let x1 = a[(i + 1) * k + pc + p];
-                        let x2 = a[(i + 2) * k + pc + p];
-                        let x3 = a[(i + 3) * k + pc + p];
-                        let b_row = &b[(pc + p) * n..(pc + p) * n + n];
-                        for (j, &bv) in b_row.iter().enumerate() {
-                            o0[j] += x0 * bv;
-                            o1[j] += x1 * bv;
-                            o2[j] += x2 * bv;
-                            o3[j] += x3 * bv;
-                        }
-                    }
-                    i += 4;
-                }
-                for o_row in rows {
-                    let a_row = &a[i * k + pc..i * k + pc + kb];
-                    for (p, &x) in a_row.iter().enumerate() {
-                        let b_row = &b[(pc + p) * n..(pc + p) * n + n];
-                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                            *o += x * bv;
-                        }
-                    }
-                    i += 1;
-                }
-                pc += kb;
-            }
-        }
-
-        #[allow(clippy::too_many_arguments)]
-        pub fn gemm_tn(
-            a: &[f32],
-            b: &[f32],
-            out: &mut [f32],
-            m: usize,
-            k: usize,
-            n: usize,
-            p0: usize,
-            p1: usize,
-        ) {
-            for i in 0..m {
-                let b_row = &b[i * n..(i + 1) * n];
-                for (chunk_row, p) in (p0..p1).enumerate() {
-                    let x = a[i * k + p];
-                    if x == 0.0 {
-                        continue;
-                    }
-                    let o_row = &mut out[chunk_row * n..(chunk_row + 1) * n];
-                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                        *o += x * bv;
-                    }
-                }
-            }
-        }
-
-        pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
-            for i in 0..m {
-                let a_row = &a[i * n..(i + 1) * n];
-                let o_row = &mut out[i * k..(i + 1) * k];
-                for (p, o) in o_row.iter_mut().enumerate() {
-                    let b_row = &b[p * n..(p + 1) * n];
-                    let mut acc = 0.0f32;
-                    for (&x, &y) in a_row.iter().zip(b_row) {
-                        acc += x * y;
-                    }
-                    *o += acc;
-                }
-            }
-        }
-    }
-
-    /// AVX2+FMA register-tiled kernels.
-    ///
-    /// All of these are `unsafe` only because of the `target_feature`
-    /// attribute; every pointer access stays inside the slices whose
-    /// lengths the public [`super::super::Backend`] methods validated.
-    #[cfg(target_arch = "x86_64")]
-    mod x86 {
-        use super::KC;
-        use std::arch::x86_64::*;
-
-        #[inline]
-        unsafe fn hsum(v: __m256) -> f32 {
-            let lo = _mm256_castps256_ps128(v);
-            let hi = _mm256_extractf128_ps(v, 1);
-            let s = _mm_add_ps(lo, hi);
-            let s = _mm_hadd_ps(s, s);
-            let s = _mm_hadd_ps(s, s);
-            _mm_cvtss_f32(s)
-        }
-
-        /// 4×16 register tile over the output, k-blocked.
-        #[target_feature(enable = "avx2,fma")]
-        pub unsafe fn gemm_nn_fma(
-            a: &[f32],
-            b: &[f32],
-            out: &mut [f32],
-            m: usize,
-            k: usize,
-            n: usize,
-        ) {
-            let ap = a.as_ptr();
-            let bp = b.as_ptr();
-            let op = out.as_mut_ptr();
-            let mut pc = 0;
-            while pc < k {
-                let kb = KC.min(k - pc);
-                let mut i = 0;
-                while i + 4 <= m {
-                    let a0 = ap.add(i * k + pc);
-                    let a1 = ap.add((i + 1) * k + pc);
-                    let a2 = ap.add((i + 2) * k + pc);
-                    let a3 = ap.add((i + 3) * k + pc);
-                    let mut j = 0;
-                    while j + 16 <= n {
-                        let o0 = op.add(i * n + j);
-                        let o1 = op.add((i + 1) * n + j);
-                        let o2 = op.add((i + 2) * n + j);
-                        let o3 = op.add((i + 3) * n + j);
-                        let mut c00 = _mm256_loadu_ps(o0);
-                        let mut c01 = _mm256_loadu_ps(o0.add(8));
-                        let mut c10 = _mm256_loadu_ps(o1);
-                        let mut c11 = _mm256_loadu_ps(o1.add(8));
-                        let mut c20 = _mm256_loadu_ps(o2);
-                        let mut c21 = _mm256_loadu_ps(o2.add(8));
-                        let mut c30 = _mm256_loadu_ps(o3);
-                        let mut c31 = _mm256_loadu_ps(o3.add(8));
-                        for p in 0..kb {
-                            let brow = bp.add((pc + p) * n + j);
-                            let b0 = _mm256_loadu_ps(brow);
-                            let b1 = _mm256_loadu_ps(brow.add(8));
-                            let x0 = _mm256_set1_ps(*a0.add(p));
-                            let x1 = _mm256_set1_ps(*a1.add(p));
-                            let x2 = _mm256_set1_ps(*a2.add(p));
-                            let x3 = _mm256_set1_ps(*a3.add(p));
-                            c00 = _mm256_fmadd_ps(x0, b0, c00);
-                            c01 = _mm256_fmadd_ps(x0, b1, c01);
-                            c10 = _mm256_fmadd_ps(x1, b0, c10);
-                            c11 = _mm256_fmadd_ps(x1, b1, c11);
-                            c20 = _mm256_fmadd_ps(x2, b0, c20);
-                            c21 = _mm256_fmadd_ps(x2, b1, c21);
-                            c30 = _mm256_fmadd_ps(x3, b0, c30);
-                            c31 = _mm256_fmadd_ps(x3, b1, c31);
-                        }
-                        _mm256_storeu_ps(o0, c00);
-                        _mm256_storeu_ps(o0.add(8), c01);
-                        _mm256_storeu_ps(o1, c10);
-                        _mm256_storeu_ps(o1.add(8), c11);
-                        _mm256_storeu_ps(o2, c20);
-                        _mm256_storeu_ps(o2.add(8), c21);
-                        _mm256_storeu_ps(o3, c30);
-                        _mm256_storeu_ps(o3.add(8), c31);
-                        j += 16;
-                    }
-                    while j < n {
-                        for r in 0..4 {
-                            let mut acc = 0.0f32;
-                            for p in 0..kb {
-                                acc += *ap.add((i + r) * k + pc + p) * *bp.add((pc + p) * n + j);
-                            }
-                            *op.add((i + r) * n + j) += acc;
-                        }
-                        j += 1;
-                    }
-                    i += 4;
-                }
-                while i < m {
-                    for j in 0..n {
-                        let mut acc = 0.0f32;
-                        for p in 0..kb {
-                            acc += *ap.add(i * k + pc + p) * *bp.add((pc + p) * n + j);
-                        }
-                        *op.add(i * n + j) += acc;
-                    }
-                    i += 1;
-                }
-                pc += kb;
-            }
-        }
-
-        /// 4 output rows (`p`) × 16 columns per tile; the reduction runs
-        /// over `m` with strided scalar loads from `a`.
-        #[target_feature(enable = "avx2,fma")]
-        #[allow(clippy::too_many_arguments)]
-        pub unsafe fn gemm_tn_fma(
-            a: &[f32],
-            b: &[f32],
-            out: &mut [f32],
-            m: usize,
-            k: usize,
-            n: usize,
-            p0: usize,
-            p1: usize,
-        ) {
-            let ap = a.as_ptr();
-            let bp = b.as_ptr();
-            let op = out.as_mut_ptr();
-            let mut p = p0;
-            while p + 4 <= p1 {
-                let orow = (p - p0) * n;
-                let mut j = 0;
-                while j + 16 <= n {
-                    let o0 = op.add(orow + j);
-                    let o1 = op.add(orow + n + j);
-                    let o2 = op.add(orow + 2 * n + j);
-                    let o3 = op.add(orow + 3 * n + j);
-                    let mut c00 = _mm256_loadu_ps(o0);
-                    let mut c01 = _mm256_loadu_ps(o0.add(8));
-                    let mut c10 = _mm256_loadu_ps(o1);
-                    let mut c11 = _mm256_loadu_ps(o1.add(8));
-                    let mut c20 = _mm256_loadu_ps(o2);
-                    let mut c21 = _mm256_loadu_ps(o2.add(8));
-                    let mut c30 = _mm256_loadu_ps(o3);
-                    let mut c31 = _mm256_loadu_ps(o3.add(8));
-                    for i in 0..m {
-                        let brow = bp.add(i * n + j);
-                        let b0 = _mm256_loadu_ps(brow);
-                        let b1 = _mm256_loadu_ps(brow.add(8));
-                        let arow = ap.add(i * k + p);
-                        let x0 = _mm256_set1_ps(*arow);
-                        let x1 = _mm256_set1_ps(*arow.add(1));
-                        let x2 = _mm256_set1_ps(*arow.add(2));
-                        let x3 = _mm256_set1_ps(*arow.add(3));
-                        c00 = _mm256_fmadd_ps(x0, b0, c00);
-                        c01 = _mm256_fmadd_ps(x0, b1, c01);
-                        c10 = _mm256_fmadd_ps(x1, b0, c10);
-                        c11 = _mm256_fmadd_ps(x1, b1, c11);
-                        c20 = _mm256_fmadd_ps(x2, b0, c20);
-                        c21 = _mm256_fmadd_ps(x2, b1, c21);
-                        c30 = _mm256_fmadd_ps(x3, b0, c30);
-                        c31 = _mm256_fmadd_ps(x3, b1, c31);
-                    }
-                    _mm256_storeu_ps(o0, c00);
-                    _mm256_storeu_ps(o0.add(8), c01);
-                    _mm256_storeu_ps(o1, c10);
-                    _mm256_storeu_ps(o1.add(8), c11);
-                    _mm256_storeu_ps(o2, c20);
-                    _mm256_storeu_ps(o2.add(8), c21);
-                    _mm256_storeu_ps(o3, c30);
-                    _mm256_storeu_ps(o3.add(8), c31);
-                    j += 16;
-                }
-                while j < n {
-                    for r in 0..4 {
-                        let mut acc = 0.0f32;
-                        for i in 0..m {
-                            acc += *ap.add(i * k + p + r) * *bp.add(i * n + j);
-                        }
-                        *op.add(orow + r * n + j) += acc;
-                    }
-                    j += 1;
-                }
-                p += 4;
-            }
-            while p < p1 {
-                let orow = (p - p0) * n;
-                for j in 0..n {
-                    let mut acc = 0.0f32;
-                    for i in 0..m {
-                        acc += *ap.add(i * k + p) * *bp.add(i * n + j);
-                    }
-                    *op.add(orow + j) += acc;
-                }
-                p += 1;
-            }
-        }
-
-        /// Dot-product kernel: 2 `a` rows × 4 `b` rows of 8-wide FMA
-        /// accumulators, horizontally summed at the end.
-        #[target_feature(enable = "avx2,fma")]
-        pub unsafe fn gemm_nt_fma(
-            a: &[f32],
-            b: &[f32],
-            out: &mut [f32],
-            m: usize,
-            n: usize,
-            k: usize,
-        ) {
-            let ap = a.as_ptr();
-            let bp = b.as_ptr();
-            let op = out.as_mut_ptr();
-            let n8 = n - n % 8;
-            let mut i = 0;
-            while i + 2 <= m {
-                let mut p = 0;
-                while p + 4 <= k {
-                    let mut acc = [_mm256_setzero_ps(); 8];
-                    let a0 = ap.add(i * n);
-                    let a1 = ap.add((i + 1) * n);
-                    let mut j = 0;
-                    while j < n8 {
-                        let va0 = _mm256_loadu_ps(a0.add(j));
-                        let va1 = _mm256_loadu_ps(a1.add(j));
-                        for r in 0..4 {
-                            let vb = _mm256_loadu_ps(bp.add((p + r) * n + j));
-                            acc[r] = _mm256_fmadd_ps(va0, vb, acc[r]);
-                            acc[4 + r] = _mm256_fmadd_ps(va1, vb, acc[4 + r]);
-                        }
-                        j += 8;
-                    }
-                    for r in 0..4 {
-                        let mut s0 = hsum(acc[r]);
-                        let mut s1 = hsum(acc[4 + r]);
-                        for j in n8..n {
-                            let bv = *bp.add((p + r) * n + j);
-                            s0 += *a0.add(j) * bv;
-                            s1 += *a1.add(j) * bv;
-                        }
-                        *op.add(i * k + p + r) += s0;
-                        *op.add((i + 1) * k + p + r) += s1;
-                    }
-                    p += 4;
-                }
-                while p < k {
-                    for r in 0..2 {
-                        let arow = ap.add((i + r) * n);
-                        let brow = bp.add(p * n);
-                        let mut acc = _mm256_setzero_ps();
-                        let mut j = 0;
-                        while j < n8 {
-                            acc = _mm256_fmadd_ps(
-                                _mm256_loadu_ps(arow.add(j)),
-                                _mm256_loadu_ps(brow.add(j)),
-                                acc,
-                            );
-                            j += 8;
-                        }
-                        let mut s = hsum(acc);
-                        for j in n8..n {
-                            s += *arow.add(j) * *brow.add(j);
-                        }
-                        *op.add((i + r) * k + p) += s;
-                    }
-                    p += 1;
-                }
-                i += 2;
-            }
-            while i < m {
-                let arow = ap.add(i * n);
-                for p in 0..k {
-                    let brow = bp.add(p * n);
-                    let mut acc = _mm256_setzero_ps();
-                    let mut j = 0;
-                    while j < n8 {
-                        acc = _mm256_fmadd_ps(
-                            _mm256_loadu_ps(arow.add(j)),
-                            _mm256_loadu_ps(brow.add(j)),
-                            acc,
-                        );
-                        j += 8;
-                    }
-                    let mut s = hsum(acc);
-                    for j in n8..n {
-                        s += *arow.add(j) * *brow.add(j);
-                    }
-                    *op.add(i * k + p) += s;
-                }
-                i += 1;
-            }
-        }
+        check_grouped_args(a, bs, outs, m, k, n);
+        let threads = self.plan(bs.len(), bs.len() * m * k * n);
+        crate::pack::matmul_grouped(a, bs, outs, m, k, n, threads);
     }
 }
 

@@ -33,6 +33,7 @@ mod backend;
 mod im2col;
 mod matmul;
 mod ops;
+mod pack;
 pub mod parallel;
 mod rng;
 mod shape;

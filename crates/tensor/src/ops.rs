@@ -10,8 +10,28 @@ use crate::Tensor;
 ///
 /// Panics if the tensor is not rank-2.
 pub fn softmax_rows(logits: &Tensor) -> Tensor {
-    let mut out = log_softmax_rows(logits);
-    out.map_inplace(f32::exp);
+    assert_eq!(logits.shape().len(), 2, "softmax expects [rows, cols]");
+    let (rows, cols) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for r in 0..rows {
+        let row = &logits.data()[r * cols..(r + 1) * cols];
+        let out_row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        // Single pass per row: one exp per element (instead of the two a
+        // log-softmax round-trip costs), with the max-reduction and the
+        // final normalization left as plain loops the compiler can
+        // vectorize.
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (o, &x) in out_row.iter_mut().zip(row.iter()) {
+            let e = (x - m).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in out_row.iter_mut() {
+            *o *= inv;
+        }
+    }
     out
 }
 

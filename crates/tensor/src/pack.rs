@@ -1,0 +1,1339 @@
+//! The panel-packed, cache-blocked GEMM engine behind
+//! [`Parallel`](crate::Parallel).
+//!
+//! # Structure
+//!
+//! Every GEMM flavor (`A·B`, `Aᵀ·B`, `A·Bᵀ`, and the fused im2col
+//! convolutions) is expressed as one generic driver over two *readers*:
+//! `a_at(i, p)` yields the A-operand element for output row `i` and
+//! reduction index `p`, and `b_fill(p, j0, dst)` materializes a span of
+//! B-operand columns for reduction index `p`. The driver packs A into
+//! row-panels of `MR` rows and B into column-panels of `NR` columns,
+//! blocks the reduction into `KC`-deep slabs sized so one B panel stays
+//! L1-resident, and walks a register-tiled microkernel over the packed
+//! panels:
+//!
+//! ```text
+//!   apack: [panel ip][p in 0..kc][r in 0..MR]   (zero-padded rows)
+//!   bpack: [panel jp][p in 0..kc][c in 0..NR]   (zero-padded cols)
+//!   C tile: MR×NR accumulators, ldc-strided loads/stores
+//! ```
+//!
+//! A per-shape dispatcher ([`tiles_for`] plus the kernel-variant choice
+//! in [`dispatch_kernel!`]) picks `MC/KC/NC` and the microkernel size:
+//! square shapes get the widest kernel, skinny-M or skinny-N shapes get
+//! narrower variants that waste less zero-padding, and shallow-N shapes
+//! get deeper `KC` slabs to amortize C-tile traffic.
+//!
+//! # The canonical accumulation chain
+//!
+//! Every kernel variant computes each output element as the *same*
+//! fused-multiply-add chain
+//!
+//! ```text
+//!   c ← fma(a[i,p], b[p,j], c)   for p = 0, 1, …, K-1 in order
+//! ```
+//!
+//! starting from the caller's initial `out` value. Vector FMA lanes
+//! evaluate that chain per lane, `f32::mul_add` is the same correctly
+//! rounded operation, KC-blocking only stores and reloads the exact
+//! intermediate, zero-padded panel lanes contribute `fma(0, x, c) = c`,
+//! and edge tiles run the identical kernel on a scratch tile whose valid
+//! region is copied in and out. Results are therefore **bit-identical**
+//! across microkernel variants (8×32, 4×16, …), tile configurations,
+//! worker-thread counts, and even instruction sets (AVX-512 vs AVX2 vs
+//! the portable `mul_add` path) — the unit tests pin all three claims.
+//! The only caveat is hardware without fused multiply-add, where the
+//! portable path falls back to a (still in-order, still deterministic)
+//! libm `fmaf` and pays for the correctness guarantee with speed.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+// ------------------------------------------------------------------- tiles
+
+/// Cache-blocking sizes chosen per problem shape by [`tiles_for`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Tiles {
+    /// A-block rows walked per B-panel pass (register-panel granularity
+    /// is handled by the driver, `mc` need not be a multiple of `MR`).
+    pub mc: usize,
+    /// Reduction depth of one packed slab.
+    pub kc: usize,
+    /// B-block columns packed per pass.
+    pub nc: usize,
+}
+
+/// Picks `MC/KC/NC` for a problem shape.
+///
+/// * shallow-N problems (few output columns) take deeper `KC` slabs —
+///   C-tile load/store traffic amortizes over more FMAs;
+/// * everything is clamped to the problem so small shapes degenerate to
+///   a single block with no re-streaming.
+pub(crate) fn tiles_for(m: usize, kdim: usize, n: usize) -> Tiles {
+    let kc = if n <= 64 {
+        kdim.min(512)
+    } else {
+        kdim.min(256)
+    };
+    Tiles {
+        mc: m.min(128),
+        kc: kc.max(1),
+        nc: n.min(512),
+    }
+}
+
+// --------------------------------------------------------------------- isa
+
+/// Instruction sets the microkernel dispatcher can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Isa {
+    /// 16-lane `zmm` kernels (requires `avx512f`).
+    Avx512,
+    /// 8-lane `ymm` kernels (requires `avx2` + `fma`).
+    Avx2,
+    /// `f32::mul_add` loops — bit-identical to the SIMD paths on any
+    /// IEEE-754 machine, but slow without hardware FMA (libm `fmaf`).
+    Portable,
+}
+
+/// The best ISA this CPU supports, detected once.
+pub(crate) fn native_isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Isa::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Isa::Avx2;
+            }
+        }
+        Isa::Portable
+    })
+}
+
+/// Every ISA the current CPU can actually execute (used by the bitwise
+/// cross-ISA equivalence tests).
+#[cfg(test)]
+pub(crate) fn available_isas() -> Vec<Isa> {
+    match native_isa() {
+        Isa::Avx512 => vec![Isa::Avx512, Isa::Avx2, Isa::Portable],
+        Isa::Avx2 => vec![Isa::Avx2, Isa::Portable],
+        Isa::Portable => vec![Isa::Portable],
+    }
+}
+
+// ------------------------------------------------------------ microkernels
+
+/// A register-tiled `MR×NR` inner kernel over packed panels.
+pub(crate) trait Microkernel {
+    /// Panel height (output rows per tile).
+    const MR: usize;
+    /// Panel width (output columns per tile).
+    const NR: usize;
+
+    /// `C[MR×NR] ← C + Apanel·Bpanel` over `kc` reduction steps.
+    ///
+    /// # Safety
+    ///
+    /// `apanel` must hold `kc·MR` floats, `bpanel` `kc·NR` floats, and
+    /// `c` must point at an `MR×NR` tile with row stride `ldc` that lies
+    /// entirely inside a valid allocation. The required CPU features
+    /// must have been verified by the caller.
+    unsafe fn run(apanel: *const f32, bpanel: *const f32, kc: usize, c: *mut f32, ldc: usize);
+}
+
+/// Largest `MR·NR` of any kernel variant (scratch-tile capacity).
+const MAX_TILE: usize = 12 * 32;
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// `MR×(NU·16)` AVX-512 microkernel: `NU` zmm column vectors per row,
+    /// one broadcast FMA per packed A element, C loaded first and stored
+    /// last so the per-element chain is the canonical in-order fold.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::needless_range_loop)] // index loops mirror the register tile
+    pub unsafe fn mk512<const MR: usize, const NU: usize>(
+        apanel: *const f32,
+        bpanel: *const f32,
+        kc: usize,
+        c: *mut f32,
+        ldc: usize,
+    ) {
+        unsafe {
+            let mut acc = [[_mm512_setzero_ps(); NU]; MR];
+            for r in 0..MR {
+                for u in 0..NU {
+                    acc[r][u] = _mm512_loadu_ps(c.add(r * ldc + u * 16));
+                }
+            }
+            let mut a = apanel;
+            let mut b = bpanel;
+            // Two reduction steps per trip: halves loop overhead and lets
+            // the second step's loads issue while the first step's FMAs
+            // retire. The per-element chain order is unchanged.
+            let mut rem = kc;
+            while rem >= 2 {
+                _mm_prefetch(b.cast::<i8>().wrapping_add(NU * 16 * 4 * 8), _MM_HINT_T0);
+                _mm_prefetch(a.cast::<i8>().wrapping_add(MR * 4 * 8), _MM_HINT_T0);
+                for step in 0..2 {
+                    let mut bv = [_mm512_setzero_ps(); NU];
+                    for (u, slot) in bv.iter_mut().enumerate() {
+                        *slot = _mm512_loadu_ps(b.add(step * NU * 16 + u * 16));
+                    }
+                    for r in 0..MR {
+                        let av = _mm512_set1_ps(*a.add(step * MR + r));
+                        for u in 0..NU {
+                            acc[r][u] = _mm512_fmadd_ps(av, bv[u], acc[r][u]);
+                        }
+                    }
+                }
+                a = a.add(2 * MR);
+                b = b.add(2 * NU * 16);
+                rem -= 2;
+            }
+            if rem == 1 {
+                let mut bv = [_mm512_setzero_ps(); NU];
+                for (u, slot) in bv.iter_mut().enumerate() {
+                    *slot = _mm512_loadu_ps(b.add(u * 16));
+                }
+                for r in 0..MR {
+                    let av = _mm512_set1_ps(*a.add(r));
+                    for u in 0..NU {
+                        acc[r][u] = _mm512_fmadd_ps(av, bv[u], acc[r][u]);
+                    }
+                }
+            }
+            for r in 0..MR {
+                for u in 0..NU {
+                    _mm512_storeu_ps(c.add(r * ldc + u * 16), acc[r][u]);
+                }
+            }
+        }
+    }
+
+    /// `MR×(NU·8)` AVX2+FMA microkernel, same structure as [`mk512`].
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::needless_range_loop)] // index loops mirror the register tile
+    pub unsafe fn mk256<const MR: usize, const NU: usize>(
+        apanel: *const f32,
+        bpanel: *const f32,
+        kc: usize,
+        c: *mut f32,
+        ldc: usize,
+    ) {
+        unsafe {
+            let mut acc = [[_mm256_setzero_ps(); NU]; MR];
+            for r in 0..MR {
+                for u in 0..NU {
+                    acc[r][u] = _mm256_loadu_ps(c.add(r * ldc + u * 8));
+                }
+            }
+            let mut a = apanel;
+            let mut b = bpanel;
+            for _ in 0..kc {
+                let mut bv = [_mm256_setzero_ps(); NU];
+                for (u, slot) in bv.iter_mut().enumerate() {
+                    *slot = _mm256_loadu_ps(b.add(u * 8));
+                }
+                for r in 0..MR {
+                    let av = _mm256_set1_ps(*a.add(r));
+                    for u in 0..NU {
+                        acc[r][u] = _mm256_fmadd_ps(av, bv[u], acc[r][u]);
+                    }
+                }
+                a = a.add(MR);
+                b = b.add(NU * 8);
+            }
+            for r in 0..MR {
+                for u in 0..NU {
+                    _mm256_storeu_ps(c.add(r * ldc + u * 8), acc[r][u]);
+                }
+            }
+        }
+    }
+}
+
+/// Portable `MR×NR` microkernel on `f32::mul_add` — the same correctly
+/// rounded fused operation the SIMD lanes perform, in the same order.
+unsafe fn mk_portable<const MR: usize, const NR: usize>(
+    apanel: *const f32,
+    bpanel: *const f32,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    unsafe {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = *c.add(r * ldc + j);
+            }
+        }
+        for p in 0..kc {
+            let a = apanel.add(p * MR);
+            let b = bpanel.add(p * NR);
+            for (r, row) in acc.iter_mut().enumerate() {
+                let av = *a.add(r);
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = av.mul_add(*b.add(j), *v);
+                }
+            }
+        }
+        for (r, row) in acc.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                *c.add(r * ldc + j) = *v;
+            }
+        }
+    }
+}
+
+macro_rules! kernel {
+    ($name:ident, $inner:path, $mr:expr, $nr:expr) => {
+        pub(crate) struct $name;
+        impl Microkernel for $name {
+            const MR: usize = $mr;
+            const NR: usize = $nr;
+            #[inline]
+            unsafe fn run(
+                apanel: *const f32,
+                bpanel: *const f32,
+                kc: usize,
+                c: *mut f32,
+                ldc: usize,
+            ) {
+                unsafe { $inner(apanel, bpanel, kc, c, ldc) }
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+kernel!(K512x12x32, x86::mk512::<12, 2>, 12, 32);
+#[cfg(target_arch = "x86_64")]
+kernel!(K512x8x32, x86::mk512::<8, 2>, 8, 32);
+#[cfg(target_arch = "x86_64")]
+kernel!(K512x8x16, x86::mk512::<8, 1>, 8, 16);
+#[cfg(target_arch = "x86_64")]
+kernel!(K512x4x32, x86::mk512::<4, 2>, 4, 32);
+#[cfg(target_arch = "x86_64")]
+kernel!(K512x4x16, x86::mk512::<4, 1>, 4, 16);
+#[cfg(target_arch = "x86_64")]
+kernel!(K256x6x16, x86::mk256::<6, 2>, 6, 16);
+#[cfg(target_arch = "x86_64")]
+kernel!(K256x6x8, x86::mk256::<6, 1>, 6, 8);
+#[cfg(target_arch = "x86_64")]
+kernel!(K256x4x16, x86::mk256::<4, 2>, 4, 16);
+#[cfg(target_arch = "x86_64")]
+kernel!(K256x4x8, x86::mk256::<4, 1>, 4, 8);
+kernel!(KPort4x16, mk_portable::<4, 16>, 4, 16);
+kernel!(KPort8x16, mk_portable::<8, 16>, 8, 16);
+
+/// Picks the microkernel variant for an ISA and problem shape and runs
+/// `$body` with `$k` bound to the chosen kernel type. Skinny-M shapes
+/// (`m ≤ 4`) take the 4-row variants, skinny-N shapes the single-vector
+/// column variants — less zero-padded panel work on degenerate shapes.
+/// Every variant computes the same canonical chain, so the choice never
+/// affects results.
+macro_rules! dispatch_kernel {
+    ($isa:expr, $m:expr, $n:expr, $k:ident => $body:expr) => {{
+        match $isa {
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => {
+                if $m <= 4 {
+                    if $n <= 16 {
+                        type $k = K512x4x16;
+                        $body
+                    } else {
+                        type $k = K512x4x32;
+                        $body
+                    }
+                } else if $n <= 16 {
+                    type $k = K512x8x16;
+                    $body
+                } else if $m <= 8 {
+                    type $k = K512x8x32;
+                    $body
+                } else {
+                    type $k = K512x12x32;
+                    $body
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => {
+                if $m <= 4 {
+                    if $n <= 8 {
+                        type $k = K256x4x8;
+                        $body
+                    } else {
+                        type $k = K256x4x16;
+                        $body
+                    }
+                } else if $n <= 8 {
+                    type $k = K256x6x8;
+                    $body
+                } else {
+                    type $k = K256x6x16;
+                    $body
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            Isa::Avx512 | Isa::Avx2 => {
+                type $k = KPort4x16;
+                $body
+            }
+            Isa::Portable => {
+                if $m <= 4 {
+                    type $k = KPort4x16;
+                    $body
+                } else {
+                    type $k = KPort8x16;
+                    $body
+                }
+            }
+        }
+    }};
+}
+
+// --------------------------------------------------------------- workspace
+
+/// Per-thread packing scratch, reused across calls for the lifetime of
+/// the thread (kernel threads spawned per call rebuild it; long-lived
+/// client worker threads keep it warm across every layer they run).
+#[derive(Default)]
+struct Ws {
+    apack: Vec<f32>,
+    bpack: Vec<f32>,
+    cols: Vec<f32>,
+}
+
+thread_local! {
+    static WS: RefCell<Ws> = RefCell::new(Ws::default());
+}
+
+// ------------------------------------------------------------------ driver
+
+/// Packs the *whole* A operand (`m×kdim`) into `MR`-row panels grouped
+/// by `kc`-deep slabs, zero-padding the ragged last panel.
+///
+/// Layout: slab `pc_idx` starts at `mpan·MR·(pc_idx·kc)`; within a slab,
+/// panel `ip` holds elements `[p·MR + r]` for reduction steps `p` of the
+/// slab and panel rows `r`.
+fn pack_a_all(
+    mr: usize,
+    m: usize,
+    kdim: usize,
+    kc: usize,
+    a_at: impl Fn(usize, usize) -> f32,
+    buf: &mut Vec<f32>,
+) {
+    let mpan = m.div_ceil(mr);
+    buf.resize(mpan * mr * kdim, 0.0);
+    let mut pc = 0;
+    while pc < kdim {
+        let kcb = kc.min(kdim - pc);
+        let slab = &mut buf[mpan * mr * pc..];
+        for ip in 0..mpan {
+            let i0 = ip * mr;
+            let panel = &mut slab[ip * mr * kcb..(ip + 1) * mr * kcb];
+            for p in 0..kcb {
+                for r in 0..mr {
+                    panel[p * mr + r] = if i0 + r < m {
+                        a_at(i0 + r, pc + p)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+        pc += kcb;
+    }
+}
+
+/// Hard ceiling on the KC tile (bounds the stack staging buffer used by
+/// [`BSrc::Cols`] packing; [`tiles_for`] never exceeds it).
+const MAX_KC: usize = 512;
+
+/// How [`drive_packed`] materializes B panels.
+pub(crate) enum BSrc<'a> {
+    /// `f(p, j0, dst)` writes `B[p][j0 .. j0+dst.len()]` — for operands
+    /// whose *rows* are contiguous (or cheap) along the output columns.
+    Rows(&'a dyn Fn(usize, usize, &mut [f32])),
+    /// `f(j, p0, dst)` writes `Bᵀ[j][p0 .. p0+dst.len()]`, i.e. column
+    /// `j` of B — for transposed operands whose *source* rows are
+    /// contiguous. Each staged row is scattered across one panel, so the
+    /// expensive reads stay unit-stride and only the L1-resident panel
+    /// writes are strided. Panel contents are identical to [`BSrc::Rows`]
+    /// packing, so kernel numerics are unaffected.
+    Cols(&'a dyn Fn(usize, usize, &mut [f32])),
+}
+
+/// Runs the blocked loop nest over a pre-packed A operand, packing B
+/// panels on the fly through `b_src` and driving the microkernel.
+///
+/// `out` holds `m` rows of `n` valid columns at row stride `ldc`.
+#[allow(clippy::too_many_arguments)] // internal driver: the loop-nest state is the argument list
+fn drive_packed<K: Microkernel>(
+    m: usize,
+    kdim: usize,
+    n: usize,
+    out: &mut [f32],
+    ldc: usize,
+    tiles: Tiles,
+    apack: &[f32],
+    bpack: &mut Vec<f32>,
+    b_src: BSrc<'_>,
+) {
+    if m == 0 || n == 0 || kdim == 0 {
+        return;
+    }
+    debug_assert!(out.len() >= (m - 1) * ldc + n, "out buffer too small");
+    let (mr, nr) = (K::MR, K::NR);
+    let kc = tiles.kc.clamp(1, kdim).min(MAX_KC);
+    let nc = tiles.nc.clamp(1, n);
+    let mc = tiles.mc.clamp(1, m);
+    let mpan_total = m.div_ceil(mr);
+    bpack.resize(nc.div_ceil(nr) * nr * kc, 0.0);
+    let mut jc = 0;
+    while jc < n {
+        let ncb = nc.min(n - jc);
+        let npan = ncb.div_ceil(nr);
+        let mut pc = 0;
+        while pc < kdim {
+            let kcb = kc.min(kdim - pc);
+            let a_slab = &apack[mpan_total * mr * pc..];
+            // Pack the B block into column panels (zero-padded).
+            for jp in 0..npan {
+                let j0 = jc + jp * nr;
+                // Clamp to the NC-block edge, not just the matrix edge:
+                // an `nc` that is not a panel multiple must not let one
+                // panel spill into the next block's columns.
+                let jw = nr.min(jc + ncb - j0);
+                let panel = &mut bpack[jp * kc * nr..];
+                match b_src {
+                    BSrc::Rows(fill) => {
+                        for p in 0..kcb {
+                            let dst = &mut panel[p * nr..(p + 1) * nr];
+                            fill(pc + p, j0, &mut dst[..jw]);
+                            for d in &mut dst[jw..] {
+                                *d = 0.0;
+                            }
+                        }
+                    }
+                    BSrc::Cols(fill) => {
+                        let mut staged = [0.0f32; MAX_KC];
+                        for t in 0..jw {
+                            fill(j0 + t, pc, &mut staged[..kcb]);
+                            for (p, &v) in staged[..kcb].iter().enumerate() {
+                                panel[p * nr + t] = v;
+                            }
+                        }
+                        for t in jw..nr {
+                            for p in 0..kcb {
+                                panel[p * nr + t] = 0.0;
+                            }
+                        }
+                    }
+                }
+            }
+            // Walk MC-row bands so the active A panels stay cache-hot
+            // while every B panel of the block streams over them.
+            let mut ic = 0;
+            while ic < m {
+                let mcb = mc.min(m - ic);
+                let ip0 = ic / mr;
+                debug_assert_eq!(ic % mr, 0, "MC bands must start on a panel boundary");
+                let band_pan = (ic + mcb).div_ceil(mr) - ip0;
+                for jp in 0..npan {
+                    let j0 = jc + jp * nr;
+                    let jw = nr.min(jc + ncb - j0);
+                    let bpanel = bpack[jp * kc * nr..].as_ptr();
+                    for ip in ip0..ip0 + band_pan {
+                        let i0 = ip * mr;
+                        let iw = mr.min(m - i0);
+                        let apanel = a_slab[ip * mr * kcb..].as_ptr();
+                        if iw == mr && jw == nr {
+                            // SAFETY: the full tile lies inside `out`
+                            // (`i0+MR ≤ m`, `j0+NR ≤ n`), both panels
+                            // hold `kcb` packed steps, and the dispatch
+                            // verified the required CPU features.
+                            unsafe {
+                                K::run(apanel, bpanel, kcb, out[i0 * ldc + j0..].as_mut_ptr(), ldc);
+                            }
+                        } else {
+                            // Ragged edge: run the identical kernel on a
+                            // scratch tile; copies are exact, padded
+                            // lanes fold `fma(0, x, c) = c`, so the
+                            // per-element chain is unchanged.
+                            let mut scratch = [0.0f32; MAX_TILE];
+                            for r in 0..iw {
+                                for j in 0..jw {
+                                    scratch[r * nr + j] = out[(i0 + r) * ldc + j0 + j];
+                                }
+                            }
+                            // SAFETY: scratch holds MR·NR ≤ MAX_TILE
+                            // floats; panels as above.
+                            unsafe {
+                                K::run(apanel, bpanel, kcb, scratch.as_mut_ptr(), nr);
+                            }
+                            for r in 0..iw {
+                                for j in 0..jw {
+                                    out[(i0 + r) * ldc + j0 + j] = scratch[r * nr + j];
+                                }
+                            }
+                        }
+                    }
+                }
+                // Keep bands panel-aligned: advance by whole panels.
+                ic += band_pan * mr;
+            }
+            pc += kcb;
+        }
+        jc += ncb;
+    }
+}
+
+// ------------------------------------------------------------ entry points
+
+/// One thread's share of a packed GEMM on a chosen ISA and explicit
+/// tile configuration: packs this thread's A rows and the B blocks into
+/// thread-local buffers and runs the blocked driver. `out` holds `m`
+/// rows × `n` cols at stride `ldc`.
+#[allow(clippy::too_many_arguments)] // explicit (isa, tiles, shape, out, sources) plumbing
+pub(crate) fn gemm_with_tiles(
+    isa: Isa,
+    tiles: Tiles,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    out: &mut [f32],
+    ldc: usize,
+    a_at: impl Fn(usize, usize) -> f32,
+    b_src: BSrc<'_>,
+) {
+    if m == 0 || n == 0 || kdim == 0 {
+        return;
+    }
+    WS.with(|ws| {
+        let ws = &mut *ws.borrow_mut();
+        dispatch_kernel!(isa, m, n, K => {
+            pack_a_all(K::MR, m, kdim, tiles.kc, &a_at, &mut ws.apack);
+            drive_packed::<K>(m, kdim, n, out, ldc, tiles, &ws.apack, &mut ws.bpack, b_src);
+        });
+    });
+}
+
+/// [`gemm_with_tiles`] with the dispatcher's tile choice.
+#[allow(clippy::too_many_arguments)] // explicit (isa, shape, out, sources) plumbing
+pub(crate) fn gemm_on(
+    isa: Isa,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    out: &mut [f32],
+    ldc: usize,
+    a_at: impl Fn(usize, usize) -> f32,
+    b_src: BSrc<'_>,
+) {
+    gemm_with_tiles(
+        isa,
+        tiles_for(m, kdim, n),
+        m,
+        kdim,
+        n,
+        out,
+        ldc,
+        a_at,
+        b_src,
+    );
+}
+
+/// [`gemm_on`] on the best ISA this CPU supports.
+pub(crate) fn gemm(
+    m: usize,
+    kdim: usize,
+    n: usize,
+    out: &mut [f32],
+    ldc: usize,
+    a_at: impl Fn(usize, usize) -> f32,
+    b_src: BSrc<'_>,
+) {
+    gemm_on(native_isa(), m, kdim, n, out, ldc, a_at, b_src);
+}
+
+// ---------------------------------------------------------- grouped gemm
+
+/// Grouped GEMM with a shared left operand: `outs[g] += a · bs[g]` for
+/// every group member, with A's panels packed exactly once and reused
+/// across the whole group (the packing cost and cache residency are
+/// amortized over `bs.len()` multiplies).
+///
+/// Each member is an independent `m×kdim · kdim×n` product, so members
+/// split across `threads` workers without any effect on numerics.
+pub(crate) fn matmul_grouped(
+    a: &[f32],
+    bs: &[&[f32]],
+    outs: &mut [&mut [f32]],
+    m: usize,
+    kdim: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(bs.len(), outs.len(), "group size mismatch");
+    if bs.is_empty() || m == 0 || n == 0 || kdim == 0 {
+        return;
+    }
+    let tiles = tiles_for(m, kdim, n);
+    let isa = native_isa();
+    dispatch_kernel!(isa, m, n, K => {
+        let mut apack = Vec::new();
+        pack_a_all(K::MR, m, kdim, tiles.kc, |i, p| a[i * kdim + p], &mut apack);
+        let run_member = |b: &[f32], out: &mut [f32]| {
+            WS.with(|ws| {
+                let ws = &mut *ws.borrow_mut();
+                drive_packed::<K>(
+                    m, kdim, n, out, n, tiles, &apack, &mut ws.bpack,
+                    BSrc::Rows(&|p, j0, dst: &mut [f32]| {
+                        let w = dst.len();
+                        dst.copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+                    }),
+                );
+            });
+        };
+        let workers = threads.clamp(1, bs.len());
+        if workers <= 1 {
+            for (b, out) in bs.iter().zip(outs.iter_mut()) {
+                run_member(b, out);
+            }
+        } else {
+            let per = bs.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for (bchunk, ochunk) in bs.chunks(per).zip(outs.chunks_mut(per)) {
+                    let run_member = &run_member;
+                    handles.push(s.spawn(move || {
+                        for (b, out) in bchunk.iter().zip(ochunk.iter_mut()) {
+                            run_member(b, out);
+                        }
+                    }));
+                }
+                for h in handles {
+                    if let Err(p) = h.join() {
+                        std::panic::resume_unwind(p);
+                    }
+                }
+            });
+        }
+    });
+}
+
+// -------------------------------------------------------------- fused conv
+
+use crate::im2col::Conv2dGeometry;
+
+/// Reads a span of one im2col row straight out of the image — the fused
+/// replacement for materializing a `cols` buffer. `dst` receives
+/// `cols[row, j0 .. j0+dst.len()]`, reproducing
+/// [`crate::im2col::im2col`]'s layout exactly (including zero padding).
+///
+/// The expensive index decomposition happens once per span; inside, the
+/// span is walked one output row at a time so the stride-1 common case
+/// degenerates to `fill(0.0)` edges around one `copy_from_slice`.
+#[inline]
+fn im2col_span(
+    img: &[f32],
+    geo: &Conv2dGeometry,
+    w_out: usize,
+    row: usize,
+    j0: usize,
+    dst: &mut [f32],
+) {
+    let kk = geo.k * geo.k;
+    let c = row / kk;
+    let ky = row / geo.k % geo.k;
+    let kx = row % geo.k;
+    let plane = geo.h * geo.w;
+    let img_c = &img[c * plane..(c + 1) * plane];
+    let mut oy = j0 / w_out;
+    let mut ox = j0 % w_out;
+    let mut t = 0;
+    while t < dst.len() {
+        let run = (w_out - ox).min(dst.len() - t);
+        let seg = &mut dst[t..t + run];
+        let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+        if !(0..geo.h as isize).contains(&iy) {
+            seg.fill(0.0);
+        } else {
+            let img_row = &img_c[iy as usize * geo.w..iy as usize * geo.w + geo.w];
+            let ix0 = (ox * geo.stride + kx) as isize - geo.pad as isize;
+            if geo.stride == 1 {
+                // ix advances with ox: zeros, one contiguous copy, zeros.
+                let lead = (-ix0).clamp(0, run as isize) as usize;
+                let have = ((geo.w as isize - ix0).clamp(0, run as isize) as usize).max(lead);
+                seg[..lead].fill(0.0);
+                seg[lead..have]
+                    .copy_from_slice(&img_row[(ix0 + lead as isize) as usize..][..have - lead]);
+                seg[have..].fill(0.0);
+            } else {
+                let mut ix = ix0;
+                for d in seg.iter_mut() {
+                    *d = if (0..geo.w as isize).contains(&ix) {
+                        img_row[ix as usize]
+                    } else {
+                        0.0
+                    };
+                    ix += geo.stride as isize;
+                }
+            }
+        }
+        t += run;
+        ox += run;
+        if ox == w_out {
+            ox = 0;
+            oy += 1;
+        }
+    }
+}
+
+/// Fused batched conv forward: `out[s] += W·im2col(x[s]) (+ bias)` with
+/// the patch columns streamed straight into packed B panels — no
+/// materialized `cols` buffer. The weight panels are packed once into
+/// the caller's per-layer workspace `ws` and reused across every sample
+/// (and, via the layer's workspace, across training iterations).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_forward_fused(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    batch: usize,
+    c_out: usize,
+    geo: &Conv2dGeometry,
+    ws: &mut Vec<f32>,
+    threads: usize,
+) {
+    let rows = geo.col_rows();
+    let n_cols = geo.col_cols();
+    let w_out = geo.w_out();
+    let img_len = geo.c_in * geo.h * geo.w;
+    if batch == 0 || c_out == 0 || rows == 0 || n_cols == 0 {
+        return;
+    }
+    let isa = native_isa();
+    let tiles = tiles_for(c_out, rows, n_cols);
+    dispatch_kernel!(isa, c_out, n_cols, K => {
+        pack_a_all(K::MR, c_out, rows, tiles.kc, |i, p| w[i * rows + p], ws);
+        let apack: &[f32] = ws;
+        crate::backend::for_row_chunks(out, batch, c_out * n_cols, threads, |s0, _s1, chunk| {
+            WS.with(|tws| {
+                let tws = &mut *tws.borrow_mut();
+                for (si, out_s) in chunk.chunks_mut(c_out * n_cols).enumerate() {
+                    let img = &x[(s0 + si) * img_len..][..img_len];
+                    drive_packed::<K>(
+                        c_out, rows, n_cols, out_s, n_cols, tiles, apack, &mut tws.bpack,
+                        BSrc::Rows(&|p, j0, dst: &mut [f32]| im2col_span(img, geo, w_out, p, j0, dst)),
+                    );
+                    if let Some(bias) = bias {
+                        for (co, out_row) in out_s.chunks_mut(n_cols).enumerate() {
+                            let bv = bias[co];
+                            for v in out_row {
+                                *v += bv;
+                            }
+                        }
+                    }
+                }
+            });
+        });
+    });
+}
+
+/// Fused weight gradient: `dw += Σ_s grad[s] · im2col(x[s])ᵀ`, with the
+/// transposed patch columns streamed into packed B panels. Threads split
+/// only output rows (`c_out`); the sample loop stays sequential inside
+/// each row band, so every `dw` element sees the canonical chain
+/// `s`-major, `p`-ascending regardless of worker count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_backward_weights_fused(
+    x: &[f32],
+    grad: &[f32],
+    dw: &mut [f32],
+    batch: usize,
+    c_out: usize,
+    geo: &Conv2dGeometry,
+    threads: usize,
+) {
+    let rows = geo.col_rows();
+    let n_cols = geo.col_cols();
+    let w_out = geo.w_out();
+    let img_len = geo.c_in * geo.h * geo.w;
+    if batch == 0 || c_out == 0 || rows == 0 || n_cols == 0 {
+        return;
+    }
+    let isa = native_isa();
+    let tiles = tiles_for(c_out, n_cols, rows);
+    dispatch_kernel!(isa, c_out, rows, K => {
+        crate::backend::for_row_chunks(dw, c_out, rows, threads, |r0, r1, chunk| {
+            WS.with(|tws| {
+                let tws = &mut *tws.borrow_mut();
+                let Ws { apack, bpack, .. } = &mut *tws;
+                for s in 0..batch {
+                    let g_s = &grad[s * c_out * n_cols..][..c_out * n_cols];
+                    let img = &x[s * img_len..][..img_len];
+                    pack_a_all(
+                        K::MR, r1 - r0, n_cols, tiles.kc,
+                        |i, p| g_s[(r0 + i) * n_cols + p],
+                        apack,
+                    );
+                    // B = colsᵀ, so Bᵀ row `r` is im2col row `r` — read
+                    // it with the contiguous-run reader and let the
+                    // packer scatter it into the panels.
+                    drive_packed::<K>(
+                        r1 - r0, n_cols, rows, chunk, rows, tiles, apack, bpack,
+                        BSrc::Cols(&|r, q0, dst: &mut [f32]| im2col_span(img, geo, w_out, r, q0, dst)),
+                    );
+                }
+            });
+        });
+    });
+}
+
+/// Fused input gradient: per sample, `dcols = Wᵀ·grad[s]` runs with Wᵀ
+/// panels packed once into the caller's workspace `ws` and reused across
+/// the batch, then `col2im` scatters `dcols` into `dx[s]`. The `dcols`
+/// staging buffer is per-thread and reused across samples.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_backward_input_fused(
+    w: &[f32],
+    grad: &[f32],
+    dx: &mut [f32],
+    batch: usize,
+    c_out: usize,
+    geo: &Conv2dGeometry,
+    ws: &mut Vec<f32>,
+    threads: usize,
+) {
+    let rows = geo.col_rows();
+    let n_cols = geo.col_cols();
+    let img_len = geo.c_in * geo.h * geo.w;
+    if batch == 0 || c_out == 0 || rows == 0 || n_cols == 0 {
+        return;
+    }
+    let isa = native_isa();
+    let tiles = tiles_for(rows, c_out, n_cols);
+    dispatch_kernel!(isa, rows, n_cols, K => {
+        // A = Wᵀ: element (im2col row i, reduction channel p) = w[p, i].
+        pack_a_all(K::MR, rows, c_out, tiles.kc, |i, p| w[p * rows + i], ws);
+        let apack: &[f32] = ws;
+        crate::backend::for_row_chunks(dx, batch, img_len, threads, |s0, _s1, chunk| {
+            WS.with(|tws| {
+                let tws = &mut *tws.borrow_mut();
+                let Ws { bpack, cols, .. } = &mut *tws;
+                cols.resize(rows * n_cols, 0.0);
+                for (si, dx_s) in chunk.chunks_mut(img_len).enumerate() {
+                    let g_s = &grad[(s0 + si) * c_out * n_cols..][..c_out * n_cols];
+                    cols.fill(0.0);
+                    drive_packed::<K>(
+                        rows, c_out, n_cols, cols, n_cols, tiles, apack, bpack,
+                        BSrc::Rows(&|p, j0, dst: &mut [f32]| {
+                            let w_span = dst.len();
+                            dst.copy_from_slice(&g_s[p * n_cols + j0..p * n_cols + j0 + w_span]);
+                        }),
+                    );
+                    crate::im2col::col2im(cols, geo, dx_s);
+                }
+            });
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::arb;
+
+    /// The canonical chain evaluated literally: one in-order `mul_add`
+    /// fold per output element, starting from the caller's `out`.
+    fn reference_gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, kdim: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut c = out[i * n + j];
+                for p in 0..kdim {
+                    c = a[i * kdim + p].mul_add(b[p * n + j], c);
+                }
+                out[i * n + j] = c;
+            }
+        }
+    }
+
+    fn rows_src(b: &[f32], n: usize) -> impl Fn(usize, usize, &mut [f32]) + '_ {
+        move |p, j0, dst: &mut [f32]| {
+            let w = dst.len();
+            dst.copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        }
+    }
+
+    /// Every ISA the CPU can run produces bit-identical results, equal to
+    /// the literal canonical chain — including ragged/skinny shapes that
+    /// exercise the scratch-tile edge path and every kernel variant.
+    #[test]
+    fn cross_isa_bitwise_equal_to_canonical_chain() {
+        let shapes = [
+            (13, 37, 29),
+            (1, 5, 1),
+            (12, 32, 32),
+            (64, 64, 64),
+            (3, 1, 47),
+            (40, 200, 9),
+            (130, 300, 520),
+        ];
+        for &(m, kdim, n) in &shapes {
+            let a = arb(m * kdim, 11);
+            let b = arb(kdim * n, 22);
+            let init = arb(m * n, 33);
+            let mut want = init.clone();
+            reference_gemm(&a, &b, &mut want, m, kdim, n);
+            for isa in available_isas() {
+                let mut got = init.clone();
+                gemm_on(
+                    isa,
+                    m,
+                    kdim,
+                    n,
+                    &mut got,
+                    n,
+                    |i, p| a[i * kdim + p],
+                    BSrc::Rows(&rows_src(&b, n)),
+                );
+                assert_eq!(got, want, "isa {isa:?} shape {m}x{kdim}x{n}");
+            }
+        }
+    }
+
+    /// Tile configuration must not affect a single bit of the result.
+    #[test]
+    fn tile_config_bitwise_invariant() {
+        let (m, kdim, n) = (50, 300, 70);
+        let a = arb(m * kdim, 44);
+        let b = arb(kdim * n, 55);
+        let init = arb(m * n, 66);
+        let mut want = init.clone();
+        reference_gemm(&a, &b, &mut want, m, kdim, n);
+        for tiles in [
+            Tiles {
+                mc: 8,
+                kc: 16,
+                nc: 16,
+            },
+            Tiles {
+                mc: 128,
+                kc: 256,
+                nc: 512,
+            },
+            Tiles {
+                mc: 37,
+                kc: 90,
+                nc: 33,
+            },
+            Tiles {
+                mc: 4,
+                kc: 512,
+                nc: 32,
+            },
+        ] {
+            let mut got = init.clone();
+            gemm_with_tiles(
+                native_isa(),
+                tiles,
+                m,
+                kdim,
+                n,
+                &mut got,
+                n,
+                |i, p| a[i * kdim + p],
+                BSrc::Rows(&rows_src(&b, n)),
+            );
+            assert_eq!(got, want, "tiles {tiles:?}");
+        }
+    }
+
+    /// `BSrc::Cols` packing (transposed source) fills panels with the
+    /// same bits as `BSrc::Rows`, so results match exactly.
+    #[test]
+    fn cols_packing_matches_rows_packing() {
+        let (m, kdim, n) = (21, 600, 37);
+        let a = arb(m * kdim, 7);
+        let b = arb(kdim * n, 8);
+        // bt[j][p] = b[p][j]: the transposed-source view Cols reads.
+        let mut bt = vec![0.0f32; n * kdim];
+        for p in 0..kdim {
+            for j in 0..n {
+                bt[j * kdim + p] = b[p * n + j];
+            }
+        }
+        let init = arb(m * n, 9);
+        let mut want = init.clone();
+        gemm(
+            m,
+            kdim,
+            n,
+            &mut want,
+            n,
+            |i, p| a[i * kdim + p],
+            BSrc::Rows(&rows_src(&b, n)),
+        );
+        let mut got = init.clone();
+        gemm(
+            m,
+            kdim,
+            n,
+            &mut got,
+            n,
+            |i, p| a[i * kdim + p],
+            BSrc::Cols(&rows_src(&bt, kdim)),
+        );
+        assert_eq!(got, want);
+    }
+
+    /// Grouped GEMM must equal the member-at-a-time loop bit for bit, at
+    /// any worker count.
+    #[test]
+    fn grouped_matches_looped_bitwise() {
+        let (m, kdim, n, groups) = (20, 30, 25, 5);
+        let a = arb(m * kdim, 10);
+        let b_all: Vec<Vec<f32>> = (0..groups).map(|g| arb(kdim * n, 100 + g as u64)).collect();
+        let mut want: Vec<Vec<f32>> = (0..groups).map(|g| arb(m * n, 200 + g as u64)).collect();
+        for (g, out) in want.iter_mut().enumerate() {
+            gemm(
+                m,
+                kdim,
+                n,
+                out,
+                n,
+                |i, p| a[i * kdim + p],
+                BSrc::Rows(&rows_src(&b_all[g], n)),
+            );
+        }
+        for threads in [1, 2, 3] {
+            let mut outs: Vec<Vec<f32>> = (0..groups).map(|g| arb(m * n, 200 + g as u64)).collect();
+            let bs: Vec<&[f32]> = b_all.iter().map(|b| b.as_slice()).collect();
+            let mut out_refs: Vec<&mut [f32]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+            matmul_grouped(&a, &bs, &mut out_refs, m, kdim, n, threads);
+            for g in 0..groups {
+                assert_eq!(outs[g], want[g], "group {g} threads {threads}");
+            }
+        }
+    }
+
+    /// Fused conv forward/backward match the materialized-`cols`
+    /// canonical chains bit for bit (stride 1 + padded, and stride 2).
+    #[test]
+    fn fused_conv_matches_materialized_chain() {
+        for geo in [
+            Conv2dGeometry {
+                c_in: 3,
+                h: 8,
+                w: 8,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
+            Conv2dGeometry {
+                c_in: 2,
+                h: 9,
+                w: 7,
+                k: 3,
+                stride: 2,
+                pad: 0,
+            },
+        ] {
+            let (batch, c_out) = (2usize, 5usize);
+            let rows = geo.col_rows();
+            let n_cols = geo.col_cols();
+            let img_len = geo.c_in * geo.h * geo.w;
+            let x = arb(batch * img_len, 1);
+            let w = arb(c_out * rows, 2);
+            let g = arb(batch * c_out * n_cols, 3);
+            let mut cols = vec![0.0f32; rows * n_cols];
+
+            // Forward: out[s] = W · cols_s via the canonical chain.
+            let mut want_out = arb(batch * c_out * n_cols, 4);
+            for s in 0..batch {
+                crate::im2col::im2col(&x[s * img_len..][..img_len], &geo, &mut cols);
+                reference_gemm(
+                    &w,
+                    &cols,
+                    &mut want_out[s * c_out * n_cols..][..c_out * n_cols],
+                    c_out,
+                    rows,
+                    n_cols,
+                );
+            }
+            let mut got_out = arb(batch * c_out * n_cols, 4);
+            let mut ws = Vec::new();
+            conv2d_forward_fused(&x, &w, None, &mut got_out, batch, c_out, &geo, &mut ws, 1);
+            assert_eq!(got_out, want_out, "forward {geo:?}");
+
+            // dW: s-major, q-ascending chain.
+            let mut want_dw = arb(c_out * rows, 5);
+            for s in 0..batch {
+                crate::im2col::im2col(&x[s * img_len..][..img_len], &geo, &mut cols);
+                let g_s = &g[s * c_out * n_cols..][..c_out * n_cols];
+                for i in 0..c_out {
+                    for r in 0..rows {
+                        let mut c = want_dw[i * rows + r];
+                        for q in 0..n_cols {
+                            c = g_s[i * n_cols + q].mul_add(cols[r * n_cols + q], c);
+                        }
+                        want_dw[i * rows + r] = c;
+                    }
+                }
+            }
+            let mut got_dw = arb(c_out * rows, 5);
+            conv2d_backward_weights_fused(&x, &g, &mut got_dw, batch, c_out, &geo, 1);
+            assert_eq!(got_dw, want_dw, "dW {geo:?}");
+
+            // dX: dcols = Wᵀ·g_s chain, then col2im.
+            let mut want_dx = vec![0.0f32; batch * img_len];
+            for s in 0..batch {
+                let g_s = &g[s * c_out * n_cols..][..c_out * n_cols];
+                cols.fill(0.0);
+                for r in 0..rows {
+                    for q in 0..n_cols {
+                        let mut c = 0.0f32;
+                        for p in 0..c_out {
+                            c = w[p * rows + r].mul_add(g_s[p * n_cols + q], c);
+                        }
+                        cols[r * n_cols + q] = c;
+                    }
+                }
+                crate::im2col::col2im(&cols, &geo, &mut want_dx[s * img_len..][..img_len]);
+            }
+            let mut got_dx = vec![0.0f32; batch * img_len];
+            conv2d_backward_input_fused(&w, &g, &mut got_dx, batch, c_out, &geo, &mut ws, 1);
+            assert_eq!(got_dx, want_dx, "dX {geo:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tune {
+    use super::*;
+
+    /// Manual tuning probe (`cargo test -p fp-tensor --release tune_probe
+    /// -- --ignored --nocapture`): times the 512³ hot shape under
+    /// different tile configurations.
+    #[test]
+    #[ignore]
+    fn tune_probe() {
+        let n = 512usize;
+        let a = crate::test_support::arb(n * n, 1);
+        let b = crate::test_support::arb(n * n, 2);
+        let mut out = vec![0.0f32; n * n];
+        let flops = 2.0 * (n as f64).powi(3);
+        for kc in [128usize, 256, 384] {
+            for mc in [64usize, 128, 256, 512] {
+                for nc in [256usize, 512] {
+                    let tiles = Tiles { mc, kc, nc };
+                    // warm
+                    out.fill(0.0);
+                    gemm_with_tiles(
+                        native_isa(),
+                        tiles,
+                        n,
+                        n,
+                        n,
+                        &mut out,
+                        n,
+                        |i, p| a[i * n + p],
+                        BSrc::Rows(&|p, j0, dst| {
+                            let w = dst.len();
+                            dst.copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+                        }),
+                    );
+                    let reps = 5;
+                    let t = std::time::Instant::now();
+                    for _ in 0..reps {
+                        out.fill(0.0);
+                        gemm_with_tiles(
+                            native_isa(),
+                            tiles,
+                            n,
+                            n,
+                            n,
+                            &mut out,
+                            n,
+                            |i, p| a[i * n + p],
+                            BSrc::Rows(&|p, j0, dst| {
+                                let w = dst.len();
+                                dst.copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+                            }),
+                        );
+                    }
+                    let ns = t.elapsed().as_nanos() as f64 / reps as f64;
+                    println!(
+                        "kc={kc:4} mc={mc:4} nc={nc:4}  {:8.0} ns  {:6.1} GFLOP/s",
+                        ns,
+                        flops / ns
+                    );
+                    std::hint::black_box(&out);
+                }
+            }
+        }
+    }
+
+    /// Manual conv probe: per-component times for the bench conv shape.
+    #[test]
+    #[ignore]
+    fn tune_conv_probe() {
+        let geo = Conv2dGeometry {
+            c_in: 16,
+            h: 16,
+            w: 16,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let (batch, c_out) = (8usize, 32usize);
+        let rows = geo.col_rows();
+        let n_cols = geo.col_cols();
+        let img_len = geo.c_in * geo.h * geo.w;
+        let x = crate::test_support::arb(batch * img_len, 1);
+        let w = crate::test_support::arb(c_out * rows, 2);
+        let g = crate::test_support::arb(batch * c_out * n_cols, 3);
+        let mut out = vec![0.0f32; batch * c_out * n_cols];
+        let mut dw = vec![0.0f32; c_out * rows];
+        let mut dx = vec![0.0f32; batch * img_len];
+        let mut ws = Vec::new();
+        let reps = 200;
+        let time = |f: &mut dyn FnMut()| {
+            f();
+            let t = std::time::Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / reps as f64
+        };
+        let fwd = time(&mut || {
+            out.fill(0.0);
+            conv2d_forward_fused(&x, &w, None, &mut out, batch, c_out, &geo, &mut ws, 1);
+        });
+        let bww = time(&mut || {
+            dw.fill(0.0);
+            conv2d_backward_weights_fused(&x, &g, &mut dw, batch, c_out, &geo, 1);
+        });
+        let bwi = time(&mut || {
+            dx.fill(0.0);
+            conv2d_backward_input_fused(&w, &g, &mut dx, batch, c_out, &geo, &mut ws, 1);
+        });
+        println!("forward          {fwd:10.0} ns");
+        println!("backward_weights {bww:10.0} ns");
+        println!("backward_input   {bwi:10.0} ns");
+        std::hint::black_box((&out, &dw, &dx));
+    }
+}

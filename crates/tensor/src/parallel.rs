@@ -109,9 +109,57 @@ where
     collected.into_iter().map(|(_, t)| t).collect()
 }
 
+/// [`parallel_map`] with cohort batching: items are processed in
+/// stable-sorted `key` order (equal keys stay in input order) so
+/// same-shape work lands contiguously on the workers, while results are
+/// returned in the **original** item order.
+///
+/// This is the scheduling half of grouped cohort batching: a worker that
+/// processes a run of same-shape items keeps its thread-local packed-GEMM
+/// workspaces at a constant size (no reallocation between items), and
+/// per-item code can exploit the shape run (e.g. via
+/// [`Backend::matmul_grouped_into`](crate::Backend::matmul_grouped_into),
+/// which packs a shared left operand once per cohort). Since every item
+/// is still computed independently, numerics are unchanged.
+pub fn parallel_map_grouped<I, T, F>(
+    items: &[I],
+    key: impl Fn(usize, &I) -> u64,
+    workers: usize,
+    f: F,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| key(i, &items[i]));
+    let permuted: Vec<&I> = order.iter().map(|&i| &items[i]).collect();
+    let results = parallel_map(&permuted, workers, |slot, item| f(order[slot], item));
+    let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    for (slot, r) in results.into_iter().enumerate() {
+        slots[order[slot]] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn grouped_map_returns_original_order() {
+        let items: Vec<u64> = vec![3, 1, 2, 1, 3, 2, 1];
+        for workers in [1, 2, 4] {
+            let out = parallel_map_grouped(&items, |_, &x| x, workers, |i, &x| (i, x * 10));
+            let want: Vec<(usize, u64)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i, x * 10))
+                .collect();
+            assert_eq!(out, want, "workers={workers}");
+        }
+    }
 
     #[test]
     fn preserves_order_and_covers_all_items() {

@@ -1,0 +1,244 @@
+//! Equivalence laws for the packed-GEMM engine's public entry points:
+//!
+//! * **bitwise thread invariance** — `Parallel` results are identical
+//!   bytes at 1, 2, and 4 worker threads, on shapes large enough that
+//!   the planner actually splits work;
+//! * **Scalar ≡ Parallel at 1e-5** — the fused conv and grouped-GEMM
+//!   entry points agree with the materialized reference path for random
+//!   (including skinny and degenerate) shapes.
+//!
+//! Tile-config and cross-ISA bitwise invariance are pinned by the unit
+//! tests inside `fp_tensor::pack`, which can reach the internal tile
+//! knobs directly.
+
+use fp_tensor::{Backend, Conv2dGeometry, Parallel, Scalar};
+use proptest::prelude::*;
+
+fn rand_vec(len: usize, rng: &mut rand::rngs::StdRng) -> Vec<f32> {
+    use rand::Rng;
+    (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+fn assert_within(got: &[f32], want: &[f32], what: &str) -> Result<(), String> {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-5f32.max(1e-5 * w.abs().max(g.abs()));
+        if (g - w).abs() > tol {
+            return Err(format!("{what}[{i}]: parallel {g} vs scalar {w}"));
+        }
+    }
+    Ok(())
+}
+
+/// GEMM flavors at a shape big enough (≈5.2M MACs) that the planner
+/// splits rows: 1, 2, and 4 threads must produce identical bytes.
+#[test]
+fn gemm_flavors_bitwise_across_threads() {
+    let mut rng = fp_tensor::seeded_rng(0xB17);
+    let (m, k, n) = (160, 64, 512);
+    let a = rand_vec(m * k, &mut rng);
+    let b = rand_vec(k * n, &mut rng);
+    let one = Parallel::with_threads(1);
+    let mut want = vec![0.0; m * n];
+    one.matmul_into(&a, &b, &mut want, m, k, n);
+    for threads in [2, 4] {
+        let mut got = vec![0.0; m * n];
+        Parallel::with_threads(threads).matmul_into(&a, &b, &mut got, m, k, n);
+        assert_eq!(want, got, "matmul threads={threads}");
+    }
+    // tn: output rows are A's columns.
+    let at = rand_vec(512 * 160, &mut rng);
+    let bt = rand_vec(512 * 64, &mut rng);
+    let mut want = vec![0.0; 160 * 64];
+    one.matmul_tn_into(&at, &bt, &mut want, 512, 160, 64);
+    for threads in [2, 4] {
+        let mut got = vec![0.0; 160 * 64];
+        Parallel::with_threads(threads).matmul_tn_into(&at, &bt, &mut got, 512, 160, 64);
+        assert_eq!(want, got, "tn threads={threads}");
+    }
+    // nt: B read transposed through the Cols packer.
+    let an = rand_vec(160 * 512, &mut rng);
+    let bn = rand_vec(64 * 512, &mut rng);
+    let mut want = vec![0.0; 160 * 64];
+    one.matmul_nt_into(&an, &bn, &mut want, 160, 512, 64);
+    for threads in [2, 4] {
+        let mut got = vec![0.0; 160 * 64];
+        Parallel::with_threads(threads).matmul_nt_into(&an, &bn, &mut got, 160, 512, 64);
+        assert_eq!(want, got, "nt threads={threads}");
+    }
+}
+
+/// Fused conv entry points above the parallel threshold (≈9.4M MACs):
+/// identical bytes at 1, 2, and 4 threads.
+#[test]
+fn fused_conv_bitwise_across_threads() {
+    let geo = Conv2dGeometry {
+        c_in: 16,
+        h: 16,
+        w: 16,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let (batch, c_out) = (8usize, 32usize);
+    let rows = geo.col_rows();
+    let n_cols = geo.col_cols();
+    let img_len = geo.c_in * geo.h * geo.w;
+    let mut rng = fp_tensor::seeded_rng(0xC0);
+    let x = rand_vec(batch * img_len, &mut rng);
+    let w = rand_vec(c_out * rows, &mut rng);
+    let bias = rand_vec(c_out, &mut rng);
+    let g = rand_vec(batch * c_out * n_cols, &mut rng);
+
+    let run = |threads: usize| {
+        let be = Parallel::with_threads(threads);
+        let mut ws = Vec::new();
+        let mut out = vec![0.0; batch * c_out * n_cols];
+        be.conv2d_forward(&x, &w, Some(&bias), &mut out, batch, c_out, &geo, &mut ws);
+        let mut dw = vec![0.0; c_out * rows];
+        be.conv2d_backward_weights(&x, &g, &mut dw, batch, c_out, &geo, &mut ws);
+        let mut dx = vec![0.0; batch * img_len];
+        be.conv2d_backward_input(&w, &g, &mut dx, batch, c_out, &geo, &mut ws);
+        (out, dw, dx)
+    };
+    let want = run(1);
+    for threads in [2, 4] {
+        let got = run(threads);
+        assert_eq!(want.0, got.0, "forward threads={threads}");
+        assert_eq!(want.1, got.1, "dW threads={threads}");
+        assert_eq!(want.2, got.2, "dX threads={threads}");
+    }
+}
+
+/// Grouped GEMM above the member-fanout threshold: identical bytes at
+/// 1, 2, and 4 threads, and identical to the member-at-a-time loop.
+#[test]
+fn grouped_gemm_bitwise_across_threads() {
+    let (m, k, n, groups) = (64, 64, 256, 6);
+    let mut rng = fp_tensor::seeded_rng(0xD1);
+    let a = rand_vec(m * k, &mut rng);
+    let b_all: Vec<Vec<f32>> = (0..groups).map(|_| rand_vec(k * n, &mut rng)).collect();
+    let run = |threads: usize| {
+        let be = Parallel::with_threads(threads);
+        let mut outs: Vec<Vec<f32>> = vec![vec![0.0; m * n]; groups];
+        let bs: Vec<&[f32]> = b_all.iter().map(|b| b.as_slice()).collect();
+        let mut out_refs: Vec<&mut [f32]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+        be.matmul_grouped_into(&a, &bs, &mut out_refs, m, k, n);
+        outs
+    };
+    let want = run(1);
+    for threads in [2, 4] {
+        assert_eq!(want, run(threads), "grouped threads={threads}");
+    }
+    // The grouped call is the same computation as looping matmul_into.
+    let mut looped: Vec<Vec<f32>> = vec![vec![0.0; m * n]; groups];
+    for (b, out) in b_all.iter().zip(looped.iter_mut()) {
+        Parallel::with_threads(1).matmul_into(&a, b, out, m, k, n);
+    }
+    assert_eq!(want, looped, "grouped vs looped");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fused conv forward ≡ materialized Scalar reference at 1e-5 for
+    /// random geometry (stride 1–2, pad 0–1, skinny channel counts).
+    #[test]
+    fn conv2d_forward_scalar_vs_parallel(
+        c_in in 1usize..5,
+        h in 3usize..10,
+        w in 3usize..10,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        batch in 1usize..4,
+        c_out in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let geo = Conv2dGeometry { c_in, h, w, k: 3, stride, pad };
+        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+        let rows = geo.col_rows();
+        let n_cols = geo.col_cols();
+        let img_len = c_in * h * w;
+        let mut rng = fp_tensor::seeded_rng(seed ^ 0xF0);
+        let x = rand_vec(batch * img_len, &mut rng);
+        let wt = rand_vec(c_out * rows, &mut rng);
+        let bias = rand_vec(c_out, &mut rng);
+        let mut ws_s = Vec::new();
+        let mut ws_p = Vec::new();
+        let mut want = vec![0.0; batch * c_out * n_cols];
+        Scalar.conv2d_forward(&x, &wt, Some(&bias), &mut want, batch, c_out, &geo, &mut ws_s);
+        let mut got = vec![0.0; batch * c_out * n_cols];
+        Parallel::with_threads(2)
+            .conv2d_forward(&x, &wt, Some(&bias), &mut got, batch, c_out, &geo, &mut ws_p);
+        assert_within(&got, &want, "conv2d_forward")?;
+    }
+
+    /// Both fused conv backward kernels ≡ the Scalar reference at 1e-5,
+    /// including gradient accumulation into non-zero buffers (`dw`).
+    #[test]
+    fn conv2d_backward_scalar_vs_parallel(
+        c_in in 1usize..4,
+        h in 3usize..9,
+        w in 3usize..9,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        batch in 1usize..4,
+        c_out in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let geo = Conv2dGeometry { c_in, h, w, k: 3, stride, pad };
+        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+        let rows = geo.col_rows();
+        let n_cols = geo.col_cols();
+        let img_len = c_in * h * w;
+        let mut rng = fp_tensor::seeded_rng(seed ^ 0xF1);
+        let x = rand_vec(batch * img_len, &mut rng);
+        let wt = rand_vec(c_out * rows, &mut rng);
+        let g = rand_vec(batch * c_out * n_cols, &mut rng);
+        let dw0 = rand_vec(c_out * rows, &mut rng);
+        let mut ws_s = Vec::new();
+        let mut ws_p = Vec::new();
+
+        let mut want_dw = dw0.clone();
+        Scalar.conv2d_backward_weights(&x, &g, &mut want_dw, batch, c_out, &geo, &mut ws_s);
+        let mut got_dw = dw0;
+        Parallel::with_threads(2)
+            .conv2d_backward_weights(&x, &g, &mut got_dw, batch, c_out, &geo, &mut ws_p);
+        assert_within(&got_dw, &want_dw, "conv2d_backward_weights")?;
+
+        let mut want_dx = vec![0.0; batch * img_len];
+        Scalar.conv2d_backward_input(&wt, &g, &mut want_dx, batch, c_out, &geo, &mut ws_s);
+        let mut got_dx = vec![0.0; batch * img_len];
+        Parallel::with_threads(2)
+            .conv2d_backward_input(&wt, &g, &mut got_dx, batch, c_out, &geo, &mut ws_p);
+        assert_within(&got_dx, &want_dx, "conv2d_backward_input")?;
+    }
+
+    /// Grouped GEMM ≡ Scalar reference at 1e-5 for random group sizes
+    /// and skinny/degenerate member shapes (m, k, or n of 1).
+    #[test]
+    fn grouped_gemm_scalar_vs_parallel(
+        m in 1usize..24,
+        k in 1usize..32,
+        n in 1usize..24,
+        groups in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = fp_tensor::seeded_rng(seed ^ 0xF2);
+        let a = rand_vec(m * k, &mut rng);
+        let b_all: Vec<Vec<f32>> = (0..groups).map(|_| rand_vec(k * n, &mut rng)).collect();
+        let init: Vec<Vec<f32>> = (0..groups).map(|_| rand_vec(m * n, &mut rng)).collect();
+        let run = |be: &dyn Backend| {
+            let mut outs = init.clone();
+            let bs: Vec<&[f32]> = b_all.iter().map(|b| b.as_slice()).collect();
+            let mut out_refs: Vec<&mut [f32]> =
+                outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+            be.matmul_grouped_into(&a, &bs, &mut out_refs, m, k, n);
+            outs
+        };
+        let want = run(&Scalar);
+        let got = run(&Parallel::with_threads(2));
+        for (g, w) in got.iter().zip(&want) {
+            assert_within(g, w, "grouped")?;
+        }
+    }
+}

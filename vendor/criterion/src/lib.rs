@@ -26,6 +26,9 @@ pub struct BenchResult {
     pub max_ns: f64,
     /// Sample count.
     pub samples: usize,
+    /// Median throughput in GFLOP/s, when the bench declared its flop
+    /// count via [`Bencher::flops`].
+    pub gflops: Option<f64>,
 }
 
 static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
@@ -100,6 +103,7 @@ impl Criterion {
         let mut b = Bencher {
             config: self.clone(),
             id: id.to_string(),
+            flops: None,
         };
         f(&mut b);
     }
@@ -129,6 +133,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             config: self.criterion.clone(),
             id: full,
+            flops: None,
         };
         f(&mut b, input);
     }
@@ -139,6 +144,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             config: self.criterion.clone(),
             id: full,
+            flops: None,
         };
         f(&mut b);
     }
@@ -151,9 +157,18 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     config: Criterion,
     id: String,
+    flops: Option<f64>,
 }
 
 impl Bencher {
+    /// Declares the floating-point operations one iteration performs, so
+    /// the recorded result carries a GFLOP/s throughput figure (used by
+    /// the bench-regression gate to catch kernel-throughput regressions
+    /// independent of wall-clock noise in non-kernel benches).
+    pub fn flops(&mut self, flops_per_iter: f64) {
+        self.flops = Some(flops_per_iter);
+    }
+
     /// Measures `f`, recording and printing the result.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up: run until the warm-up budget elapses, estimating cost.
@@ -190,14 +205,24 @@ impl Bencher {
             min_ns: samples_ns[0],
             max_ns: *samples_ns.last().expect("non-empty samples"),
             samples: samples_ns.len(),
+            gflops: self.flops.map(|fl| fl / median),
         };
-        println!(
-            "{:<44} time: [{} .. {} .. {}]",
-            result.id,
-            fmt_ns(result.min_ns),
-            fmt_ns(result.median_ns),
-            fmt_ns(result.max_ns)
-        );
+        match result.gflops {
+            Some(g) => println!(
+                "{:<44} time: [{} .. {} .. {}]  {g:.1} GFLOP/s",
+                result.id,
+                fmt_ns(result.min_ns),
+                fmt_ns(result.median_ns),
+                fmt_ns(result.max_ns)
+            ),
+            None => println!(
+                "{:<44} time: [{} .. {} .. {}]",
+                result.id,
+                fmt_ns(result.min_ns),
+                fmt_ns(result.median_ns),
+                fmt_ns(result.max_ns)
+            ),
+        }
         RESULTS.lock().expect("results lock").push(result);
     }
 }
@@ -228,13 +253,18 @@ pub fn write_json_report() {
     let results = take_results();
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let gflops = match r.gflops {
+            Some(g) => format!(", \"gflops\": {g:.2}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}{}}}{}\n",
             r.id,
             r.median_ns,
             r.min_ns,
             r.max_ns,
             r.samples,
+            gflops,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -290,9 +320,21 @@ mod tests {
         let mut group = c.benchmark_group("g");
         group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x * 2));
         group.finish();
+        c.bench_function("flopped", |b| {
+            b.flops(100.0);
+            b.iter(|| std::hint::black_box(1.0f32) * 2.0)
+        });
         let results = take_results();
         assert!(results.iter().any(|r| r.id == "noop"));
         assert!(results.iter().any(|r| r.id == "g/7"));
         assert!(results.iter().all(|r| r.median_ns > 0.0));
+        let flopped = results.iter().find(|r| r.id == "flopped").expect("flopped");
+        assert!(flopped.gflops.expect("gflops recorded") > 0.0);
+        assert!(results
+            .iter()
+            .find(|r| r.id == "noop")
+            .expect("noop")
+            .gflops
+            .is_none());
     }
 }
