@@ -1,0 +1,32 @@
+use fp_tensor::{Backend, Conv2dGeometry, Parallel, Scalar};
+
+#[test]
+fn conv_pad2_narrow_span() {
+    // k=5 pad=2 stride=1 on a 31-wide image: a packed B span ends one
+    // column into an output row, so run=1 while -ix0=2 (left padding).
+    for (h, w) in [(5usize, 31usize), (5, 5), (3, 1)] {
+        let geo = Conv2dGeometry {
+            c_in: 1,
+            h,
+            w,
+            k: 5,
+            stride: 1,
+            pad: 2,
+        };
+        let (batch, c_out) = (1usize, 1usize);
+        let rows = geo.col_rows();
+        let n_cols = geo.col_cols();
+        let img_len = geo.c_in * geo.h * geo.w;
+        let x: Vec<f32> = (0..batch * img_len).map(|i| i as f32 * 0.01).collect();
+        let wts: Vec<f32> = (0..c_out * rows).map(|i| i as f32 * 0.001).collect();
+        let mut out_p = vec![0.0f32; batch * c_out * n_cols];
+        let mut out_s = vec![0.0f32; batch * c_out * n_cols];
+        let mut ws = Vec::new();
+        Parallel::default().conv2d_forward(&x, &wts, None, &mut out_p, batch, c_out, &geo, &mut ws);
+        let mut ws2 = Vec::new();
+        Scalar.conv2d_forward(&x, &wts, None, &mut out_s, batch, c_out, &geo, &mut ws2);
+        for (a, b) in out_p.iter().zip(out_s.iter()) {
+            assert!((a - b).abs() < 1e-4, "mismatch {a} vs {b} at h={h} w={w}");
+        }
+    }
+}
