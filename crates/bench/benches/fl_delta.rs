@@ -26,6 +26,7 @@ fn comm() -> CommConfig {
     CommConfig {
         delta_downloads: true,
         snapshot_retention: 16,
+        ..CommConfig::default()
     }
 }
 

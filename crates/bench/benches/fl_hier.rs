@@ -1,0 +1,152 @@
+//! Two-tier hierarchical aggregation at fleet scale.
+//!
+//! Two reports come out of this bench:
+//!
+//! * criterion wall-clock timings of driving a 100k-client
+//!   lazily-materialized fleet through the async scheduler, single-tier
+//!   vs two-tier (written to `$FP_BENCH_JSON` like every other bench);
+//! * the fleet-scale accounting the topology subsystem exists for: a
+//!   100k-client two-tier run streamed to a ledger sink
+//!   (`$FP_HIER_LEDGER_JSONL`, default `bench-fl-hier-ledger.jsonl`),
+//!   with dispatch totals, bundle counts, and the resident-state bounds
+//!   (communication-plane cache rows, in-flight descriptors, edge-buffer
+//!   occupancy) from a mid-flight checkpoint. Written to
+//!   `$FP_HIER_BENCH_JSON` (default `BENCH_fl_hier.json`).
+//!
+//! The synthetic workload's client round trips are microseconds (the
+//! reference model is tiny), so the backhaul hop is scaled to match
+//! (`base_s = 5e-5`): a fleet where the edge→server hop dwarfs client
+//! latency churns the whole fleet through the dispatcher inside one
+//! backhaul window, which is a (slow) stress test, not a benchmark.
+
+use criterion::{criterion_group, criterion_main, take_results, Criterion};
+use fp_bench::envs::fleet_env;
+use fp_fl::{
+    model_hash, AsyncConfig, AsyncOutcome, AsyncScheduler, AsyncStopPoint, CommConfig,
+    SyntheticTrainer, TopologyConfig,
+};
+use fp_hwsim::ForwardLink;
+
+const FLEET: usize = 100_000;
+const AGGS: usize = 6;
+const EDGES: usize = 32;
+const EDGE_FLUSH_K: usize = 4;
+
+fn acfg() -> AsyncConfig {
+    AsyncConfig {
+        concurrency: 64,
+        buffer_k: 4, // bundles on the two-tier topology, updates on flat
+        staleness_exp: 0.5,
+        ..AsyncConfig::default()
+    }
+}
+
+fn comm() -> CommConfig {
+    CommConfig {
+        delta_downloads: true,
+        snapshot_retention: 8,
+        cache_rows: 128,
+    }
+}
+
+fn topo() -> TopologyConfig {
+    TopologyConfig {
+        uplink: ForwardLink {
+            base_s: 5e-5,
+            gbps: 10.0,
+        },
+        ..TopologyConfig::two_tier(EDGES, EDGE_FLUSH_K)
+    }
+}
+
+fn run(tiered: bool) -> AsyncOutcome {
+    let env = fleet_env(FLEET, AGGS, 41);
+    let t = if tiered {
+        topo()
+    } else {
+        TopologyConfig::single()
+    };
+    AsyncScheduler::with_topology(SyntheticTrainer, acfg(), comm(), t).run(&env)
+}
+
+fn bench_wall(c: &mut Criterion) {
+    c.bench_function("fl_hier/single_tier_100k_wall_6_aggs", |b| {
+        b.iter(|| std::hint::black_box(run(false)))
+    });
+    c.bench_function("fl_hier/two_tier_100k_wall_6_aggs", |b| {
+        b.iter(|| std::hint::black_box(run(true)))
+    });
+}
+
+fn report_fleet(_c: &mut Criterion) {
+    let env = fleet_env(FLEET, AGGS, 41);
+    let sched = AsyncScheduler::with_topology(SyntheticTrainer, acfg(), comm(), topo());
+
+    // Stream the ledger to a JSONL sink — the fleet-scale run keeps no
+    // per-aggregation history resident.
+    let ledger_path = std::env::var("FP_HIER_LEDGER_JSONL")
+        .unwrap_or_else(|_| "bench-fl-hier-ledger.jsonl".into());
+    let mut lines = Vec::new();
+    let (mut merged, mut bundles, mut flushes) = (0usize, 0usize, 0usize);
+    let mut clock_s = 0.0f64;
+    let out = sched.run_streamed(&env, &mut |rec| {
+        merged += rec.merged;
+        bundles += rec.bundles;
+        flushes += rec.edge_flushes;
+        clock_s = rec.clock_s;
+        lines.push(serde_json::to_string(rec).expect("serialize agg record"));
+    });
+    assert!(out.ledger.is_empty(), "streamed run keeps no ledger");
+    std::fs::write(&ledger_path, lines.join("\n") + "\n").expect("write ledger sink");
+
+    // Determinism across runs, and the resident-state bounds from a
+    // mid-flight checkpoint.
+    let again = sched.run(&env);
+    assert_eq!(model_hash(&out.model), model_hash(&again.model));
+    let ckpt = sched.run_until(&env, AsyncStopPoint::after_agg(AGGS / 2));
+    let cache_rows = ckpt.comm.as_ref().map_or(0, |c| c.cache.len());
+    let edge_buffered: usize = ckpt.edge_buffers.iter().map(|(_, b)| b.len()).sum();
+    assert!(bundles > 0, "two-tier merges arrive as bundles");
+
+    let wall: Vec<String> = take_results()
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+                r.id, r.median_ns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"env\": \"fleet_lazy_100k\", \"trainer\": \"Synthetic\", \
+         \"n_clients\": {FLEET}, \"aggregations\": {AGGS}, \"aggregators\": {EDGES}, \
+         \"edge_flush_k\": {EDGE_FLUSH_K}, \"concurrency\": {}, \"buffer_k\": {}, \
+         \"cache_rows\": {}}},\n  \
+         \"fleet\": {{\"dispatches_by_mid_ckpt\": {}, \"merged\": {merged}, \"bundles\": {bundles}, \
+         \"edge_flushes\": {flushes}, \"virtual_total_s\": {:.8}}},\n  \
+         \"resident\": {{\"cache_rows\": {cache_rows}, \"in_flight\": {}, \
+         \"edge_buffered\": {edge_buffered}}},\n  \
+         \"wall\": [\n{}\n  ]\n}}\n",
+        acfg().concurrency,
+        acfg().buffer_k,
+        comm().cache_rows,
+        ckpt.dispatch_count,
+        clock_s,
+        ckpt.in_flight.len(),
+        wall.join(",\n")
+    );
+    let path = std::env::var("FP_HIER_BENCH_JSON").unwrap_or_else(|_| "BENCH_fl_hier.json".into());
+    std::fs::write(&path, &json).expect("write fl_hier report");
+    println!(
+        "fl_hier: 100k-client two-tier run, {merged} merged in {bundles} bundles, \
+         {cache_rows} resident cache rows (bound {}), report -> {path}",
+        comm().cache_rows
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_wall, report_fleet
+}
+criterion_main!(benches);

@@ -313,12 +313,13 @@ mod tests {
 
     #[test]
     fn committed_baselines_parse() {
-        // The three committed BENCH_*.json baselines must stay parseable,
+        // The committed BENCH_*.json baselines must stay parseable,
         // or the CI gate would dry-run green.
         for name in [
             "BENCH_tensor.json",
             "BENCH_fl_sched.json",
             "BENCH_fl_async.json",
+            "BENCH_fl_hier.json",
         ] {
             let path = format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), name);
             let json = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));

@@ -151,6 +151,19 @@ fn build_env(
     FlEnv::new(data, splits, fleet, specs, cfg)
 }
 
+/// A lazily-materialized fleet-scale environment: `n_clients` clients
+/// whose devices, availability, and FedAvg weights derive on demand from
+/// `(seed, id)`, so building the env is O(1) in the fleet size. Pairs
+/// with [`fp_fl::SyntheticTrainer`] for 10⁵–10⁶-client scheduler runs.
+pub fn fleet_env(n_clients: usize, rounds: usize, seed: u64) -> FlEnv {
+    let mut cfg = FlConfig::fast(rounds, seed);
+    cfg.n_clients = n_clients;
+    cfg.clients_per_round = 4;
+    let data = generate(&SynthConfig::tiny(4, 8), seed);
+    let specs = reference_specs(3, 8, data.train.n_classes(), &[8, 16]);
+    FlEnv::lazy(data, &CIFAR_POOL, SamplingMode::Balanced, specs, cfg)
+}
+
 /// The reference backbone for an environment: a VGG-style cascade of the
 /// given widths (one conv atom per stage).
 pub fn reference_specs(

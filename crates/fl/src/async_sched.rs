@@ -58,13 +58,14 @@ use crate::comm::{CommConfig, CommPlane, CommState};
 use crate::config::FlConfig;
 use crate::engine::FlEnv;
 use crate::metrics::{FlOutcome, RoundRecord};
-use crate::sched::{opt_field, sample_availability, ModelState, ScheduledTrainer};
+use crate::sched::{opt_field, sample_availability, LedgerOut, ModelState, ScheduledTrainer};
+use crate::topology::TopologyConfig;
 use fp_hwsim::Payload;
 use fp_nn::CascadeModel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Domain-separation salt for the per-dispatch client-picking stream.
 const SALT_DISPATCH: u64 = 0xA51D_15BA;
@@ -267,14 +268,20 @@ impl PartialOrd for FinishEvent {
 /// finish-event queue, and the deterministic client picker. Shared
 /// between the generic [`AsyncScheduler`] and FedProphet's async
 /// module-window loop (which buffers and aggregates with its own rules).
+/// Memory is O(in-flight + dispatched-this-version), not O(fleet): the
+/// busy/dispatched tables are sorted id sets, so a 10⁶-client fleet with
+/// 100 concurrent slots holds ~100 entries, and the picker never
+/// materializes the eligible list (it order-statistics over the blocked
+/// sets instead — bit-identical to indexing the old eligible vector).
 #[derive(Debug, Clone)]
 pub struct AsyncTimeline {
     seed: u64,
+    n_clients: usize,
     concurrency: usize,
     clock_s: f64,
     events: BinaryHeap<std::cmp::Reverse<FinishEvent>>,
-    busy: Vec<bool>,
-    dispatched_at_version: Vec<bool>,
+    busy: std::collections::BTreeSet<usize>,
+    dispatched_at_version: std::collections::BTreeSet<usize>,
     free_slots: usize,
     dispatch_count: u64,
 }
@@ -292,14 +299,26 @@ impl AsyncTimeline {
         );
         AsyncTimeline {
             seed,
+            n_clients,
             concurrency,
             clock_s: 0.0,
             events: BinaryHeap::new(),
-            busy: vec![false; n_clients],
-            dispatched_at_version: vec![false; n_clients],
+            busy: std::collections::BTreeSet::new(),
+            dispatched_at_version: std::collections::BTreeSet::new(),
             free_slots: concurrency,
             dispatch_count: 0,
         }
+    }
+
+    /// Fleet size this timeline schedules over. Event ids at or above
+    /// this are synthetic (edge-arrival events), never clients.
+    pub fn n_clients(&self) -> usize {
+        self.n_clients
+    }
+
+    /// Clients dispatched against the current model version, ascending.
+    pub fn dispatched_ids(&self) -> Vec<usize> {
+        self.dispatched_at_version.iter().copied().collect()
     }
 
     /// Current virtual time.
@@ -324,18 +343,35 @@ impl AsyncTimeline {
     pub fn pick_dispatches(&mut self) -> Vec<usize> {
         let mut picked = Vec::new();
         while self.free_slots > 0 {
-            let eligible: Vec<usize> = (0..self.busy.len())
-                .filter(|&k| !self.busy[k] && !self.dispatched_at_version[k])
+            // The i-th smallest eligible id, found by skipping over the
+            // sorted union of blocked ids — identical to indexing the
+            // materialized ascending eligible list, without the O(N)
+            // scan or allocation.
+            let mut blocked: Vec<usize> = self
+                .busy
+                .iter()
+                .chain(self.dispatched_at_version.iter())
+                .copied()
                 .collect();
-            if eligible.is_empty() {
+            blocked.sort_unstable();
+            blocked.dedup();
+            let n_eligible = self.n_clients - blocked.len();
+            if n_eligible == 0 {
                 break;
             }
             let mut rng = fp_tensor::seeded_rng(
                 self.seed ^ SALT_DISPATCH ^ self.dispatch_count.wrapping_mul(PHI),
             );
-            let k = eligible[rng.gen_range(0..eligible.len())];
-            self.busy[k] = true;
-            self.dispatched_at_version[k] = true;
+            let mut k = rng.gen_range(0..n_eligible);
+            for &b in &blocked {
+                if b <= k {
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            self.busy.insert(k);
+            self.dispatched_at_version.insert(k);
             self.free_slots -= 1;
             self.dispatch_count += 1;
             picked.push(k);
@@ -351,20 +387,24 @@ impl AsyncTimeline {
         }));
     }
 
-    /// Pops the next finish event, advances the clock to it, and frees
-    /// the client's slot. `None` when nothing is in flight.
+    /// Pops the next event, advances the clock to it, and — when it is a
+    /// client finish — frees the client's slot. Synthetic ids (at or
+    /// above the fleet size, used for edge-arrival events) never held a
+    /// slot, so they leave the slot accounting untouched. `None` when no
+    /// events are pending.
     pub fn next_finish(&mut self) -> Option<(f64, usize)> {
         let std::cmp::Reverse(ev) = self.events.pop()?;
         self.clock_s = ev.time;
-        self.busy[ev.client] = false;
-        self.free_slots += 1;
+        if self.busy.remove(&ev.client) {
+            self.free_slots += 1;
+        }
         Some((ev.time, ev.client))
     }
 
     /// Marks a model-version bump: every client becomes dispatchable
     /// again (against the *new* version).
     pub fn bump_version(&mut self) {
-        self.dispatched_at_version.fill(false);
+        self.dispatched_at_version.clear();
     }
 
     /// Rebuilds a mid-flight timeline from checkpoint state.
@@ -386,12 +426,11 @@ impl AsyncTimeline {
         tl.clock_s = clock_s;
         tl.dispatch_count = dispatch_count;
         for &k in dispatched_at_version {
-            tl.dispatched_at_version[k] = true;
+            tl.dispatched_at_version.insert(k);
         }
         assert!(in_flight.len() <= concurrency, "in-flight exceeds slots");
         for &(k, finish_s) in in_flight {
-            assert!(!tl.busy[k], "client {k} in flight twice");
-            tl.busy[k] = true;
+            assert!(tl.busy.insert(k), "client {k} in flight twice");
             tl.free_slots -= 1;
             tl.schedule_finish(k, finish_s);
         }
@@ -452,6 +491,11 @@ pub struct AsyncAggRecord {
     /// The adaptive flush threshold this aggregation fired at (`None`
     /// when the buffer is static).
     pub flush_k: Option<usize>,
+    /// Edge partial-sum bundles merged by this aggregation (0 on the
+    /// flat topology, where the server buffers client updates directly).
+    pub bundles: usize,
+    /// Edge flushes (upstream forwards) since the previous aggregation.
+    pub edge_flushes: usize,
 }
 
 impl Serialize for AsyncAggRecord {
@@ -498,6 +542,12 @@ impl Serialize for AsyncAggRecord {
         if let Some(k) = self.flush_k {
             m.push(("flush_k".to_string(), k.serialize()));
         }
+        if self.bundles != 0 {
+            m.push(("bundles".to_string(), self.bundles.serialize()));
+        }
+        if self.edge_flushes != 0 {
+            m.push(("edge_flushes".to_string(), self.edge_flushes.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -531,6 +581,8 @@ impl Deserialize for AsyncAggRecord {
             delta_merged: opt_field(m, "delta_merged")?.unwrap_or(0),
             timed_out: opt_field(m, "timed_out")?.unwrap_or(0),
             flush_k: opt_field(m, "flush_k")?,
+            bundles: opt_field(m, "bundles")?.unwrap_or(0),
+            edge_flushes: opt_field(m, "edge_flushes")?.unwrap_or(0),
         })
     }
 }
@@ -550,6 +602,9 @@ pub struct AsyncScheduler<T> {
     /// Disabled by default — dispatch costs are then bit-identical to the
     /// pre-communication-plane aggregator.
     pub comm: CommConfig,
+    /// Aggregation-tree shape. Flat by default — every existing config
+    /// reproduces its pre-topology schedule bit-for-bit.
+    pub topo: TopologyConfig,
 }
 
 /// The result of an asynchronous run.
@@ -615,6 +670,11 @@ impl AsyncStopPoint {
         }
     }
 }
+
+/// A bundle forwarded by an edge, mid-flight on the backhaul: the
+/// virtual clock at which it reaches the server, and the cohort
+/// dispatches whose updates it carries.
+pub type UpstreamBundle = (f64, Vec<PendingDispatch>);
 
 /// One pending (buffered or in-flight) dispatch, as stored in a
 /// checkpoint. The update itself is *not* stored: it is a pure function
@@ -733,6 +793,20 @@ pub struct AsyncCheckpoint<S = ModelState> {
     /// Dispatches reclaimed by timeout since the last aggregation (the
     /// count the next ledger record reports).
     pub timed_out: usize,
+    /// Aggregation topology; `None` on the flat single-server topology
+    /// (and then absent from the JSON, keeping pre-topology checkpoints
+    /// byte-identical).
+    pub topo: Option<TopologyConfig>,
+    /// Hierarchical only: per-edge cohort accumulation at capture time.
+    pub edge_buffers: Vec<(usize, Vec<PendingDispatch>)>,
+    /// Hierarchical only: forwarded bundles mid-flight on the backhaul,
+    /// per edge, as `(arrival clock, entries)`.
+    pub upstream: Vec<(usize, Vec<UpstreamBundle>)>,
+    /// Bundles in the server buffer (the flush-threshold unit on a
+    /// two-tier topology).
+    pub bundles: usize,
+    /// Edge flushes since the last aggregation.
+    pub edge_flushes: usize,
 }
 
 impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
@@ -772,6 +846,21 @@ impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
         if self.timed_out != 0 {
             m.push(("timed_out".to_string(), self.timed_out.serialize()));
         }
+        if let Some(topo) = &self.topo {
+            m.push(("topo".to_string(), topo.serialize()));
+        }
+        if !self.edge_buffers.is_empty() {
+            m.push(("edge_buffers".to_string(), self.edge_buffers.serialize()));
+        }
+        if !self.upstream.is_empty() {
+            m.push(("upstream".to_string(), self.upstream.serialize()));
+        }
+        if self.bundles != 0 {
+            m.push(("bundles".to_string(), self.bundles.serialize()));
+        }
+        if self.edge_flushes != 0 {
+            m.push(("edge_flushes".to_string(), self.edge_flushes.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -809,6 +898,11 @@ impl<S: Deserialize> Deserialize for AsyncCheckpoint<S> {
             comm: opt_field(m, "comm")?,
             cur_k: opt_field(m, "cur_k")?,
             timed_out: opt_field(m, "timed_out")?.unwrap_or(0),
+            topo: opt_field(m, "topo")?,
+            edge_buffers: opt_field(m, "edge_buffers")?.unwrap_or_default(),
+            upstream: opt_field(m, "upstream")?.unwrap_or_default(),
+            bundles: opt_field(m, "bundles")?.unwrap_or(0),
+            edge_flushes: opt_field(m, "edge_flushes")?.unwrap_or(0),
         })
     }
 }
@@ -838,6 +932,17 @@ struct AsyncState<S> {
     cur_k: usize,
     /// Dispatches reclaimed by timeout since the last aggregation.
     timed_out: usize,
+    /// Hierarchical only: per-edge cohort accumulation (rows exist only
+    /// for edges with pending updates).
+    edge_buffers: BTreeMap<usize, Vec<PendingDispatch>>,
+    /// Hierarchical only: forwarded bundles awaiting their upstream
+    /// arrival event, per edge, as `(arrival clock, entries)`.
+    upstream: BTreeMap<usize, Vec<UpstreamBundle>>,
+    /// Hierarchical only: bundles in the server buffer (the unit the
+    /// flush threshold counts on a two-tier topology).
+    bundles: usize,
+    /// Edge flushes since the last aggregation (ledger reporting).
+    edge_flushes: usize,
 }
 
 impl<S> AsyncState<S> {
@@ -853,6 +958,24 @@ impl<S> AsyncState<S> {
                 .expect("referenced past state is stored")
                 .1
         }
+    }
+
+    /// Whether any pending dispatch — in flight, edge-buffered, or
+    /// forwarded upstream — still trains against `version`. (The server
+    /// buffer is always drained whole at flush, so it never appears
+    /// here.)
+    fn references_version(&self, version: usize) -> bool {
+        self.in_flight.iter().any(|d| d.version == version)
+            || self
+                .edge_buffers
+                .values()
+                .flatten()
+                .any(|d| d.version == version)
+            || self
+                .upstream
+                .values()
+                .flatten()
+                .any(|(_, es)| es.iter().any(|d| d.version == version))
     }
 }
 
@@ -876,19 +999,69 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
     ///
     /// Panics if `acfg` or `comm` is invalid.
     pub fn with_comm(trainer: T, acfg: AsyncConfig, comm: CommConfig) -> Self {
+        AsyncScheduler::with_topology(trainer, acfg, comm, TopologyConfig::single())
+    }
+
+    /// Creates an asynchronous scheduler over an explicit aggregation
+    /// topology. With [`TopologyConfig::single`] this is exactly
+    /// [`AsyncScheduler::with_comm`]; a hierarchical config interposes
+    /// edge aggregators that bundle cohort updates before the server
+    /// buffer sees them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acfg`, `comm`, or `topo` is invalid.
+    pub fn with_topology(
+        trainer: T,
+        acfg: AsyncConfig,
+        comm: CommConfig,
+        topo: TopologyConfig,
+    ) -> Self {
         acfg.validate();
         comm.validate();
+        topo.validate();
         AsyncScheduler {
             trainer,
             acfg,
             comm,
+            topo,
         }
     }
 
     /// Runs `env.cfg.rounds` aggregations.
     pub fn run(&self, env: &FlEnv) -> AsyncOutcome<T::ServerState> {
         let mut st = self.fresh_state(env);
-        self.drive(env, &mut st, AsyncStopPoint::after_agg(env.cfg.rounds));
+        self.drive(
+            env,
+            &mut st,
+            AsyncStopPoint::after_agg(env.cfg.rounds),
+            &mut LedgerOut::Accumulate,
+        );
+        AsyncOutcome {
+            model: self.trainer.global_model(&st.state).clone(),
+            state: st.state,
+            ledger: st.ledger,
+        }
+    }
+
+    /// Like [`AsyncScheduler::run`], but streams every ledger record to
+    /// `sink` the moment it is recorded instead of accumulating the
+    /// ledger in memory. The returned outcome carries an **empty**
+    /// ledger: on a 100k-client fleet the ledger is the last O(run
+    /// length) allocation, and streaming it out is what keeps resident
+    /// memory bounded by active dispatches.
+    pub fn run_streamed(
+        &self,
+        env: &FlEnv,
+        sink: &mut dyn FnMut(&AsyncAggRecord),
+    ) -> AsyncOutcome<T::ServerState> {
+        let mut st = self.fresh_state(env);
+        self.drive(
+            env,
+            &mut st,
+            AsyncStopPoint::after_agg(env.cfg.rounds),
+            &mut LedgerOut::Stream(sink),
+        );
         AsyncOutcome {
             model: self.trainer.global_model(&st.state).clone(),
             state: st.state,
@@ -918,7 +1091,7 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             ..stop
         };
         let mut st = self.fresh_state(env);
-        self.drive(env, &mut st, stop);
+        self.drive(env, &mut st, stop, &mut LedgerOut::Accumulate);
         AsyncCheckpoint {
             version: st.version,
             clock_s: st.timeline.clock_s(),
@@ -932,13 +1105,16 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             comm: st.comm.to_state(),
             cur_k: self.acfg.adaptive_buffer.map(|_| st.cur_k),
             timed_out: st.timed_out,
+            topo: self.topo.is_hierarchical().then_some(self.topo),
+            edge_buffers: st.edge_buffers.into_iter().collect(),
+            upstream: st.upstream.into_iter().collect(),
+            bundles: st.bundles,
+            edge_flushes: st.edge_flushes,
             state: st.state,
             ledger: st.ledger,
             buffer: st.buffer,
             in_flight: st.in_flight,
-            dispatched_at_version: (0..env.cfg.n_clients)
-                .filter(|&k| st.timeline.dispatched_at_version[k])
-                .collect(),
+            dispatched_at_version: st.timeline.dispatched_ids(),
             past_states: st.past_states,
         }
     }
@@ -986,6 +1162,13 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             self.comm.delta_downloads.then_some(self.comm),
             "AsyncCheckpoint field `comm`: checkpoint was taken under a different communication-plane policy"
         );
+        // A flat topology checkpoints as `None` (the key is absent), so
+        // compare against the hierarchical-only form.
+        assert_eq!(
+            ckpt.topo,
+            self.topo.is_hierarchical().then_some(self.topo),
+            "AsyncCheckpoint field `topo`: checkpoint was taken under a different aggregation topology"
+        );
         let timeline = AsyncTimeline::restore(
             env.cfg.seed,
             env.cfg.n_clients,
@@ -1014,8 +1197,25 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             comm: CommPlane::from_state(ckpt.comm.as_ref(), env.cfg.n_clients),
             cur_k: ckpt.cur_k.unwrap_or_else(|| self.acfg.initial_k()),
             timed_out: ckpt.timed_out,
+            edge_buffers: ckpt.edge_buffers.iter().cloned().collect(),
+            upstream: ckpt.upstream.iter().cloned().collect(),
+            bundles: ckpt.bundles,
+            edge_flushes: ckpt.edge_flushes,
         };
-        self.drive(env, &mut st, AsyncStopPoint::after_agg(env.cfg.rounds));
+        // Forwarded bundles were mid-flight on the backhaul at capture
+        // time; their arrival events live only in the event heap, so
+        // re-schedule them (synthetic ids never hold a slot).
+        for (e, bundles) in &st.upstream {
+            for (arrive, _) in bundles {
+                st.timeline.schedule_finish(env.cfg.n_clients + e, *arrive);
+            }
+        }
+        self.drive(
+            env,
+            &mut st,
+            AsyncStopPoint::after_agg(env.cfg.rounds),
+            &mut LedgerOut::Accumulate,
+        );
         AsyncOutcome {
             model: self.trainer.global_model(&st.state).clone(),
             state: st.state,
@@ -1054,6 +1254,10 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             comm,
             cur_k: self.acfg.initial_k(),
             timed_out: 0,
+            edge_buffers: BTreeMap::new(),
+            upstream: BTreeMap::new(),
+            bundles: 0,
+            edge_flushes: 0,
         }
     }
 
@@ -1065,27 +1269,63 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
     /// so a plain `run` never trains updates it would then discard. A
     /// resumed run re-arms on its first iteration from the checkpointed
     /// `dispatch_count`, reproducing the exact dispatch stream.
-    fn drive(&self, env: &FlEnv, st: &mut AsyncState<T::ServerState>, stop: AsyncStopPoint) {
+    fn drive(
+        &self,
+        env: &FlEnv,
+        st: &mut AsyncState<T::ServerState>,
+        stop: AsyncStopPoint,
+        out: &mut LedgerOut<'_, AsyncAggRecord>,
+    ) {
         let cadence = crate::baselines::eval_cadence(env.cfg.rounds);
+        let n_clients = env.cfg.n_clients;
         while st.version < stop.aggregations
             || (st.version == stop.aggregations && st.buffer.len() < stop.buffered)
         {
             self.arm(env, st);
-            let Some((time, client)) = st.timeline.next_finish() else {
+            let Some((time, ev_id)) = st.timeline.next_finish() else {
                 // Nothing in flight and nothing armable: every remaining
-                // eligible dispatch of this version was lost. A partial
-                // flush is the only way to make progress (the version
-                // bump re-arms the whole fleet).
+                // eligible dispatch of this version was lost (or is
+                // stranded in a partially-filled edge buffer). Partial
+                // progress is the only way forward — first drain the
+                // edges, then flush whatever reached the server (the
+                // version bump re-arms the whole fleet).
                 if st.buffer.is_empty() {
+                    if st.edge_buffers.values().any(|b| !b.is_empty()) {
+                        let edges: Vec<usize> = st.edge_buffers.keys().copied().collect();
+                        for e in edges {
+                            self.flush_edge(env, st, e);
+                        }
+                        continue;
+                    }
                     panic!(
                         "async run starved at version {}: every dispatched client was lost \
                          and the buffer is empty",
                         st.version
                     );
                 }
-                self.aggregate(env, st, cadence);
+                self.aggregate(env, st, cadence, out);
                 continue;
             };
+            if ev_id >= n_clients {
+                // A forwarded edge bundle reached the server.
+                let edge = ev_id - n_clients;
+                let q = st.upstream.get_mut(&edge).expect("arrival has a bundle");
+                let pos = q
+                    .iter()
+                    .position(|(arrive, _)| *arrive == time)
+                    .expect("arrival time matches a forwarded bundle");
+                let (_, entries) = q.remove(pos);
+                if q.is_empty() {
+                    st.upstream.remove(&edge);
+                }
+                st.buffer.extend(entries);
+                st.bundles += 1;
+                if st.bundles >= st.cur_k {
+                    self.aggregate(env, st, cadence, out);
+                }
+                continue;
+            }
+            let client = ev_id;
             let idx = st
                 .in_flight
                 .iter()
@@ -1101,11 +1341,54 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
                 st.timed_out += 1;
                 continue;
             }
-            st.buffer.push(entry);
-            if st.buffer.len() >= st.cur_k {
-                self.aggregate(env, st, cadence);
+            if self.topo.is_hierarchical() {
+                let edge = self.topo.cohort_of(env.cfg.seed, entry.client);
+                let buf = st.edge_buffers.entry(edge).or_default();
+                buf.push(entry);
+                if buf.len() >= self.topo.edge_flush_k {
+                    self.flush_edge(env, st, edge);
+                }
+            } else {
+                st.buffer.push(entry);
+                if st.buffer.len() >= st.cur_k {
+                    self.aggregate(env, st, cadence, out);
+                }
             }
         }
+    }
+
+    /// Forwards edge `e`'s accumulated cohort updates upstream as one
+    /// partial-sum bundle: the bundle arrives at the server after a
+    /// backhaul hop costed on the partial sum's wire size (the densest
+    /// member update — a sum of cohort updates is one model-shaped
+    /// vector, not their concatenation). Arrival is a synthetic timeline
+    /// event with id `n_clients + e`.
+    fn flush_edge(&self, env: &FlEnv, st: &mut AsyncState<T::ServerState>, e: usize) {
+        let Some(entries) = st.edge_buffers.remove(&e) else {
+            return;
+        };
+        if entries.is_empty() {
+            return;
+        }
+        let bundle_bytes = entries
+            .iter()
+            .map(|d| {
+                d.payload.map_or_else(
+                    || {
+                        self.trainer
+                            .payload_spec(env, d.version, d.client)
+                            .materialize()
+                            .up_bytes
+                    },
+                    |p| p.up_bytes,
+                )
+            })
+            .max()
+            .expect("non-empty bundle");
+        let arrive = st.timeline.clock_s() + self.topo.uplink.forward_s(bundle_bytes);
+        st.timeline.schedule_finish(env.cfg.n_clients + e, arrive);
+        st.upstream.entry(e).or_default().push((arrive, entries));
+        st.edge_flushes += 1;
     }
 
     /// Fills free slots: picks eligible clients, plans each dispatch's
@@ -1171,7 +1454,13 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
     /// pure functions of `(version, client)`), merges them into the
     /// global model with staleness-discounted FedAvg weights, and
     /// records the aggregation.
-    fn aggregate(&self, env: &FlEnv, st: &mut AsyncState<T::ServerState>, cadence: usize) {
+    fn aggregate(
+        &self,
+        env: &FlEnv,
+        st: &mut AsyncState<T::ServerState>,
+        cadence: usize,
+        out: &mut LedgerOut<'_, AsyncAggRecord>,
+    ) {
         let v = st.version;
         let mut entries = std::mem::take(&mut st.buffer);
         // Deterministic merge order, independent of arrival order among
@@ -1202,7 +1491,7 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
         let stalenesses: Vec<usize> = entries.iter().map(|d| v - d.version).collect();
         let base: Vec<f32> = entries
             .iter()
-            .map(|d| env.splits[d.client].weight)
+            .map(|d| env.client_weight(d.client))
             .collect();
         let weights: Vec<f32> = base
             .iter()
@@ -1237,10 +1526,11 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             .zip(results)
             .map(|(d, (u, _))| (d.client, u))
             .collect();
-        // The state is about to change; snapshot it while in-flight
-        // clients dispatched against it still need it for their flush
-        // (and for checkpoints).
-        if st.in_flight.iter().any(|d| d.version == v) {
+        // The state is about to change; snapshot it while pending
+        // dispatches (in flight, edge-buffered, or forwarded upstream)
+        // trained against it still need it for their flush (and for
+        // checkpoints).
+        if st.references_version(v) {
             st.past_states.push((v, st.state.clone()));
         }
         self.trainer
@@ -1250,10 +1540,15 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
         // The new version is what subsequent dispatches download; retain
         // its snapshot for future deltas.
         st.comm.note_version(st.version, &st.state);
-        // GC: the buffer is empty here, so in-flight dispatches are the
-        // only remaining referents of past versions.
-        st.past_states
-            .retain(|(pv, _)| st.in_flight.iter().any(|d| d.version == *pv));
+        // GC: the buffer is empty here, so the remaining pending
+        // dispatches are the only referents of past versions.
+        let keep: Vec<usize> = st
+            .past_states
+            .iter()
+            .map(|(pv, _)| *pv)
+            .filter(|&pv| st.references_version(pv))
+            .collect();
+        st.past_states.retain(|(pv, _)| keep.contains(pv));
         let (mut vc, mut va) = (None, None);
         if v % cadence == cadence - 1 || v + 1 == env.cfg.rounds {
             let model = self.trainer.global_model_mut(&mut st.state);
@@ -1262,7 +1557,7 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
         }
         let clock = st.timeline.clock_s();
         let flush_k = self.acfg.adaptive_buffer.map(|_| st.cur_k);
-        st.ledger.push(AsyncAggRecord {
+        let rec = AsyncAggRecord {
             agg: v,
             merged: n,
             clients,
@@ -1281,9 +1576,14 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             delta_merged,
             timed_out: st.timed_out,
             flush_k,
-        });
+            bundles: st.bundles,
+            edge_flushes: st.edge_flushes,
+        };
+        out.emit(&mut st.ledger, rec);
         st.last_agg_clock = clock;
         st.timed_out = 0;
+        st.bundles = 0;
+        st.edge_flushes = 0;
         // Rescale the flush threshold from the staleness just observed.
         if let Some((k_min, k_max)) = self.acfg.adaptive_buffer {
             st.cur_k = adaptive_k(self.acfg.buffer_k, mean_staleness, k_min, k_max);
@@ -1391,7 +1691,7 @@ mod tests {
         }
         tl.next_finish().unwrap();
         let in_flight: Vec<(usize, f64)> = vec![(picked[1], 3.0 + picked[1] as f64)];
-        let dispatched: Vec<usize> = (0..5).filter(|&k| tl.dispatched_at_version[k]).collect();
+        let dispatched: Vec<usize> = tl.dispatched_ids();
         let restored = AsyncTimeline::restore(
             9,
             5,

@@ -32,7 +32,7 @@ use fp_hwsim::{Payload, PayloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Communication-plane policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommConfig {
     /// Enables delta-encoded downloads against per-client cached
     /// versions. Off by default: every dispatch ships the whole
@@ -42,6 +42,12 @@ pub struct CommConfig {
     /// diffing. Dispatches against versions older than this window
     /// downgrade to full payloads.
     pub snapshot_retention: usize,
+    /// Upper bound on resident cache rows (`0` = unbounded). Rows are
+    /// allocated on first dispatch and evicted least-recently-dispatched
+    /// first, so a bounded plane keeps memory O(bound) even on a
+    /// 10⁶-client fleet; an evicted client simply downgrades to a full
+    /// download on its next dispatch.
+    pub cache_rows: usize,
 }
 
 impl Default for CommConfig {
@@ -49,7 +55,48 @@ impl Default for CommConfig {
         CommConfig {
             delta_downloads: false,
             snapshot_retention: 4,
+            cache_rows: 0,
         }
+    }
+}
+
+// Hand-written serde: `cache_rows` is omitted at its default so every
+// pre-existing checkpoint (and golden JSON) that carries a `"comm"` key
+// keeps its exact byte layout.
+impl Serialize for CommConfig {
+    fn serialize(&self) -> serde::Value {
+        let mut m = vec![
+            (
+                "delta_downloads".to_string(),
+                self.delta_downloads.serialize(),
+            ),
+            (
+                "snapshot_retention".to_string(),
+                self.snapshot_retention.serialize(),
+            ),
+        ];
+        if self.cache_rows != 0 {
+            m.push(("cache_rows".to_string(), self.cache_rows.serialize()));
+        }
+        serde::Value::Map(m)
+    }
+}
+
+impl Deserialize for CommConfig {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        const TY: &str = "CommConfig";
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for CommConfig"))?;
+        Ok(CommConfig {
+            delta_downloads: Deserialize::deserialize(serde::map_field(m, "delta_downloads", TY)?)?,
+            snapshot_retention: Deserialize::deserialize(serde::map_field(
+                m,
+                "snapshot_retention",
+                TY,
+            )?)?,
+            cache_rows: crate::sched::opt_field(m, "cache_rows")?.unwrap_or(0),
+        })
     }
 }
 
@@ -92,9 +139,14 @@ pub struct CacheEntry {
 pub struct CommPlane<S> {
     /// Policy.
     pub cfg: CommConfig,
-    /// `cache[k]` = what client `k` last materialized (`None` = cold or
-    /// invalidated).
-    cache: Vec<Option<CacheEntry>>,
+    /// Sparse cache: client id → (what it last materialized, dispatch
+    /// touch stamp). Rows exist only for clients that have actually been
+    /// dispatched — cold and invalidated clients simply have no row —
+    /// and when [`CommConfig::cache_rows`] bounds the table the
+    /// smallest-stamp row is evicted first (LRU on dispatch order).
+    cache: std::collections::HashMap<usize, (CacheEntry, u64)>,
+    /// Monotonic dispatch counter backing the LRU stamps.
+    touch: u64,
     /// Retained `(version, state)` snapshots, ascending by version.
     snapshots: Vec<(usize, S)>,
     /// Transient memo of delta wire sizes for the *current* state,
@@ -113,9 +165,11 @@ impl<S> CommPlane<S> {
     /// Panics if `cfg` is invalid.
     pub fn new(cfg: CommConfig, n_clients: usize) -> Self {
         cfg.validate();
+        let _ = n_clients; // rows are allocated on first dispatch
         CommPlane {
             cfg,
-            cache: vec![None; n_clients],
+            cache: std::collections::HashMap::new(),
+            touch: 0,
             snapshots: Vec::new(),
             delta_memo: std::collections::HashMap::new(),
         }
@@ -139,7 +193,13 @@ impl<S> CommPlane<S> {
 
     /// The cache entry of client `k`.
     pub fn cache_entry(&self, k: usize) -> Option<CacheEntry> {
-        self.cache[k]
+        self.cache.get(&k).map(|(e, _)| *e)
+    }
+
+    /// How many cache rows are currently resident — O(clients actually
+    /// dispatched), and at most [`CommConfig::cache_rows`] when bounded.
+    pub fn resident_rows(&self) -> usize {
+        self.cache.len()
     }
 
     /// Records a server-state snapshot for `version` (no-op when caching
@@ -185,7 +245,7 @@ impl<S> CommPlane<S> {
         if !self.enabled() {
             return spec.materialize();
         }
-        let Some(entry) = self.cache[k] else {
+        let Some(entry) = self.cache_entry(k) else {
             return spec.materialize();
         };
         if entry.shape_id != spec.shape_id || entry.version >= version {
@@ -226,17 +286,33 @@ impl<S> CommPlane<S> {
     }
 
     /// Marks client `k` as having materialized `(version, shape_id)` —
-    /// called for every dispatch that reaches the client.
+    /// called for every dispatch that reaches the client. Allocates the
+    /// client's row on first dispatch and, when the table is bounded,
+    /// evicts the least-recently-dispatched row to make room.
     pub fn record_dispatch(&mut self, k: usize, version: usize, shape_id: u64) {
-        if self.enabled() {
-            self.cache[k] = Some(CacheEntry { version, shape_id });
+        if !self.enabled() {
+            return;
+        }
+        let stamp = self.touch;
+        self.touch += 1;
+        self.cache
+            .insert(k, (CacheEntry { version, shape_id }, stamp));
+        if self.cfg.cache_rows > 0 && self.cache.len() > self.cfg.cache_rows {
+            // Stamps are unique, so the victim is deterministic.
+            let victim = *self
+                .cache
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k)
+                .expect("non-empty cache");
+            self.cache.remove(&victim);
         }
     }
 
     /// Invalidates client `k`'s cache entry (lost dispatch: the server no
     /// longer trusts what the client holds).
     pub fn invalidate(&mut self, k: usize) {
-        self.cache[k] = None;
+        self.cache.remove(&k);
     }
 
     /// The serializable snapshot of this plane (`None` when caching is
@@ -246,10 +322,16 @@ impl<S> CommPlane<S> {
     where
         S: Clone,
     {
-        self.enabled().then(|| CommState {
-            cfg: self.cfg,
-            cache: self.cache.clone(),
-            snapshots: self.snapshots.clone(),
+        self.enabled().then(|| {
+            let mut rows: Vec<(usize, CacheEntry, u64)> =
+                self.cache.iter().map(|(&k, &(e, t))| (k, e, t)).collect();
+            rows.sort_unstable_by_key(|&(k, _, _)| k);
+            CommState {
+                cfg: self.cfg,
+                cache: rows,
+                touch: self.touch,
+                snapshots: self.snapshots.clone(),
+            }
         })
     }
 
@@ -257,7 +339,7 @@ impl<S> CommPlane<S> {
     ///
     /// # Panics
     ///
-    /// Panics if the stored cache table disagrees with the fleet size.
+    /// Panics if the stored cache table names clients outside the fleet.
     pub fn from_state(state: Option<&CommState<S>>, n_clients: usize) -> Self
     where
         S: Clone,
@@ -265,14 +347,14 @@ impl<S> CommPlane<S> {
         match state {
             None => CommPlane::disabled(n_clients),
             Some(cs) => {
-                assert_eq!(
-                    cs.cache.len(),
-                    n_clients,
+                assert!(
+                    cs.cache.iter().all(|&(k, _, _)| k < n_clients),
                     "comm cache table was taken on a different fleet size"
                 );
                 CommPlane {
                     cfg: cs.cfg,
-                    cache: cs.cache.clone(),
+                    cache: cs.cache.iter().map(|&(k, e, t)| (k, (e, t))).collect(),
+                    touch: cs.touch,
                     snapshots: cs.snapshots.clone(),
                     delta_memo: std::collections::HashMap::new(),
                 }
@@ -286,8 +368,12 @@ impl<S> CommPlane<S> {
 pub struct CommState<S> {
     /// Policy the run was started with (validated on resume).
     pub cfg: CommConfig,
-    /// Per-client cache entries.
-    pub cache: Vec<Option<CacheEntry>>,
+    /// Resident cache rows `(client, entry, touch stamp)`, ascending by
+    /// client id.
+    pub cache: Vec<(usize, CacheEntry, u64)>,
+    /// The plane's monotonic dispatch counter (drives LRU eviction; must
+    /// survive resume for bit-identical eviction decisions).
+    pub touch: u64,
     /// Retained `(version, state)` snapshots, ascending by version.
     pub snapshots: Vec<(usize, S)>,
 }
@@ -297,6 +383,7 @@ impl<S: Serialize> Serialize for CommState<S> {
         serde::Value::Map(vec![
             ("cfg".to_string(), self.cfg.serialize()),
             ("cache".to_string(), self.cache.serialize()),
+            ("touch".to_string(), self.touch.serialize()),
             ("snapshots".to_string(), self.snapshots.serialize()),
         ])
     }
@@ -308,9 +395,29 @@ impl<S: Deserialize> Deserialize for CommState<S> {
         let m = v
             .as_map()
             .ok_or_else(|| serde::Error::custom("expected map for CommState"))?;
+        let cache_v = serde::map_field(m, "cache", TY)?;
+        // Pre-hierarchy checkpoints stored a dense `Vec<Option<CacheEntry>>`
+        // indexed by client id; map it onto sparse rows with stamps in
+        // client order (the only order the dense form can express).
+        let cache = match Vec::<(usize, CacheEntry, u64)>::deserialize(cache_v) {
+            Ok(rows) => rows,
+            Err(_) => {
+                let dense = Vec::<Option<CacheEntry>>::deserialize(cache_v)?;
+                dense
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(k, e)| e.map(|e| (k, e)))
+                    .enumerate()
+                    .map(|(stamp, (k, e))| (k, e, stamp as u64))
+                    .collect()
+            }
+        };
+        let touch = crate::sched::opt_field(m, "touch")?
+            .unwrap_or_else(|| cache.iter().map(|&(_, _, t)| t + 1).max().unwrap_or(0));
         Ok(CommState {
             cfg: Deserialize::deserialize(serde::map_field(m, "cfg", TY)?)?,
-            cache: Deserialize::deserialize(serde::map_field(m, "cache", TY)?)?,
+            cache,
+            touch,
             snapshots: Deserialize::deserialize(serde::map_field(m, "snapshots", TY)?)?,
         })
     }
@@ -334,6 +441,7 @@ mod tests {
             CommConfig {
                 delta_downloads: true,
                 snapshot_retention: retention,
+                cache_rows: 0,
             },
             2,
         )
@@ -432,17 +540,82 @@ mod tests {
         assert_eq!(back.cfg, p.cfg);
         assert_eq!(
             back.cache,
-            vec![
-                None,
-                Some(CacheEntry {
+            vec![(
+                1,
+                CacheEntry {
                     version: 0,
                     shape_id: 3
-                })
-            ]
+                },
+                0
+            )]
         );
+        assert_eq!(back.touch, 1);
         assert_eq!(back.snapshots, vec![(0, vec![1.0f32, 2.0])]);
         let restored = CommPlane::from_state(Some(&back), 2);
         assert_eq!(restored.cache_entry(1), p.cache_entry(1));
+        assert_eq!(restored.touch, p.touch);
+    }
+
+    #[test]
+    fn dense_legacy_cache_still_loads() {
+        // The pre-hierarchy checkpoint layout: a dense per-client list.
+        let json = r#"{"cfg": {"delta_downloads": true, "snapshot_retention": 4},
+                       "cache": [null, {"version": 2, "shape_id": 7}],
+                       "snapshots": []}"#;
+        let back: CommState<Vecs> = serde_json::from_str(json).unwrap();
+        assert_eq!(back.cfg.cache_rows, 0);
+        assert_eq!(
+            back.cache,
+            vec![(
+                1,
+                CacheEntry {
+                    version: 2,
+                    shape_id: 7
+                },
+                0
+            )]
+        );
+        assert_eq!(back.touch, 1);
+        let restored = CommPlane::<Vecs>::from_state(Some(&back), 2);
+        assert_eq!(
+            restored.cache_entry(1),
+            Some(CacheEntry {
+                version: 2,
+                shape_id: 7
+            })
+        );
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_dispatched() {
+        let mut p: CommPlane<Vecs> = CommPlane::new(
+            CommConfig {
+                delta_downloads: true,
+                snapshot_retention: 4,
+                cache_rows: 2,
+            },
+            100_000,
+        );
+        p.record_dispatch(10, 0, 0);
+        p.record_dispatch(20, 0, 0);
+        assert_eq!(p.resident_rows(), 2);
+        // Re-dispatching 10 refreshes its stamp, so 20 is now oldest.
+        p.record_dispatch(10, 1, 0);
+        p.record_dispatch(30, 1, 0);
+        assert_eq!(p.resident_rows(), 2);
+        assert!(p.cache_entry(20).is_none(), "LRU row evicted");
+        assert!(p.cache_entry(10).is_some());
+        assert!(p.cache_entry(30).is_some());
+        // Eviction survives serde round-trips bit-identically.
+        let state = p.to_state().unwrap();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: CommState<Vecs> = serde_json::from_str(&json).unwrap();
+        let mut restored = CommPlane::from_state(Some(&back), 100_000);
+        restored.record_dispatch(40, 2, 0);
+        p.record_dispatch(40, 2, 0);
+        assert_eq!(restored.cache_entry(10), p.cache_entry(10));
+        assert_eq!(restored.cache_entry(30), p.cache_entry(30));
+        assert_eq!(restored.resident_rows(), p.resident_rows());
     }
 
     #[test]
@@ -451,6 +624,7 @@ mod tests {
         CommConfig {
             delta_downloads: true,
             snapshot_retention: 0,
+            cache_rows: 0,
         }
         .validate();
     }

@@ -4,7 +4,7 @@ use crate::config::FlConfig;
 use crate::metrics::FlOutcome;
 use fp_attack::{ModelTarget, Pgd, PgdConfig};
 use fp_data::{ClientSplit, SynthDataset};
-use fp_hwsim::{model_mem_req, DeviceSample};
+use fp_hwsim::{model_mem_req, sample_fleet, Device, DeviceSample, SamplingMode};
 use fp_nn::spec::AtomSpec;
 use fp_nn::CascadeModel;
 use fp_tensor::{argmax_rows, seeded_rng};
@@ -46,7 +46,27 @@ pub struct FlEnv {
     pub input_shape: Vec<usize>,
     /// Per-client memory budgets in bytes (tiny-scale).
     budgets: Vec<u64>,
+    /// When set, per-client state (device sample, weight, budget) is a
+    /// pure function of `(seed, id)` computed on first touch instead of
+    /// being held in the O(N) `splits`/`fleet`/`budgets` vectors (which
+    /// stay empty). See [`FlEnv::lazy`].
+    lazy: Option<LazyClients>,
 }
+
+/// The derivation rules for a lazily-materialized fleet.
+struct LazyClients {
+    pool: Vec<Device>,
+    mode: SamplingMode,
+    /// Pool-wide availability bounds (bytes), for budget scaling without
+    /// ever materializing the whole fleet.
+    lo_avail: f64,
+    hi_avail: f64,
+    full_mem: u64,
+}
+
+/// Domain-separation salt for per-client lazy device derivation.
+const SALT_FLEET: u64 = 0xF1EE_7C11;
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
 
 impl FlEnv {
     /// Assembles an environment.
@@ -75,19 +95,111 @@ impl FlEnv {
             reference_specs,
             input_shape,
             budgets,
+            lazy: None,
+        }
+    }
+
+    /// Assembles an environment whose per-client state is **lazily
+    /// materialized**: no `splits`/`fleet`/`budgets` vectors are
+    /// allocated (they stay empty), and [`FlEnv::client_device`] /
+    /// [`FlEnv::client_weight`] / [`FlEnv::mem_budget`] derive client
+    /// `k`'s state from `(seed, k)` on first touch. Resident memory is
+    /// therefore independent of `cfg.n_clients`, which is what lets the
+    /// virtual-time schedulers drive 10⁵–10⁶-client fleets.
+    ///
+    /// Client weights are uniform (`1/N`) and data is shared (every
+    /// client trains on the full synthetic set); only the scheduler-
+    /// facing accessors understand lazy mode — eager-only baselines that
+    /// index `env.splits`/`env.fleet` directly must not be handed a lazy
+    /// environment.
+    pub fn lazy(
+        data: SynthDataset,
+        pool: &[Device],
+        mode: SamplingMode,
+        reference_specs: Vec<AtomSpec>,
+        cfg: FlConfig,
+    ) -> Self {
+        cfg.validate();
+        assert!(!pool.is_empty(), "empty device pool");
+        let input_shape = data.train.sample_shape().to_vec();
+        let full_mem = model_mem_req(&reference_specs, &input_shape, cfg.batch_size).total();
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        let lo = pool.iter().map(|d| d.mem_gb).fold(f64::MAX, f64::min);
+        let hi = pool.iter().map(|d| d.mem_gb).fold(0.0, f64::max);
+        let lazy = LazyClients {
+            pool: pool.to_vec(),
+            mode,
+            // resample_availability keeps at least 80% of capacity, so
+            // the worst reachable availability is 0.8 × the smallest
+            // pool device.
+            lo_avail: 0.8 * lo * GIB,
+            hi_avail: hi * GIB,
+            full_mem,
+        };
+        FlEnv {
+            data,
+            splits: Vec::new(),
+            fleet: Vec::new(),
+            cfg,
+            reference_specs,
+            input_shape,
+            budgets: Vec::new(),
+            lazy: Some(lazy),
+        }
+    }
+
+    /// Whether per-client state is derived on touch rather than held in
+    /// the eager O(N) vectors.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy.is_some()
+    }
+
+    /// Client `k`'s sampled device. Eager environments read the fleet
+    /// vector; lazy environments derive the sample from `(seed, k)` via
+    /// a domain-separated RNG, so any client's hardware can be
+    /// materialized on demand without allocating the rest.
+    pub fn client_device(&self, k: usize) -> DeviceSample {
+        match &self.lazy {
+            None => self.fleet[k],
+            Some(lz) => {
+                let mut rng = seeded_rng(self.cfg.seed ^ SALT_FLEET ^ (k as u64).wrapping_mul(PHI));
+                sample_fleet(&lz.pool, 1, lz.mode, &mut rng)[0]
+            }
+        }
+    }
+
+    /// Client `k`'s FedAvg weight (sample share). Lazy fleets share the
+    /// dataset, so every client weighs `1/N`.
+    pub fn client_weight(&self, k: usize) -> f32 {
+        match &self.lazy {
+            None => self.splits[k].weight,
+            Some(_) => 1.0 / self.cfg.n_clients as f32,
         }
     }
 
     /// Memory budget of client `k` in bytes (tiny-scale mapping of its
     /// device's availability).
     pub fn mem_budget(&self, k: usize) -> u64 {
-        self.budgets[k]
+        match &self.lazy {
+            None => self.budgets[k],
+            Some(lz) => {
+                const RHO_MIN: f64 = 0.2;
+                let avail = self.client_device(k).avail_mem_bytes as f64;
+                let span = (lz.hi_avail - lz.lo_avail).max(1.0);
+                let rho = RHO_MIN + (1.0 - RHO_MIN) * (avail - lz.lo_avail) / span;
+                (rho.clamp(RHO_MIN, 1.0) * lz.full_mem as f64) as u64
+            }
+        }
     }
 
     /// The smallest budget across all clients — the paper's minimal
     /// reserved memory `R_min` (§6.1).
     pub fn r_min(&self) -> u64 {
-        *self.budgets.iter().min().expect("non-empty fleet")
+        match &self.lazy {
+            None => *self.budgets.iter().min().expect("non-empty fleet"),
+            // The pool lower bound is reachable by construction.
+            Some(lz) => (0.2 * lz.full_mem as f64) as u64,
+        }
     }
 
     /// Memory required to train the full reference model.
@@ -204,7 +316,8 @@ pub fn scale_budgets(fleet: &[DeviceSample], full_mem: u64) -> Vec<u64> {
 impl std::fmt::Debug for FlEnv {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlEnv")
-            .field("clients", &self.splits.len())
+            .field("clients", &self.cfg.n_clients)
+            .field("lazy", &self.is_lazy())
             .field("train_samples", &self.data.train.len())
             .field("r_min_mb", &(self.r_min() as f64 / 1048576.0))
             .finish()

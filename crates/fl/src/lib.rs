@@ -56,10 +56,13 @@ mod local;
 pub mod metrics;
 pub mod sched;
 pub mod submodel;
+pub mod synthetic;
+pub mod topology;
 
 pub use async_sched::{
     adaptive_k, staleness_weight, AsyncAggRecord, AsyncCheckpoint, AsyncConfig, AsyncOutcome,
-    AsyncScheduler, AsyncStopPoint, AsyncTimeline, PendingDispatch, SALT_ASYNC_DROP,
+    AsyncScheduler, AsyncStopPoint, AsyncTimeline, PendingDispatch, UpstreamBundle,
+    SALT_ASYNC_DROP,
 };
 pub use baselines::{
     Distill, DistillState, DistillVariant, FedRbn, JFat, PartialTraining, SubmodelScheme,
@@ -74,3 +77,5 @@ pub use sched::{
     DeadlinePolicy, EventScheduler, ModelState, ModelTrainer, RoundSim, SchedCheckpoint,
     SchedConfig, SchedOutcome, SchedRound, ScheduledTrainer,
 };
+pub use synthetic::SyntheticTrainer;
+pub use topology::TopologyConfig;

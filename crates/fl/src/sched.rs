@@ -51,6 +51,7 @@ use crate::comm::{CommConfig, CommPlane, CommState};
 use crate::config::FlConfig;
 use crate::engine::FlEnv;
 use crate::metrics::{FlOutcome, RoundRecord};
+use crate::topology::TopologyConfig;
 use fp_hwsim::{ClientLatency, DeviceSample, LatencyModel, PayloadSpec};
 use fp_nn::checkpoint::Checkpoint;
 use fp_nn::CascadeModel;
@@ -58,7 +59,7 @@ use fp_tensor::BackendHandle;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Domain-separation salt for availability degradation. Every consumer
 /// of the scheduler's RNG discipline (FedProphet's loop and the async
@@ -373,6 +374,9 @@ pub struct SchedRound {
     pub up_bytes: u64,
     /// Dispatches whose download was delta-encoded.
     pub delta_dispatches: usize,
+    /// Edge aggregators that forwarded a cohort bundle this round (0 on
+    /// the flat topology — and then absent from the JSON).
+    pub edges_active: usize,
 }
 
 impl Serialize for SchedRound {
@@ -405,6 +409,9 @@ impl Serialize for SchedRound {
                 self.delta_dispatches.serialize(),
             ));
         }
+        if self.edges_active != 0 {
+            m.push(("edges_active".to_string(), self.edges_active.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -434,6 +441,7 @@ impl Deserialize for SchedRound {
             down_bytes: opt_field(m, "down_bytes")?.unwrap_or(0),
             up_bytes: opt_field(m, "up_bytes")?.unwrap_or(0),
             delta_dispatches: opt_field(m, "delta_dispatches")?.unwrap_or(0),
+            edges_active: opt_field(m, "edges_active")?.unwrap_or(0),
         })
     }
 }
@@ -447,6 +455,30 @@ pub(crate) fn opt_field<T: Deserialize>(
         .find(|(k, _)| k == field)
         .map(|(_, v)| T::deserialize(v))
         .transpose()
+}
+
+/// Where per-round (or per-aggregation) ledger records go.
+///
+/// The default, [`LedgerOut::Accumulate`], appends each record to the
+/// in-memory ledger — the historical behaviour every outcome and
+/// checkpoint format is built on. [`LedgerOut::Stream`] hands each
+/// record to a sink instead and keeps nothing resident, which is what
+/// makes 100k-client fleet runs O(active dispatches) in memory: the
+/// caller streams records to disk (or drops them) as they are born.
+pub(crate) enum LedgerOut<'a, R> {
+    /// Append to the in-memory ledger (historical behaviour).
+    Accumulate,
+    /// Stream each record to the sink; the ledger stays empty.
+    Stream(&'a mut dyn FnMut(&R)),
+}
+
+impl<R> LedgerOut<'_, R> {
+    pub(crate) fn emit(&mut self, ledger: &mut Vec<R>, rec: R) {
+        match self {
+            LedgerOut::Accumulate => ledger.push(rec),
+            LedgerOut::Stream(sink) => sink(&rec),
+        }
+    }
 }
 
 /// FNV-1a over the little-endian bit patterns of every parameter and BN
@@ -583,7 +615,7 @@ pub trait ScheduledTrainer: Sync {
         t: usize,
         updates: Vec<(usize, Self::Update)>,
     ) {
-        let weights: Vec<f32> = updates.iter().map(|(k, _)| env.splits[*k].weight).collect();
+        let weights: Vec<f32> = updates.iter().map(|(k, _)| env.client_weight(*k)).collect();
         self.merge_weighted(env, state, t, updates, &weights);
     }
 }
@@ -736,6 +768,10 @@ pub struct EventScheduler<T> {
     /// Disabled by default — dispatch costs are then bit-identical to the
     /// pre-communication-plane scheduler.
     pub comm: CommConfig,
+    /// Aggregation topology. [`TopologyConfig::single`] (the default) is
+    /// the flat server — bit-identical to the pre-topology scheduler; a
+    /// hierarchical config adds an edge-forwarding hop at round close.
+    pub topo: TopologyConfig,
 }
 
 /// The result of a scheduled run: final model, final server state, and
@@ -822,6 +858,10 @@ pub struct SchedCheckpoint<S = ModelState> {
     /// `None` when caching is disabled, and then absent from the JSON —
     /// pre-refactor checkpoints round-trip byte-identically.
     pub comm: Option<CommState<S>>,
+    /// Aggregation topology; `None` on the flat single-server topology
+    /// (and then absent from the JSON, keeping pre-topology checkpoints
+    /// byte-identical).
+    pub topo: Option<TopologyConfig>,
 }
 
 impl<S: Serialize> Serialize for SchedCheckpoint<S> {
@@ -843,6 +883,9 @@ impl<S: Serialize> Serialize for SchedCheckpoint<S> {
         ];
         if let Some(comm) = &self.comm {
             m.push(("comm".to_string(), comm.serialize()));
+        }
+        if let Some(topo) = &self.topo {
+            m.push(("topo".to_string(), topo.serialize()));
         }
         serde::Value::Map(m)
     }
@@ -870,6 +913,7 @@ impl<S: Deserialize> Deserialize for SchedCheckpoint<S> {
             state: Deserialize::deserialize(serde::map_field(m, "model", TY)?)?,
             ledger: Deserialize::deserialize(serde::map_field(m, "ledger", TY)?)?,
             comm: opt_field(m, "comm")?,
+            topo: opt_field(m, "topo")?,
         })
     }
 }
@@ -900,12 +944,32 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
     ///
     /// Panics if `sched` or `comm` is invalid.
     pub fn with_comm(trainer: T, sched: SchedConfig, comm: CommConfig) -> Self {
+        EventScheduler::with_topology(trainer, sched, comm, TopologyConfig::single())
+    }
+
+    /// Creates a scheduler over an explicit aggregation topology. With
+    /// [`TopologyConfig::single`] this is exactly
+    /// [`EventScheduler::with_comm`]; a hierarchical config groups the
+    /// round's completed clients by cohort and pays the edge→server
+    /// forwarding hop at round close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sched`, `comm`, or `topo` is invalid.
+    pub fn with_topology(
+        trainer: T,
+        sched: SchedConfig,
+        comm: CommConfig,
+        topo: TopologyConfig,
+    ) -> Self {
         sched.validate();
         comm.validate();
+        topo.validate();
         EventScheduler {
             trainer,
             sched,
             comm,
+            topo,
         }
     }
 
@@ -921,7 +985,33 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
     /// Runs all `env.cfg.rounds` rounds.
     pub fn run(&self, env: &FlEnv) -> SchedOutcome<T::ServerState> {
         let mut st = self.fresh_state(env, env.cfg.rounds);
-        self.drive(env, &mut st, 0, env.cfg.rounds);
+        self.drive(env, &mut st, 0, env.cfg.rounds, &mut LedgerOut::Accumulate);
+        SchedOutcome {
+            model: self.trainer.global_model(&st.state).clone(),
+            state: st.state,
+            ledger: st.ledger,
+        }
+    }
+
+    /// Like [`EventScheduler::run`], but streams every round record to
+    /// `sink` the moment the round closes instead of accumulating the
+    /// ledger in memory. The returned outcome carries an **empty**
+    /// ledger — on fleet-scale runs the ledger is the last O(rounds)
+    /// allocation, and streaming it out keeps resident memory bounded
+    /// by the round's active dispatches.
+    pub fn run_streamed(
+        &self,
+        env: &FlEnv,
+        sink: &mut dyn FnMut(&SchedRound),
+    ) -> SchedOutcome<T::ServerState> {
+        let mut st = self.fresh_state(env, 0);
+        self.drive(
+            env,
+            &mut st,
+            0,
+            env.cfg.rounds,
+            &mut LedgerOut::Stream(sink),
+        );
         SchedOutcome {
             model: self.trainer.global_model(&st.state).clone(),
             state: st.state,
@@ -933,7 +1023,7 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
     pub fn run_until(&self, env: &FlEnv, stop_after: usize) -> SchedCheckpoint<T::ServerState> {
         let stop = stop_after.min(env.cfg.rounds);
         let mut st = self.fresh_state(env, stop);
-        self.drive(env, &mut st, 0, stop);
+        self.drive(env, &mut st, 0, stop, &mut LedgerOut::Accumulate);
         SchedCheckpoint {
             next_round: stop,
             clock_s: st.clock_s,
@@ -944,6 +1034,7 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             clients_per_round: env.cfg.clients_per_round,
             rounds: env.cfg.rounds,
             comm: st.comm.to_state(),
+            topo: self.topo.is_hierarchical().then_some(self.topo),
             state: st.state,
             ledger: st.ledger,
         }
@@ -997,13 +1088,26 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             self.comm.delta_downloads.then_some(self.comm),
             "SchedCheckpoint field `comm`: checkpoint was taken under a different communication-plane policy"
         );
+        // A flat topology checkpoints as `None` (the key is absent), so
+        // compare against the hierarchical-only form.
+        assert_eq!(
+            ckpt.topo,
+            self.topo.is_hierarchical().then_some(self.topo),
+            "SchedCheckpoint field `topo`: checkpoint was taken under a different aggregation topology"
+        );
         let mut st = DriveState {
             state: ckpt.state.clone(),
             clock_s: ckpt.clock_s,
             ledger: ckpt.ledger.clone(),
             comm: CommPlane::from_state(ckpt.comm.as_ref(), env.cfg.n_clients),
         };
-        self.drive(env, &mut st, ckpt.next_round, env.cfg.rounds);
+        self.drive(
+            env,
+            &mut st,
+            ckpt.next_round,
+            env.cfg.rounds,
+            &mut LedgerOut::Accumulate,
+        );
         SchedOutcome {
             model: self.trainer.global_model(&st.state).clone(),
             state: st.state,
@@ -1012,7 +1116,14 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
     }
 
     /// The shared round driver.
-    fn drive(&self, env: &FlEnv, st: &mut DriveState<T::ServerState>, from: usize, to: usize) {
+    fn drive(
+        &self,
+        env: &FlEnv,
+        st: &mut DriveState<T::ServerState>,
+        from: usize,
+        to: usize,
+        out: &mut LedgerOut<'_, SchedRound>,
+    ) {
         let cfg = &env.cfg;
         let cadence = crate::baselines::eval_cadence(cfg.rounds);
         for t in from..to {
@@ -1032,7 +1143,7 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             let participation_weight = sim
                 .completed
                 .iter()
-                .map(|&k| env.splits[k].weight)
+                .map(|&k| env.client_weight(k))
                 .sum::<f32>();
             if !results.is_empty() {
                 let updates: Vec<(usize, T::Update)> = sim
@@ -1049,8 +1160,13 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                 vc = Some(env.val_clean(model, 64));
                 va = Some(env.val_adv(model, 64));
             }
-            st.clock_s += sim.round_time_s;
-            st.ledger.push(SchedRound {
+            // On a hierarchical topology the round's barrier sits at the
+            // *server*: every edge forwards its cohort's partial sum at
+            // round close, and the round ends when the slowest bundle
+            // lands (the hops run concurrently, so the max binds).
+            let round_time_s = sim.round_time_s + planned.edge_forward_s;
+            st.clock_s += round_time_s;
+            let rec = SchedRound {
                 round: t,
                 selected: sim.completed.len() + sim.stragglers.len() + sim.dropped_out.len(),
                 dropped_out: sim.dropped_out.len(),
@@ -1060,12 +1176,14 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                 train_loss,
                 val_clean: vc,
                 val_adv: va,
-                round_time_s: sim.round_time_s,
+                round_time_s,
                 clock_s: st.clock_s,
                 down_bytes: planned.down_bytes,
                 up_bytes: planned.up_bytes,
                 delta_dispatches: planned.delta_dispatches,
-            });
+                edges_active: planned.edges_active,
+            };
+            out.emit(&mut st.ledger, rec);
         }
     }
 
@@ -1133,11 +1251,33 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                 specs[i].bytes
             })
             .sum();
+        // Hierarchical only: group the completed clients by cohort; each
+        // active edge forwards one partial sum (wire size = its densest
+        // member update) and the hops run concurrently.
+        let (edges_active, edge_forward_s) = if self.topo.is_hierarchical() {
+            let mut per_edge: BTreeMap<usize, u64> = BTreeMap::new();
+            for k in &sim.completed {
+                let i = ids.iter().position(|x| x == k).expect("completed id");
+                let bytes = per_edge
+                    .entry(self.topo.cohort_of(cfg.seed, *k))
+                    .or_insert(0);
+                *bytes = (*bytes).max(specs[i].bytes);
+            }
+            let forward = per_edge
+                .values()
+                .map(|&b| self.topo.uplink.forward_s(b))
+                .fold(0.0, f64::max);
+            (per_edge.len(), forward)
+        } else {
+            (0, 0.0)
+        };
         PlannedRound {
             sim,
             down_bytes,
             up_bytes,
             delta_dispatches,
+            edges_active,
+            edge_forward_s,
         }
     }
 }
@@ -1149,12 +1289,16 @@ struct PlannedRound {
     down_bytes: u64,
     up_bytes: u64,
     delta_dispatches: usize,
+    /// Edge aggregators that forwarded a bundle (0 on the flat topology).
+    edges_active: usize,
+    /// The round-close forwarding hop: max edge→server bundle transfer.
+    edge_forward_s: f64,
 }
 
 /// Client `k`'s device with its round-`t` real-time availability drawn
 /// from the per-`(round, client)` stream both schedulers share.
 pub fn sample_availability(env: &FlEnv, t: usize, k: usize) -> DeviceSample {
-    let mut s = env.fleet[k];
+    let mut s = env.client_device(k);
     s.resample_availability(&mut env.client_rng(t, k, SALT_AVAIL));
     s
 }

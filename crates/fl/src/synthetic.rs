@@ -1,0 +1,162 @@
+//! A synthetic fleet-scale workload for the schedulers.
+//!
+//! Fleet-scale runs (10⁵–10⁶ clients) exercise the *scheduling* fabric —
+//! dispatch picking, cohort assignment, edge bundling, cache eviction —
+//! not the learning. [`SyntheticTrainer`] keeps everything the
+//! schedulers depend on (a real reference model for payload sizing and
+//! costing, deterministic per-`(version, client)` update streams, linear
+//! weighted merging) while replacing local SGD with a seeded
+//! perturbation of the dispatched parameters, so a 100k-client run costs
+//! milliseconds per aggregation instead of hours.
+//!
+//! The trainer never touches `env.splits`/`env.fleet`, which makes it
+//! the intended workload for lazily-materialized environments
+//! ([`crate::FlEnv::lazy`]). Updates are pure functions of
+//! `(seed, version, client)`, so determinism, checkpoint/resume, and
+//! thread-invariance guarantees hold exactly as for the real trainers.
+
+use crate::engine::FlEnv;
+use crate::sched::{ModelState, ScheduledTrainer};
+use fp_hwsim::{forward_macs, LatencyModel, TrainingPassProfile};
+use fp_nn::CascadeModel;
+use fp_tensor::BackendHandle;
+use rand::Rng;
+
+/// Domain-separation salt for the per-`(version, client)` update streams.
+pub const SALT_SYNTH: u64 = 0x5F17_7E57;
+
+/// The synthetic workload driver: full-model payloads, standard-pass
+/// costing, seeded parameter perturbations as "updates".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyntheticTrainer;
+
+impl ScheduledTrainer for SyntheticTrainer {
+    type Update = Vec<f32>;
+    type ServerState = ModelState;
+
+    fn name(&self) -> &'static str {
+        "Synthetic"
+    }
+
+    fn cost(&self, env: &FlEnv, _t: usize, _k: usize) -> LatencyModel {
+        LatencyModel {
+            mem_req_bytes: env.full_mem_req(),
+            fwd_macs_per_sample: forward_macs(&env.reference_specs, &env.input_shape),
+            batch: env.cfg.batch_size,
+            profile: TrainingPassProfile::standard(),
+        }
+    }
+
+    fn init(&self, env: &FlEnv) -> ModelState {
+        let mut rng = fp_tensor::seeded_rng(env.cfg.seed);
+        ModelState(fp_nn::models::instantiate(
+            &env.reference_specs,
+            &env.input_shape,
+            env.data.train.n_classes(),
+            &mut rng,
+        ))
+    }
+
+    fn global_model<'a>(&self, state: &'a ModelState) -> &'a CascadeModel {
+        &state.0
+    }
+
+    fn global_model_mut<'a>(&self, state: &'a mut ModelState) -> &'a mut CascadeModel {
+        &mut state.0
+    }
+
+    /// "Trains" client `k` against version `t`: the returned update is
+    /// the dispatched parameters nudged toward zero plus seeded noise —
+    /// shaped like a real post-SGD parameter vector, derived without a
+    /// single forward pass.
+    fn train(
+        &self,
+        env: &FlEnv,
+        state: &ModelState,
+        t: usize,
+        k: usize,
+        lr: f32,
+        _backend: BackendHandle,
+    ) -> (Vec<f32>, f32) {
+        let mut rng = env.client_rng(t, k, SALT_SYNTH);
+        let update: Vec<f32> = state
+            .0
+            .flat_params()
+            .iter()
+            .map(|p| p * (1.0 - lr) + lr * rng.gen_range(-0.01f32..0.01))
+            .collect();
+        let loss = 1.0 / (1.0 + t as f32) + rng.gen_range(0.0f32..0.05);
+        (update, loss)
+    }
+
+    fn merge_weighted(
+        &self,
+        _env: &FlEnv,
+        state: &mut ModelState,
+        _t: usize,
+        updates: Vec<(usize, Vec<f32>)>,
+        weights: &[f32],
+    ) {
+        let mut acc = vec![0.0f32; updates[0].1.len()];
+        let wsum: f32 = weights.iter().sum();
+        for ((_, u), &w) in updates.iter().zip(weights) {
+            for (a, v) in acc.iter_mut().zip(u) {
+                *a += w * v;
+            }
+        }
+        for a in &mut acc {
+            *a /= wsum;
+        }
+        state.0.set_flat_params(&acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::async_sched::{AsyncConfig, AsyncScheduler};
+    use crate::config::FlConfig;
+    use crate::sched::model_hash;
+    use fp_data::{generate, SynthConfig};
+    use fp_hwsim::{SamplingMode, CIFAR_POOL};
+    use fp_nn::models::{vgg_atom_specs, VggConfig};
+
+    fn lazy_env(n_clients: usize, seed: u64) -> FlEnv {
+        let mut cfg = FlConfig::fast(8, seed);
+        cfg.n_clients = n_clients;
+        cfg.clients_per_round = 4.min(n_clients);
+        let data = generate(&SynthConfig::tiny(4, 8), seed);
+        let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16]));
+        FlEnv::lazy(data, &CIFAR_POOL, SamplingMode::Balanced, specs, cfg)
+    }
+
+    #[test]
+    fn synthetic_async_run_is_deterministic() {
+        let env = lazy_env(64, 9);
+        let acfg = AsyncConfig {
+            concurrency: 8,
+            buffer_k: 4,
+            ..AsyncConfig::default()
+        };
+        let a = AsyncScheduler::new(SyntheticTrainer, acfg).run(&env);
+        let b = AsyncScheduler::new(SyntheticTrainer, acfg).run(&env);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(model_hash(&a.model), model_hash(&b.model));
+        assert_eq!(a.ledger.len(), env.cfg.rounds);
+    }
+
+    #[test]
+    fn updates_are_pure_functions_of_version_and_client() {
+        let env = lazy_env(8, 3);
+        let st = SyntheticTrainer.init(&env);
+        let (u1, l1) =
+            SyntheticTrainer.train(&env, &st, 2, 5, 0.1, fp_tensor::backend_for_threads(1));
+        let (u2, l2) =
+            SyntheticTrainer.train(&env, &st, 2, 5, 0.1, fp_tensor::backend_for_threads(1));
+        assert_eq!(u1, u2);
+        assert_eq!(l1, l2);
+        let (u3, _) =
+            SyntheticTrainer.train(&env, &st, 2, 6, 0.1, fp_tensor::backend_for_threads(1));
+        assert_ne!(u1, u3);
+    }
+}

@@ -154,6 +154,33 @@ impl LatencyModel {
     }
 }
 
+/// A fixed aggregator→server backhaul link: the hop an edge aggregator
+/// pays to forward its cohort's partial sum upstream. Unlike client
+/// links this is infrastructure — a wired backhaul with its own base
+/// latency and bandwidth, independent of any device sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForwardLink {
+    /// Fixed per-forward latency (connection setup, queueing), seconds.
+    pub base_s: f64,
+    /// Link bandwidth in GiB/s.
+    pub gbps: f64,
+}
+
+impl ForwardLink {
+    /// A datacenter-grade default: 20 ms base, 10 GiB/s backhaul.
+    pub fn backhaul() -> ForwardLink {
+        ForwardLink {
+            base_s: 0.02,
+            gbps: 10.0,
+        }
+    }
+
+    /// Seconds for one upstream forward of `bytes`.
+    pub fn forward_s(&self, bytes: u64) -> f64 {
+        self.base_s + bytes as f64 / (self.gbps * GIB)
+    }
+}
+
 /// The synchronization cost of one FL round: the slowest selected client
 /// dominates (paper §6.3 motivates the FLOPs constraint with exactly this
 /// barrier).

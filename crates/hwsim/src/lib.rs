@@ -36,7 +36,7 @@ pub mod memory;
 pub use comm::{Payload, PayloadKind, PayloadSpec, FULL_SHAPE};
 pub use devices::{sample_fleet, Device, DeviceSample, SamplingMode, CALTECH_POOL, CIFAR_POOL};
 pub use flops::{forward_macs, forward_macs_range, training_flops_per_iter, TrainingPassProfile};
-pub use latency::{transfer_seconds, ClientLatency, LatencyModel};
+pub use latency::{transfer_seconds, ClientLatency, ForwardLink, LatencyModel};
 pub use memory::{
     model_mem_req, module_mem_req, param_transfer_bytes, AuxHeadSpec, MemoryBreakdown,
     BYTES_PER_PARAM_STATE,

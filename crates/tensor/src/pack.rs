@@ -777,8 +777,13 @@ fn im2col_span(
                 let lead = (-ix0).clamp(0, run as isize) as usize;
                 let have = ((geo.w as isize - ix0).clamp(0, run as isize) as usize).max(lead);
                 seg[..lead].fill(0.0);
-                seg[lead..have]
-                    .copy_from_slice(&img_row[(ix0 + lead as isize) as usize..][..have - lead]);
+                // A span that ends inside the left padding has `have ==
+                // lead` with `ix0 + lead` still negative — the empty copy
+                // must not index the image row at all.
+                if have > lead {
+                    seg[lead..have]
+                        .copy_from_slice(&img_row[(ix0 + lead as isize) as usize..][..have - lead]);
+                }
                 seg[have..].fill(0.0);
             } else {
                 let mut ix = ix0;

@@ -137,8 +137,101 @@ fn grouped_gemm_bitwise_across_threads() {
     assert_eq!(want, looped, "grouped vs looped");
 }
 
+/// The PR-6 regression probe, kept as a pinned suite: k=5 pad=2
+/// stride=1 geometries where a packed B span ends inside the left
+/// padding (`run < -ix0`), which used to underflow the image-row index
+/// in `im2col_span`. Covers forward and both backward kernels, and
+/// checks the Parallel results are bitwise thread-invariant on these
+/// degenerate shapes too.
+#[test]
+fn conv_left_pad_short_span() {
+    for (h, w) in [(5usize, 31usize), (5, 5), (3, 1)] {
+        let geo = Conv2dGeometry {
+            c_in: 1,
+            h,
+            w,
+            k: 5,
+            stride: 1,
+            pad: 2,
+        };
+        let (batch, c_out) = (1usize, 1usize);
+        let rows = geo.col_rows();
+        let n_cols = geo.col_cols();
+        let img_len = geo.c_in * geo.h * geo.w;
+        let x: Vec<f32> = (0..batch * img_len).map(|i| i as f32 * 0.01).collect();
+        let wts: Vec<f32> = (0..c_out * rows).map(|i| i as f32 * 0.001).collect();
+        let g: Vec<f32> = (0..batch * c_out * n_cols)
+            .map(|i| (i as f32 * 0.02).sin())
+            .collect();
+        let run = |be: &dyn Backend| {
+            let mut ws = Vec::new();
+            let mut out = vec![0.0; batch * c_out * n_cols];
+            be.conv2d_forward(&x, &wts, None, &mut out, batch, c_out, &geo, &mut ws);
+            let mut dw = vec![0.0; c_out * rows];
+            be.conv2d_backward_weights(&x, &g, &mut dw, batch, c_out, &geo, &mut ws);
+            let mut dx = vec![0.0; batch * img_len];
+            be.conv2d_backward_input(&wts, &g, &mut dx, batch, c_out, &geo, &mut ws);
+            (out, dw, dx)
+        };
+        let want = run(&Scalar);
+        for threads in [1, 2] {
+            let got = run(&Parallel::with_threads(threads));
+            assert_within(&got.0, &want.0, "forward").unwrap();
+            assert_within(&got.1, &want.1, "dW").unwrap();
+            assert_within(&got.2, &want.2, "dX").unwrap();
+        }
+        // Degenerate spans must not perturb thread determinism.
+        assert_eq!(
+            run(&Parallel::with_threads(1)),
+            run(&Parallel::with_threads(4)),
+            "thread invariance at h={h} w={w}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Edge-span sweep over kernel size and padding: every (k, pad,
+    /// stride, h, w) combination that yields at least one output column
+    /// — including w < k and single-column outputs — must agree with
+    /// the Scalar reference on all three kernels without panicking.
+    #[test]
+    fn conv2d_edge_span_sweep(
+        k in 1usize..6,
+        pad in 0usize..3,
+        stride in 1usize..3,
+        h in 1usize..8,
+        w in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let geo = Conv2dGeometry { c_in: 1, h, w, k, stride, pad };
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        prop_assume!(pad < k);
+        let (batch, c_out) = (1usize, 2usize);
+        let rows = geo.col_rows();
+        let n_cols = geo.col_cols();
+        let img_len = geo.c_in * geo.h * geo.w;
+        let mut rng = fp_tensor::seeded_rng(seed ^ 0xF3);
+        let x = rand_vec(batch * img_len, &mut rng);
+        let wt = rand_vec(c_out * rows, &mut rng);
+        let g = rand_vec(batch * c_out * n_cols, &mut rng);
+        let run = |be: &dyn Backend| {
+            let mut ws = Vec::new();
+            let mut out = vec![0.0; batch * c_out * n_cols];
+            be.conv2d_forward(&x, &wt, None, &mut out, batch, c_out, &geo, &mut ws);
+            let mut dw = vec![0.0; c_out * rows];
+            be.conv2d_backward_weights(&x, &g, &mut dw, batch, c_out, &geo, &mut ws);
+            let mut dx = vec![0.0; batch * img_len];
+            be.conv2d_backward_input(&wt, &g, &mut dx, batch, c_out, &geo, &mut ws);
+            (out, dw, dx)
+        };
+        let want = run(&Scalar);
+        let got = run(&Parallel::with_threads(2));
+        assert_within(&got.0, &want.0, "forward")?;
+        assert_within(&got.1, &want.1, "dW")?;
+        assert_within(&got.2, &want.2, "dX")?;
+    }
 
     /// Fused conv forward ≡ materialized Scalar reference at 1e-5 for
     /// random geometry (stride 1–2, pad 0–1, skinny channel counts).

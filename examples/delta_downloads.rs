@@ -43,6 +43,7 @@ fn main() {
     let comm = CommConfig {
         delta_downloads: true,
         snapshot_retention: 8,
+        ..CommConfig::default()
     };
 
     let full = EventScheduler::new(alg, sched).run(&env);

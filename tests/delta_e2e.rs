@@ -42,6 +42,7 @@ fn delta_comm() -> CommConfig {
     CommConfig {
         delta_downloads: true,
         snapshot_retention: 6,
+        ..CommConfig::default()
     }
 }
 
@@ -156,6 +157,7 @@ fn disabled_comm_resumes_regardless_of_inert_retention_knob() {
         CommConfig {
             delta_downloads: false,
             snapshot_retention: 9,
+            ..CommConfig::default()
         },
     );
     let full = sched.run(&e);

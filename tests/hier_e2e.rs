@@ -1,0 +1,253 @@
+//! Two-tier hierarchical aggregation regression suite.
+//!
+//! Four guarantees are pinned here:
+//!
+//! 1. **Single-tier equivalence.** A scheduler built through
+//!    `with_topology(.., TopologyConfig::single())` reproduces the
+//!    plain `with_comm` scheduler bit-for-bit — ledger JSON, final
+//!    model hash, and checkpoint JSON — so every pre-topology golden
+//!    stays meaningful.
+//! 2. **Fleet scale.** A 100k-client lazily-materialized environment
+//!    drives a two-tier async run to completion with resident client
+//!    state bounded by the active dispatches: the communication-plane
+//!    cache holds at most `cache_rows` rows and the checkpoint carries
+//!    no O(fleet) vectors.
+//! 3. **Hierarchical determinism.** Two identical two-tier runs agree
+//!    exactly, and the ledger accounts every merged update to a bundle.
+//! 4. **Mid-flight hierarchical checkpointing.** A checkpoint taken
+//!    with edge buffers holding updates and bundles on the backhaul
+//!    round-trips through JSON and resumes bit-identically.
+
+use fedprophet_repro::data::{generate, partition_pathological, SynthConfig};
+use fedprophet_repro::fl::{
+    model_hash, AsyncCheckpoint, AsyncConfig, AsyncScheduler, AsyncStopPoint, CommConfig,
+    EventScheduler, FlConfig, FlEnv, JFat, SchedConfig, SyntheticTrainer, TopologyConfig,
+};
+use fedprophet_repro::hwsim::{sample_fleet, SamplingMode, CIFAR_POOL};
+use fedprophet_repro::nn::models::{vgg_atom_specs, VggConfig};
+
+fn eager_env(rounds: usize, seed: u64) -> FlEnv {
+    let cfg = FlConfig::fast(rounds, seed);
+    let data = generate(&SynthConfig::tiny(4, 8), seed);
+    let splits = partition_pathological(&data.train, cfg.n_clients, 0.8, 0.25, seed);
+    let mut rng = fedprophet_repro::tensor::seeded_rng(seed ^ 0xF1EE7);
+    let fleet = sample_fleet(&CIFAR_POOL, cfg.n_clients, SamplingMode::Balanced, &mut rng);
+    let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16, 24]));
+    FlEnv::new(data, splits, fleet, specs, cfg)
+}
+
+fn fleet_env(n_clients: usize, rounds: usize, seed: u64) -> FlEnv {
+    let mut cfg = FlConfig::fast(rounds, seed);
+    cfg.n_clients = n_clients;
+    cfg.clients_per_round = 4;
+    let data = generate(&SynthConfig::tiny(4, 8), seed);
+    let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16]));
+    FlEnv::lazy(data, &CIFAR_POOL, SamplingMode::Balanced, specs, cfg)
+}
+
+fn fleet_async() -> AsyncConfig {
+    AsyncConfig {
+        concurrency: 64,
+        buffer_k: 4, // bundles, on a two-tier topology
+        staleness_exp: 0.5,
+        ..AsyncConfig::default()
+    }
+}
+
+fn bounded_comm() -> CommConfig {
+    CommConfig {
+        delta_downloads: true,
+        snapshot_retention: 8,
+        cache_rows: 128,
+    }
+}
+
+// ------------------------------------------------- single-tier equivalence
+
+#[test]
+fn single_tier_async_is_bit_identical_to_flat() {
+    let env = eager_env(5, 77);
+    let acfg = AsyncConfig {
+        concurrency: 4,
+        buffer_k: 2,
+        staleness_exp: 0.5,
+        ..AsyncConfig::default()
+    };
+    let flat = AsyncScheduler::new(JFat::new(), acfg).run(&env);
+    let single = AsyncScheduler::with_topology(
+        JFat::new(),
+        acfg,
+        CommConfig::default(),
+        TopologyConfig::single(),
+    )
+    .run(&env);
+    assert_eq!(flat.ledger, single.ledger);
+    assert_eq!(model_hash(&flat.model), model_hash(&single.model));
+    // The ledger JSON is byte-identical too: the bundle fields are
+    // omit-when-zero, and a flat run never sets them.
+    assert_eq!(
+        serde_json::to_string(&flat.ledger).unwrap(),
+        serde_json::to_string(&single.ledger).unwrap()
+    );
+}
+
+#[test]
+fn single_tier_sync_is_bit_identical_to_flat() {
+    let env = eager_env(4, 78);
+    let sched = SchedConfig::default();
+    let flat = EventScheduler::new(JFat::new(), sched).run(&env);
+    let single = EventScheduler::with_topology(
+        JFat::new(),
+        sched,
+        CommConfig::default(),
+        TopologyConfig::single(),
+    )
+    .run(&env);
+    assert_eq!(flat.ledger, single.ledger);
+    assert_eq!(model_hash(&flat.model), model_hash(&single.model));
+    assert_eq!(flat.ledger_json(), single.ledger_json());
+    // Checkpoints agree byte-for-byte as well (no `topo` key on flat).
+    let a =
+        serde_json::to_string(&EventScheduler::new(JFat::new(), sched).run_until(&env, 2)).unwrap();
+    let b = serde_json::to_string(
+        &EventScheduler::with_topology(
+            JFat::new(),
+            sched,
+            CommConfig::default(),
+            TopologyConfig::single(),
+        )
+        .run_until(&env, 2),
+    )
+    .unwrap();
+    assert_eq!(a, b);
+    assert!(
+        !a.contains("\"topo\""),
+        "flat checkpoint carries no topo key"
+    );
+}
+
+// ------------------------------------------------------------ fleet scale
+
+#[test]
+fn hundred_k_two_tier_run_completes_with_bounded_state() {
+    let env = fleet_env(100_000, 6, 41);
+    let topo = TopologyConfig::two_tier(32, 4);
+    let sched =
+        AsyncScheduler::with_topology(SyntheticTrainer, fleet_async(), bounded_comm(), topo);
+
+    // Stream the ledger to a sink: nothing accumulates in the outcome.
+    let mut streamed = Vec::new();
+    let out = sched.run_streamed(&env, &mut |r| streamed.push(r.clone()));
+    assert!(out.ledger.is_empty(), "streamed run keeps no ledger");
+    assert_eq!(streamed.len(), env.cfg.rounds);
+    for rec in &streamed {
+        assert!(rec.merged > 0);
+        assert!(rec.bundles > 0, "two-tier merges arrive as bundles");
+    }
+    // A bundle can flush in one inter-aggregation window and land in a
+    // later one, but cumulatively nothing arrives unflushed.
+    let flushes: usize = streamed.iter().map(|r| r.edge_flushes).sum();
+    let bundles: usize = streamed.iter().map(|r| r.bundles).sum();
+    assert!(flushes >= bundles, "{flushes} flushes < {bundles} bundles");
+
+    // A mid-flight checkpoint bounds every resident collection: the
+    // LRU'd cache at `cache_rows`, dispatch descriptors at the
+    // concurrency cap, edge buffers below the flush threshold per edge.
+    let ckpt = sched.run_until(&env, AsyncStopPoint::after_agg(3));
+    let comm = ckpt.comm.as_ref().expect("comm plane enabled");
+    assert!(
+        comm.cache.len() <= bounded_comm().cache_rows,
+        "cache holds {} rows, bound {}",
+        comm.cache.len(),
+        bounded_comm().cache_rows
+    );
+    assert!(ckpt.in_flight.len() <= fleet_async().concurrency);
+    for (_, buf) in &ckpt.edge_buffers {
+        assert!(
+            buf.len() < topo.edge_flush_k,
+            "edge buffers stay below the flush threshold"
+        );
+    }
+    assert!(ckpt.dispatched_at_version.len() <= 100_000);
+}
+
+// -------------------------------------------------- hierarchical behavior
+
+#[test]
+fn two_tier_runs_are_deterministic() {
+    let env = fleet_env(2_000, 5, 13);
+    let topo = TopologyConfig::two_tier(8, 3);
+    let mk =
+        || AsyncScheduler::with_topology(SyntheticTrainer, fleet_async(), bounded_comm(), topo);
+    let a = mk().run(&env);
+    let b = mk().run(&env);
+    assert_eq!(a.ledger, b.ledger);
+    assert_eq!(model_hash(&a.model), model_hash(&b.model));
+    // Every merged update arrived inside a bundle of the edge tier.
+    for rec in &a.ledger {
+        assert!(rec.bundles >= 1);
+        assert!(rec.merged >= rec.bundles, "a bundle carries >= 1 update");
+    }
+}
+
+#[test]
+fn two_tier_sync_rounds_pay_the_forwarding_hop() {
+    let env = eager_env(4, 21);
+    let sched = SchedConfig::default();
+    let flat = EventScheduler::new(JFat::new(), sched).run(&env);
+    let hier = EventScheduler::with_topology(
+        JFat::new(),
+        sched,
+        CommConfig::default(),
+        TopologyConfig::two_tier(3, 2),
+    )
+    .run(&env);
+    // Same training streams, same merges — the hierarchy only adds the
+    // edge→server hop to the round clock and reports the active edges.
+    assert_eq!(model_hash(&flat.model), model_hash(&hier.model));
+    for (f, h) in flat.ledger.iter().zip(&hier.ledger) {
+        assert!(h.edges_active >= 1);
+        assert!(h.edges_active <= 3);
+        assert!(
+            h.round_time_s > f.round_time_s,
+            "round {} must pay a forwarding hop",
+            f.round
+        );
+    }
+}
+
+// ------------------------------------------------ hierarchical checkpoint
+
+#[test]
+fn hierarchical_checkpoint_resumes_bit_identically() {
+    let env = fleet_env(2_000, 6, 99);
+    let topo = TopologyConfig::two_tier(8, 3);
+    let mk =
+        || AsyncScheduler::with_topology(SyntheticTrainer, fleet_async(), bounded_comm(), topo);
+
+    let full = mk().run(&env);
+    let ckpt = mk().run_until(&env, AsyncStopPoint::after_agg(3));
+    // Round-trip the checkpoint through JSON, including topo and any
+    // edge-buffered or upstream-forwarded descriptors.
+    let json = serde_json::to_string(&ckpt).unwrap();
+    assert!(json.contains("\"topo\""));
+    let back: AsyncCheckpoint = serde_json::from_str(&json).unwrap();
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    let resumed = mk().resume(&env, &back);
+    assert_eq!(full.ledger, resumed.ledger);
+    assert_eq!(model_hash(&full.model), model_hash(&resumed.model));
+}
+
+#[test]
+#[should_panic(expected = "AsyncCheckpoint field `topo`")]
+fn resume_rejects_topology_mismatch() {
+    let env = fleet_env(500, 4, 7);
+    let hier = AsyncScheduler::with_topology(
+        SyntheticTrainer,
+        fleet_async(),
+        bounded_comm(),
+        TopologyConfig::two_tier(4, 2),
+    );
+    let ckpt = hier.run_until(&env, AsyncStopPoint::after_agg(2));
+    AsyncScheduler::with_comm(SyntheticTrainer, fleet_async(), bounded_comm()).resume(&env, &ckpt);
+}
