@@ -26,5 +26,5 @@ mod target;
 
 pub use apgd::{Apgd, ApgdConfig};
 pub use eval::{clean_accuracy, evaluate_robustness, RobustnessReport};
-pub use pgd::{fgsm, NormBall, Pgd, PgdConfig};
+pub use pgd::{fgsm, poison_params, NormBall, Pgd, PgdConfig};
 pub use target::{AttackTarget, ModelTarget};

@@ -264,6 +264,67 @@ pub fn fgsm(
     adv
 }
 
+/// Parameter-space targeted poisoning: projected gradient steps that pull
+/// a parameter vector toward an attacker-chosen `target`, constrained to
+/// a [`NormBall`] around the honest `start` — the same machinery PGD uses
+/// on inputs, turned on a federated client's uplink update. The bounded
+/// perturbation is what makes the poison *stealthy*: it survives
+/// norm-based server defenses that would catch an unconstrained
+/// replacement.
+///
+/// The objective is `½‖(start + δ) − target‖²`, whose gradient in `δ` is
+/// `(start + δ) − target`; each of `steps` iterations descends along the
+/// steepest direction for the ball's norm, with the step length clamped by
+/// the remaining distance to the target so an in-ball target is reached
+/// exactly rather than orbited at the step radius, then re-projects.
+/// Deterministic — no random start, no restarts.
+///
+/// # Panics
+///
+/// Panics if the vectors disagree in length, `steps` is zero, or ε is
+/// not positive.
+pub fn poison_params(start: &[f32], target: &[f32], ball: NormBall, steps: usize) -> Vec<f32> {
+    assert_eq!(start.len(), target.len(), "poison target length mismatch");
+    assert!(steps > 0, "poison needs at least one step");
+    assert!(ball.eps() > 0.0, "epsilon must be positive");
+    let alpha = 2.5 * ball.eps() / steps as f32;
+    let mut delta = Tensor::zeros(&[start.len()]);
+    for _ in 0..steps {
+        // grad = (start + δ) − target, computed in place of a scratch.
+        let mut grad = delta.clone();
+        for ((g, &s), &t) in grad.data_mut().iter_mut().zip(start).zip(target) {
+            *g += s - t;
+        }
+        // Steepest descent for the ball's norm, but never past the target:
+        // a fixed-length step would oscillate around any target closer
+        // than α instead of converging onto it.
+        match ball {
+            NormBall::Linf(_) => {
+                for (d, &g) in delta.data_mut().iter_mut().zip(grad.data()) {
+                    *d -= g.clamp(-alpha, alpha);
+                }
+            }
+            NormBall::L2(_) => {
+                let n = grad
+                    .data()
+                    .iter()
+                    .map(|&v| v as f64 * v as f64)
+                    .sum::<f64>()
+                    .sqrt() as f32;
+                if n > 0.0 {
+                    delta.axpy(-(alpha.min(n) / n), &grad);
+                }
+            }
+        }
+        ball.project(&mut delta);
+    }
+    start
+        .iter()
+        .zip(delta.data())
+        .map(|(&s, &d)| s + d)
+        .collect()
+}
+
 pub(crate) fn keep_per_sample_best(
     best: &mut Tensor,
     best_loss: &mut [f32],
@@ -408,6 +469,36 @@ mod tests {
             lossn >= loss1 - 1e-5,
             "restarts lowered loss: {lossn} < {loss1}"
         );
+    }
+
+    #[test]
+    fn poison_stays_in_ball_and_approaches_target() {
+        let start = vec![1.0f32, -2.0, 0.5, 0.0];
+        let target = vec![0.0f32; 4];
+        let eps = 0.25;
+        let poisoned = poison_params(&start, &target, NormBall::Linf(eps), 5);
+        for (p, s) in poisoned.iter().zip(&start) {
+            assert!((p - s).abs() <= eps + 1e-6, "ball violated: {p} vs {s}");
+        }
+        let d0: f32 = start.iter().map(|v| v * v).sum();
+        let d1: f32 = poisoned.iter().map(|v| v * v).sum();
+        assert!(d1 < d0, "poison must move toward the target");
+        // Deterministic: same inputs, same poison.
+        assert_eq!(
+            poisoned,
+            poison_params(&start, &target, NormBall::Linf(eps), 5)
+        );
+    }
+
+    #[test]
+    fn poison_reaches_target_inside_ball() {
+        // Target within ε of start: enough steps land exactly on it.
+        let start = vec![0.1f32, -0.1];
+        let target = vec![0.15f32, -0.05];
+        let poisoned = poison_params(&start, &target, NormBall::L2(1.0), 50);
+        for (p, t) in poisoned.iter().zip(&target) {
+            assert!((p - t).abs() < 0.02, "poison {p} should approach {t}");
+        }
     }
 
     #[test]

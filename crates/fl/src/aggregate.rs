@@ -24,6 +24,136 @@ pub fn weighted_average(updates: &[(Vec<f32>, f32)]) -> Vec<f32> {
     out.into_iter().map(|v| v as f32).collect()
 }
 
+// ------------------------------------------------------- robust statistics
+//
+// The math behind `crate::byz`'s `RobustRule`s, kept here as pure
+// deterministic functions over flat vectors: f64 accumulation, `total_cmp`
+// orderings with client-index tie-breaks, no RNG — so robust aggregation
+// inherits the same thread-invariance guarantees as FedAvg.
+
+/// Coordinate-wise trimmed mean: per coordinate, the `g` lowest and `g`
+/// highest values are discarded and the survivors averaged with their
+/// (renormalized) weights. Returns the robust vector plus, per update,
+/// how many of its coordinates were trimmed away — the evidence trail the
+/// ledger's `filtered` field is built from.
+///
+/// Ties are broken by update index, so the result is a pure function of
+/// the inputs.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty, lengths disagree, or trimming would
+/// discard every value (`2g ≥ n`).
+pub fn trimmed_mean(
+    updates: &[(usize, Vec<f32>)],
+    weights: &[f32],
+    g: usize,
+) -> (Vec<f32>, Vec<usize>) {
+    assert!(!updates.is_empty(), "no updates to aggregate");
+    assert_eq!(updates.len(), weights.len(), "weight length mismatch");
+    let n = updates.len();
+    assert!(2 * g < n, "trimming {g} from each end empties {n} updates");
+    let len = updates[0].1.len();
+    for (_, u) in updates {
+        assert_eq!(u.len(), len, "update length mismatch");
+    }
+    let mut out = vec![0.0f32; len];
+    let mut trimmed = vec![0usize; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for (j, o) in out.iter_mut().enumerate() {
+        order.clear();
+        order.extend(0..n);
+        order.sort_by(|&a, &b| updates[a].1[j].total_cmp(&updates[b].1[j]).then(a.cmp(&b)));
+        for &i in order[..g].iter().chain(&order[n - g..]) {
+            trimmed[i] += 1;
+        }
+        let survivors = &order[g..n - g];
+        let wsum: f64 = survivors.iter().map(|&i| weights[i] as f64).sum();
+        let sum: f64 = survivors
+            .iter()
+            .map(|&i| weights[i] as f64 * updates[i].1[j] as f64)
+            .sum();
+        *o = (sum / wsum) as f32;
+    }
+    (out, trimmed)
+}
+
+/// Krum scores (Blanchard et al. 2017): each update's score is the sum of
+/// its squared distances to its `n − f − 2` nearest peers — honest
+/// updates cluster, so poisoned outliers score high. Lower is better.
+///
+/// # Panics
+///
+/// Panics if `n ≤ f + 2` (the score is undefined) or lengths disagree.
+pub fn krum_scores(updates: &[(usize, Vec<f32>)], f: usize) -> Vec<f64> {
+    let n = updates.len();
+    assert!(n > f + 2, "krum needs n > f + 2 (n = {n}, f = {f})");
+    let closest = n - f - 2;
+    let mut dist = vec![0.0f64; n * n];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let d: f64 = updates[a]
+                .1
+                .iter()
+                .zip(&updates[b].1)
+                .map(|(&x, &y)| {
+                    let d = x as f64 - y as f64;
+                    d * d
+                })
+                .sum();
+            dist[a * n + b] = d;
+            dist[b * n + a] = d;
+        }
+    }
+    (0..n)
+        .map(|a| {
+            let mut row: Vec<f64> = (0..n)
+                .filter(|&b| b != a)
+                .map(|b| dist[a * n + b])
+                .collect();
+            row.sort_by(f64::total_cmp);
+            row[..closest].iter().sum()
+        })
+        .collect()
+}
+
+/// Clips each update's ℓ2 norm to `clip × median(norms)`, in place, and
+/// reports how many updates were actually rescaled. The threshold scales
+/// with the honest cluster (median is robust to a minority of inflated
+/// norms), so no absolute magnitude needs tuning.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or `clip` is not positive and finite.
+pub fn clip_to_median_norm(updates: &mut [(usize, Vec<f32>)], clip: f64) -> usize {
+    assert!(!updates.is_empty(), "no updates to clip");
+    assert!(clip.is_finite() && clip > 0.0, "clip must be positive");
+    let mut norms: Vec<f64> = updates
+        .iter()
+        .map(|(_, u)| u.iter().map(|&v| v as f64 * v as f64).sum::<f64>().sqrt())
+        .collect();
+    let mut sorted = norms.clone();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    let median = if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    };
+    let threshold = clip * median;
+    let mut applied = 0;
+    for ((_, u), norm) in updates.iter_mut().zip(&mut norms) {
+        if *norm > threshold && *norm > 0.0 {
+            let k = (threshold / *norm) as f32;
+            for v in u.iter_mut() {
+                *v *= k;
+            }
+            applied += 1;
+        }
+    }
+    applied
+}
+
 /// Entry-wise partial averaging (paper Eq. 16–17, after
 /// HeteroFL/FedRolex): each global entry is the weighted mean over the
 /// clients that actually held it; uncovered entries keep their previous
@@ -144,5 +274,72 @@ mod tests {
     #[should_panic(expected = "no updates")]
     fn empty_average_rejected() {
         weighted_average(&[]);
+    }
+
+    #[test]
+    fn trimmed_mean_discards_extremes() {
+        // One poisoned update (client 9) dominates both coordinates; the
+        // g=1 trim removes it from every coordinate.
+        let updates = vec![
+            (3, vec![1.0, 2.0]),
+            (5, vec![1.2, 2.2]),
+            (7, vec![0.8, 1.8]),
+            (9, vec![100.0, -100.0]),
+        ];
+        let (out, trimmed) = trimmed_mean(&updates, &[1.0; 4], 1);
+        assert!(out[0] < 2.0, "poison must not drag the mean: {}", out[0]);
+        assert!(out[1] > 0.0, "poison must not drag the mean: {}", out[1]);
+        // The poisoned update is trimmed on every coordinate; one honest
+        // update pays the other tail per coordinate.
+        assert_eq!(trimmed[3], 2);
+        assert_eq!(trimmed.iter().sum::<usize>(), 2 + 2);
+    }
+
+    #[test]
+    fn trimmed_mean_with_zero_trim_is_weighted_average() {
+        let updates = vec![(0, vec![0.0, 10.0]), (1, vec![10.0, 0.0])];
+        let (out, trimmed) = trimmed_mean(&updates, &[1.0, 3.0], 0);
+        assert_eq!(out, vec![7.5, 2.5]);
+        assert_eq!(trimmed, vec![0, 0]);
+    }
+
+    #[test]
+    fn krum_scores_isolate_the_outlier() {
+        let updates = vec![
+            (0, vec![1.0, 1.0]),
+            (1, vec![1.1, 0.9]),
+            (2, vec![0.9, 1.1]),
+            (3, vec![1.0, 0.95]),
+            (4, vec![-50.0, 50.0]),
+        ];
+        let scores = krum_scores(&updates, 1);
+        let worst = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(worst, 4, "outlier must score highest: {scores:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "krum needs n > f + 2")]
+    fn krum_rejects_degenerate_population() {
+        krum_scores(&[(0, vec![1.0]), (1, vec![2.0]), (2, vec![3.0])], 1);
+    }
+
+    #[test]
+    fn median_norm_clip_rescales_only_outliers() {
+        let mut updates = vec![
+            (0, vec![3.0, 4.0]),   // norm 5
+            (1, vec![0.0, 5.0]),   // norm 5
+            (2, vec![30.0, 40.0]), // norm 50
+        ];
+        let applied = clip_to_median_norm(&mut updates, 2.0);
+        assert_eq!(applied, 1);
+        // Median norm 5, threshold 10: the outlier lands on the sphere.
+        let n2: f32 = updates[2].1.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((n2 - 10.0).abs() < 1e-4, "clipped norm {n2}");
+        assert_eq!(updates[0].1, vec![3.0, 4.0], "inliers untouched");
     }
 }

@@ -496,6 +496,14 @@ pub struct AsyncAggRecord {
     pub bundles: usize,
     /// Edge flushes (upstream forwards) since the previous aggregation.
     pub edge_flushes: usize,
+    /// Clients whose updates the robust aggregation rule filtered out of
+    /// this flush, with reasons — the rule runs *after* the staleness
+    /// discount, so the evidence reflects the weights actually merged
+    /// (empty — and absent from the JSON — under plain FedAvg).
+    pub filtered: Vec<crate::byz::FilteredClient>,
+    /// Updates whose norm the robust rule clipped before merging (0 —
+    /// and absent from the JSON — under plain FedAvg).
+    pub clip_applied: usize,
 }
 
 impl Serialize for AsyncAggRecord {
@@ -548,6 +556,12 @@ impl Serialize for AsyncAggRecord {
         if self.edge_flushes != 0 {
             m.push(("edge_flushes".to_string(), self.edge_flushes.serialize()));
         }
+        if !self.filtered.is_empty() {
+            m.push(("filtered".to_string(), self.filtered.serialize()));
+        }
+        if self.clip_applied != 0 {
+            m.push(("clip_applied".to_string(), self.clip_applied.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -583,6 +597,8 @@ impl Deserialize for AsyncAggRecord {
             flush_k: opt_field(m, "flush_k")?,
             bundles: opt_field(m, "bundles")?.unwrap_or(0),
             edge_flushes: opt_field(m, "edge_flushes")?.unwrap_or(0),
+            filtered: opt_field(m, "filtered")?.unwrap_or_default(),
+            clip_applied: opt_field(m, "clip_applied")?.unwrap_or(0),
         })
     }
 }
@@ -807,6 +823,10 @@ pub struct AsyncCheckpoint<S = ModelState> {
     pub bundles: usize,
     /// Edge flushes since the last aggregation.
     pub edge_flushes: usize,
+    /// Byzantine policy (robust rule + attack plan); `None` for honest
+    /// trainers and trivial policies (and then absent from the JSON,
+    /// keeping pre-Byzantine checkpoints byte-identical).
+    pub byz: Option<crate::byz::ByzPolicy>,
 }
 
 impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
@@ -861,6 +881,9 @@ impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
         if self.edge_flushes != 0 {
             m.push(("edge_flushes".to_string(), self.edge_flushes.serialize()));
         }
+        if let Some(byz) = &self.byz {
+            m.push(("byz".to_string(), byz.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -903,6 +926,7 @@ impl<S: Deserialize> Deserialize for AsyncCheckpoint<S> {
             upstream: opt_field(m, "upstream")?.unwrap_or_default(),
             bundles: opt_field(m, "bundles")?.unwrap_or(0),
             edge_flushes: opt_field(m, "edge_flushes")?.unwrap_or(0),
+            byz: opt_field(m, "byz")?,
         })
     }
 }
@@ -1110,6 +1134,7 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             upstream: st.upstream.into_iter().collect(),
             bundles: st.bundles,
             edge_flushes: st.edge_flushes,
+            byz: self.trainer.byz_policy(),
             state: st.state,
             ledger: st.ledger,
             buffer: st.buffer,
@@ -1168,6 +1193,13 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             ckpt.topo,
             self.topo.is_hierarchical().then_some(self.topo),
             "AsyncCheckpoint field `topo`: checkpoint was taken under a different aggregation topology"
+        );
+        // A trivial policy (honest trainer, or FedAvg with no attackers)
+        // checkpoints as `None` (the key is absent).
+        assert_eq!(
+            ckpt.byz,
+            self.trainer.byz_policy(),
+            "AsyncCheckpoint field `byz`: checkpoint was taken under a different Byzantine policy"
         );
         let timeline = AsyncTimeline::restore(
             env.cfg.seed,
@@ -1535,6 +1567,9 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
         }
         self.trainer
             .merge_weighted(env, &mut st.state, v, updates, &weights);
+        // Drain the robust rule's evidence trail for this flush — which
+        // staleness-discounted updates it filtered or clipped.
+        let robust = self.trainer.take_robust_stats();
         st.version += 1;
         st.timeline.bump_version();
         // The new version is what subsequent dispatches download; retain
@@ -1578,6 +1613,8 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             flush_k,
             bundles: st.bundles,
             edge_flushes: st.edge_flushes,
+            filtered: robust.filtered,
+            clip_applied: robust.clip_applied,
         };
         out.emit(&mut st.ledger, rec);
         st.last_agg_clock = clock;

@@ -84,6 +84,11 @@ impl FlEnv {
         cfg.validate();
         assert_eq!(splits.len(), cfg.n_clients, "split count mismatch");
         assert_eq!(fleet.len(), cfg.n_clients, "fleet size mismatch");
+        // Reject non-costable devices here, with the field named, instead
+        // of panicking on a non-finite duration deep in the event loop.
+        for s in &fleet {
+            s.device.validate();
+        }
         let input_shape = data.train.sample_shape().to_vec();
         let full_mem = model_mem_req(&reference_specs, &input_shape, cfg.batch_size).total();
         let budgets = scale_budgets(&fleet, full_mem);
@@ -121,6 +126,9 @@ impl FlEnv {
     ) -> Self {
         cfg.validate();
         assert!(!pool.is_empty(), "empty device pool");
+        for d in pool {
+            d.validate();
+        }
         let input_shape = data.train.sample_shape().to_vec();
         let full_mem = model_mem_req(&reference_specs, &input_shape, cfg.batch_size).total();
         const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
@@ -400,6 +408,21 @@ mod tests {
         assert!((0.0..=1.0).contains(&clean));
         assert!((0.0..=1.0).contains(&adv));
         assert!(adv <= clean + 0.3, "adv {adv} clean {clean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "field `io_gbps`")]
+    fn rejects_non_costable_device_at_config_time() {
+        let e = env(8);
+        let mut fleet = e.fleet.clone();
+        fleet[0].device.io_gbps = 0.0;
+        FlEnv::new(
+            e.data.clone(),
+            e.splits.clone(),
+            fleet,
+            e.reference_specs.clone(),
+            e.cfg,
+        );
     }
 
     #[test]

@@ -37,9 +37,14 @@
 //!   cache table, bounded snapshot retention, and delta-encoded
 //!   downloads; both schedulers choose delta-vs-full per dispatch and
 //!   cost the two transfer legs asymmetrically;
+//! * [`byz`] — the Byzantine-client plane: seeded hostile-client plans
+//!   corrupting uplink updates through the existing dispatch path, and
+//!   pluggable robust aggregation rules (trimmed mean, norm-clipped
+//!   multi-Krum) composed with the schedulers' staleness weights;
 //! * [`local_train`] — the local SGD/adversarial-training loop;
-//! * [`aggregate`] — weighted FedAvg and the partial-average accumulator
-//!   (paper Eq. 16–17);
+//! * [`aggregate`] — weighted FedAvg, the partial-average accumulator
+//!   (paper Eq. 16–17), and the robust-statistics primitives the
+//!   Byzantine plane's rules are built on;
 //! * [`submodel`] — channel-group based sub-model extraction and
 //!   aggregation used by the partial-training family.
 //!
@@ -49,6 +54,7 @@
 pub mod aggregate;
 pub mod async_sched;
 pub mod baselines;
+pub mod byz;
 pub mod comm;
 mod config;
 mod engine;
@@ -66,6 +72,10 @@ pub use async_sched::{
 };
 pub use baselines::{
     Distill, DistillState, DistillVariant, FedRbn, JFat, PartialTraining, SubmodelScheme,
+};
+pub use byz::{
+    AttackKind, AttackPlan, ByzPolicy, ByzTrainer, FilterReason, FilteredClient, RobustRule,
+    RobustStats, SALT_ATTACK,
 };
 pub use comm::{CacheEntry, CommConfig, CommPlane, CommState};
 pub use config::FlConfig;

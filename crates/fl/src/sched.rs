@@ -270,7 +270,7 @@ pub fn simulate_round(
         DeadlinePolicy::FixedSeconds(s) => Some(s),
         DeadlinePolicy::MedianMultiple(x) => {
             let mut totals: Vec<f64> = survivors.iter().map(|&i| latency[i].total()).collect();
-            totals.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+            totals.sort_by(f64::total_cmp);
             let mid = totals.len() / 2;
             let median = if totals.len() % 2 == 1 {
                 totals[mid]
@@ -313,18 +313,19 @@ pub fn simulate_round(
         }
     }
     completed.sort_unstable();
+    // `completed` is sorted, so membership and id→index lookups are
+    // O(log n) / O(n) total — the old `contains`/`position` scans were
+    // quadratic in the selection size, a real cost at 100k clients.
     let stragglers: Vec<usize> = survivors
         .iter()
         .map(|&i| ids[i])
-        .filter(|k| !completed.contains(k))
+        .filter(|k| completed.binary_search(k).is_err())
         .collect();
+    let index_of = index_by_id(ids);
     let slowest_completed = completed
         .iter()
-        .map(|k| {
-            let i = ids.iter().position(|x| x == k).expect("completed id");
-            latency[i]
-        })
-        .max_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite latency"))
+        .map(|k| latency[index_of[k]])
+        .max_by(|a, b| a.total().total_cmp(&b.total()))
         .unwrap_or_else(ClientLatency::zero);
     RoundSim {
         completed,
@@ -335,6 +336,13 @@ pub fn simulate_round(
     }
 }
 
+/// Selected-id → parallel-array index. Built once per round so the
+/// close-of-round tallies cost O(selected), not O(selected²); lookups
+/// only (no iteration), so the map's order never leaks into results.
+fn index_by_id(ids: &[usize]) -> std::collections::HashMap<usize, usize> {
+    ids.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+}
+
 // ------------------------------------------------------------------ ledger
 
 /// One scheduled round's ledger entry.
@@ -343,7 +351,7 @@ pub fn simulate_round(
 /// added with the communication plane; they serialize only when non-zero
 /// so pre-refactor ledgers (embedded in committed v1 checkpoints)
 /// round-trip byte-identically.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedRound {
     /// Round index.
     pub round: usize,
@@ -377,6 +385,13 @@ pub struct SchedRound {
     /// Edge aggregators that forwarded a cohort bundle this round (0 on
     /// the flat topology — and then absent from the JSON).
     pub edges_active: usize,
+    /// Clients whose updates the robust aggregation rule filtered out of
+    /// this round's merge, with reasons (empty — and absent from the
+    /// JSON — under plain FedAvg).
+    pub filtered: Vec<crate::byz::FilteredClient>,
+    /// Updates whose norm the robust rule clipped before merging (0 —
+    /// and absent from the JSON — under plain FedAvg).
+    pub clip_applied: usize,
 }
 
 impl Serialize for SchedRound {
@@ -412,6 +427,12 @@ impl Serialize for SchedRound {
         if self.edges_active != 0 {
             m.push(("edges_active".to_string(), self.edges_active.serialize()));
         }
+        if !self.filtered.is_empty() {
+            m.push(("filtered".to_string(), self.filtered.serialize()));
+        }
+        if self.clip_applied != 0 {
+            m.push(("clip_applied".to_string(), self.clip_applied.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -442,6 +463,8 @@ impl Deserialize for SchedRound {
             up_bytes: opt_field(m, "up_bytes")?.unwrap_or(0),
             delta_dispatches: opt_field(m, "delta_dispatches")?.unwrap_or(0),
             edges_active: opt_field(m, "edges_active")?.unwrap_or(0),
+            filtered: opt_field(m, "filtered")?.unwrap_or_default(),
+            clip_applied: opt_field(m, "clip_applied")?.unwrap_or(0),
         })
     }
 }
@@ -617,6 +640,25 @@ pub trait ScheduledTrainer: Sync {
     ) {
         let weights: Vec<f32> = updates.iter().map(|(k, _)| env.client_weight(*k)).collect();
         self.merge_weighted(env, state, t, updates, &weights);
+    }
+
+    /// The Byzantine policy this trainer runs under, if any — carried by
+    /// checkpoints (optional `byz` key, absent when `None`) and validated
+    /// on resume. Honest trainers (the default) report `None`, which is
+    /// what keeps their checkpoints byte-identical to the pre-Byzantine
+    /// format.
+    fn byz_policy(&self) -> Option<crate::byz::ByzPolicy> {
+        None
+    }
+
+    /// Drains the evidence trail of the most recent
+    /// [`ScheduledTrainer::merge_weighted`] — which clients the robust
+    /// rule filtered and how many updates it clipped. The schedulers call
+    /// this once right after each merge and write the result into the
+    /// ledger record. Honest trainers (the default) have nothing to
+    /// report.
+    fn take_robust_stats(&self) -> crate::byz::RobustStats {
+        crate::byz::RobustStats::default()
     }
 }
 
@@ -862,6 +904,10 @@ pub struct SchedCheckpoint<S = ModelState> {
     /// (and then absent from the JSON, keeping pre-topology checkpoints
     /// byte-identical).
     pub topo: Option<TopologyConfig>,
+    /// Byzantine policy (robust rule + attack plan); `None` for honest
+    /// trainers and trivial policies (and then absent from the JSON,
+    /// keeping pre-Byzantine checkpoints byte-identical).
+    pub byz: Option<crate::byz::ByzPolicy>,
 }
 
 impl<S: Serialize> Serialize for SchedCheckpoint<S> {
@@ -886,6 +932,9 @@ impl<S: Serialize> Serialize for SchedCheckpoint<S> {
         }
         if let Some(topo) = &self.topo {
             m.push(("topo".to_string(), topo.serialize()));
+        }
+        if let Some(byz) = &self.byz {
+            m.push(("byz".to_string(), byz.serialize()));
         }
         serde::Value::Map(m)
     }
@@ -914,6 +963,7 @@ impl<S: Deserialize> Deserialize for SchedCheckpoint<S> {
             ledger: Deserialize::deserialize(serde::map_field(m, "ledger", TY)?)?,
             comm: opt_field(m, "comm")?,
             topo: opt_field(m, "topo")?,
+            byz: opt_field(m, "byz")?,
         })
     }
 }
@@ -1035,6 +1085,7 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             rounds: env.cfg.rounds,
             comm: st.comm.to_state(),
             topo: self.topo.is_hierarchical().then_some(self.topo),
+            byz: self.trainer.byz_policy(),
             state: st.state,
             ledger: st.ledger,
         }
@@ -1095,6 +1146,13 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             self.topo.is_hierarchical().then_some(self.topo),
             "SchedCheckpoint field `topo`: checkpoint was taken under a different aggregation topology"
         );
+        // A trivial policy (honest trainer, or FedAvg with no attackers)
+        // checkpoints as `None` (the key is absent).
+        assert_eq!(
+            ckpt.byz,
+            self.trainer.byz_policy(),
+            "SchedCheckpoint field `byz`: checkpoint was taken under a different Byzantine policy"
+        );
         let mut st = DriveState {
             state: ckpt.state.clone(),
             clock_s: ckpt.clock_s,
@@ -1145,7 +1203,9 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                 .iter()
                 .map(|&k| env.client_weight(k))
                 .sum::<f32>();
-            if !results.is_empty() {
+            let robust = if results.is_empty() {
+                crate::byz::RobustStats::default()
+            } else {
                 let updates: Vec<(usize, T::Update)> = sim
                     .completed
                     .iter()
@@ -1153,7 +1213,8 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                     .zip(results.into_iter().map(|(u, _)| u))
                     .collect();
                 self.trainer.merge(env, &mut st.state, t, updates);
-            }
+                self.trainer.take_robust_stats()
+            };
             let (mut vc, mut va) = (None, None);
             if t % cadence == cadence - 1 || t + 1 == cfg.rounds {
                 let model = self.trainer.global_model_mut(&mut st.state);
@@ -1182,6 +1243,8 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                 up_bytes: planned.up_bytes,
                 delta_dispatches: planned.delta_dispatches,
                 edges_active: planned.edges_active,
+                filtered: robust.filtered,
+                clip_applied: robust.clip_applied,
             };
             out.emit(&mut st.ledger, rec);
         }
@@ -1242,26 +1305,19 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             }
         }
         let sim = simulate_round(&ids, &latency, &dropped, target, &self.sched);
+        let index_of = index_by_id(&ids);
         // Only completed clients' updates reach the server's up-link.
-        let up_bytes = sim
-            .completed
-            .iter()
-            .map(|k| {
-                let i = ids.iter().position(|x| x == k).expect("completed id");
-                specs[i].bytes
-            })
-            .sum();
+        let up_bytes = sim.completed.iter().map(|k| specs[index_of[k]].bytes).sum();
         // Hierarchical only: group the completed clients by cohort; each
         // active edge forwards one partial sum (wire size = its densest
         // member update) and the hops run concurrently.
         let (edges_active, edge_forward_s) = if self.topo.is_hierarchical() {
             let mut per_edge: BTreeMap<usize, u64> = BTreeMap::new();
             for k in &sim.completed {
-                let i = ids.iter().position(|x| x == k).expect("completed id");
                 let bytes = per_edge
                     .entry(self.topo.cohort_of(cfg.seed, *k))
                     .or_insert(0);
-                *bytes = (*bytes).max(specs[i].bytes);
+                *bytes = (*bytes).max(specs[index_of[k]].bytes);
             }
             let forward = per_edge
                 .values()

@@ -30,7 +30,7 @@
 //! events, byte-identical ledgers and checkpoints to every pre-topology
 //! golden.
 
-use fp_hwsim::ForwardLink;
+use fp_hwsim::{splitmix64, ForwardLink};
 use serde::{Deserialize, Serialize};
 
 /// Domain-separation salt for cohort assignment.
@@ -111,15 +111,6 @@ impl TopologyConfig {
         assert!(self.is_hierarchical(), "flat topology has no cohorts");
         (splitmix64(seed ^ SALT_COHORT ^ (k as u64)) % self.aggregators as u64) as usize
     }
-}
-
-/// SplitMix64: the standard 64-bit finalizer — enough mixing that
-/// consecutive client ids land in unrelated cohorts.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 // Hand-written serde: the config only ever appears in checkpoints taken

@@ -19,6 +19,37 @@ pub struct Device {
     pub io_gbps: f64,
 }
 
+impl Device {
+    /// Validates that the latency model can cost this device: every rate
+    /// must be finite and positive, or downstream durations turn into
+    /// `inf`/`NaN` (a zero `io_gbps` makes [`crate::transfer_seconds`]
+    /// infinite) deep inside the schedulers' event loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending field named.
+    pub fn validate(&self) {
+        assert!(
+            self.tflops.is_finite() && self.tflops > 0.0,
+            "Device `{}` field `tflops`: must be finite and positive, got {}",
+            self.name,
+            self.tflops
+        );
+        assert!(
+            self.mem_gb.is_finite() && self.mem_gb > 0.0,
+            "Device `{}` field `mem_gb`: must be finite and positive, got {}",
+            self.name,
+            self.mem_gb
+        );
+        assert!(
+            self.io_gbps.is_finite() && self.io_gbps > 0.0,
+            "Device `{}` field `io_gbps`: must be finite and positive, got {}",
+            self.name,
+            self.io_gbps
+        );
+    }
+}
+
 /// The CIFAR-10 device pool (paper Table 5).
 pub const CIFAR_POOL: [Device; 10] = [
     Device {
@@ -198,6 +229,9 @@ pub fn sample_fleet(
     rng: &mut StdRng,
 ) -> Vec<DeviceSample> {
     assert!(!pool.is_empty(), "empty device pool");
+    for d in pool {
+        d.validate();
+    }
     let weights: Vec<f64> = match mode {
         SamplingMode::Balanced => vec![1.0; pool.len()],
         SamplingMode::Unbalanced => pool.iter().map(|d| 1.0 / (d.mem_gb * d.tflops)).collect(),
@@ -271,6 +305,37 @@ mod tests {
             count_weak(&unbal),
             count_weak(&bal)
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "field `io_gbps`")]
+    fn validate_names_zero_io_bandwidth() {
+        Device {
+            name: "broken-nic",
+            tflops: 1.0,
+            mem_gb: 4.0,
+            io_gbps: 0.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "field `tflops`")]
+    fn validate_names_non_finite_compute() {
+        Device {
+            name: "overclocked",
+            tflops: f64::INFINITY,
+            mem_gb: 4.0,
+            io_gbps: 16.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn paper_pools_pass_validation() {
+        for d in CIFAR_POOL.iter().chain(&CALTECH_POOL) {
+            d.validate();
+        }
     }
 
     #[test]

@@ -188,7 +188,7 @@ pub fn round_sync_latency(per_client: &[ClientLatency]) -> ClientLatency {
     per_client
         .iter()
         .copied()
-        .max_by(|a, b| a.total().partial_cmp(&b.total()).unwrap())
+        .max_by(|a, b| a.total().total_cmp(&b.total()))
         .unwrap_or_else(ClientLatency::zero)
 }
 

@@ -41,3 +41,22 @@ pub use memory::{
     model_mem_req, module_mem_req, param_transfer_bytes, AuxHeadSpec, MemoryBreakdown,
     BYTES_PER_PARAM_STATE,
 };
+
+/// SplitMix64: the standard 64-bit finalizer. This is the stateless
+/// salted hash every per-client *plan* in the stack is assigned by —
+/// cohort membership in `fp_fl::topology` and Byzantine-client flagging
+/// in `fp_fl::byz` both hash `(seed ^ salt ^ client)` through it, so a
+/// client's plan needs no membership table and is computable in
+/// isolation.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a salted hash to `[0, 1)` — the uniform variate behind
+/// fraction-of-fleet plan assignment (53-bit mantissa precision).
+pub fn salted_unit(hash: u64) -> f64 {
+    (hash >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}

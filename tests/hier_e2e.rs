@@ -251,3 +251,52 @@ fn resume_rejects_topology_mismatch() {
     let ckpt = hier.run_until(&env, AsyncStopPoint::after_agg(2));
     AsyncScheduler::with_comm(SyntheticTrainer, fleet_async(), bounded_comm()).resume(&env, &ckpt);
 }
+
+// ------------------------------------------------ zero-survivor versions
+
+#[test]
+fn zero_survivor_versions_drain_partial_edges_instead_of_wedging() {
+    // A client is dispatched at most once per model version, so on a
+    // small fleet heavy dropout can exhaust the timeline while every
+    // edge cohort sits below `edge_flush_k`: no event is pending, no
+    // client is armable, and the only updates that survived the version
+    // are stranded in partial edge buffers. The scheduler must drain
+    // those edges and flush the partial bundles upstream — not wedge,
+    // and not starve.
+    let env = fleet_env(8, 4, 11);
+    let acfg = AsyncConfig {
+        concurrency: 8,
+        buffer_k: 2,
+        staleness_exp: 0.5,
+        dropout_p: 0.6,
+        timeout_s: Some(1e4),
+        adaptive_buffer: None,
+    };
+    let topo = TopologyConfig::two_tier(2, 3);
+    let out = AsyncScheduler::with_topology(SyntheticTrainer, acfg, bounded_comm(), topo).run(&env);
+    assert_eq!(out.ledger.len(), env.cfg.rounds);
+    let timed_out: usize = out.ledger.iter().map(|r| r.timed_out).sum();
+    assert!(timed_out > 0, "dropout_p=0.6 must reclaim some dispatches");
+    for r in &out.ledger {
+        assert!(r.merged > 0, "agg {} merged nothing", r.agg);
+        assert!(r.bundles > 0, "two-tier server merges bundles only");
+    }
+    // The drain path fired: at least one aggregation merged a partial
+    // bundle (fewer than `edge_flush_k` updates per forwarded bundle),
+    // which a full-buffer edge flush can never produce.
+    assert!(
+        out.ledger
+            .iter()
+            .any(|r| r.merged < r.bundles * topo.edge_flush_k),
+        "no partial edge bundle was ever drained: {:?}",
+        out.ledger
+            .iter()
+            .map(|r| (r.merged, r.bundles))
+            .collect::<Vec<_>>()
+    );
+    // And the run stays a pure function of the seed under the drain path.
+    let again =
+        AsyncScheduler::with_topology(SyntheticTrainer, acfg, bounded_comm(), topo).run(&env);
+    assert_eq!(out.ledger, again.ledger);
+    assert_eq!(model_hash(&out.model), model_hash(&again.model));
+}

@@ -8,9 +8,10 @@ use fedprophet_repro::fl::submodel::{
     channel_groups, extract_submodel, keep_sets, SubmodelAccumulator, SubmodelScheme,
 };
 use fedprophet_repro::fl::{
-    model_hash, staleness_weight, AsyncConfig, AsyncScheduler, AsyncStopPoint, FlConfig, FlEnv,
-    JFat,
+    adaptive_k, model_hash, simulate_round, staleness_weight, AsyncConfig, AsyncScheduler,
+    AsyncStopPoint, DeadlinePolicy, FlConfig, FlEnv, JFat, SchedConfig,
 };
+use fedprophet_repro::hwsim::ClientLatency;
 use fedprophet_repro::nn::models::{self, vgg_atom_specs, VggConfig};
 use fedprophet_repro::nn::Mode;
 use fedprophet_repro::tensor::{seeded_rng, softmax_rows, Tensor};
@@ -330,6 +331,60 @@ proptest! {
         let mut shuffled = arrival.clone();
         shuffled.shuffle(&mut seeded_rng(shuffle_seed));
         prop_assert_eq!(flush(&arrival), flush(&shuffled));
+    }
+
+    /// The adaptive flush threshold always lands inside its configured
+    /// bounds, for any buffer size and observed staleness.
+    #[test]
+    fn adaptive_k_always_respects_bounds(
+        buffer_k in 1usize..64,
+        mean_staleness in 0.0f32..1000.0,
+        k_min in 1usize..16,
+        span in 0usize..16,
+    ) {
+        let k_max = k_min + span;
+        let k = adaptive_k(buffer_k, mean_staleness, k_min, k_max);
+        prop_assert!((k_min..=k_max).contains(&k), "k = {} outside [{}, {}]", k, k_min, k_max);
+        // Zero staleness returns the configured threshold (clamped).
+        prop_assert_eq!(adaptive_k(buffer_k, 0.0, k_min, k_max), buffer_k.clamp(k_min, k_max));
+    }
+
+    /// The `MedianMultiple(1.0)` deadline closes at the exact median of
+    /// the survivor totals: with distinct integer latencies, an odd
+    /// survivor count completes `(n+1)/2` clients (the median client
+    /// finishes exactly at the deadline, and finish events rank before
+    /// deadline events) and an even count completes `n/2` (the deadline
+    /// is the midpoint between the two middle totals).
+    #[test]
+    fn median_multiple_deadline_splits_at_the_median(
+        n in 3usize..12,
+        shuffle_seed in 0u64..1000,
+    ) {
+        let cfg = SchedConfig {
+            deadline: DeadlinePolicy::MedianMultiple(1.0),
+            ..SchedConfig::default()
+        };
+        // Distinct totals 1..=n seconds, in arbitrary dispatch order.
+        let mut totals: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        totals.shuffle(&mut seeded_rng(shuffle_seed));
+        let ids: Vec<usize> = (0..n).collect();
+        let latency: Vec<ClientLatency> = totals
+            .iter()
+            .map(|&t| ClientLatency { compute_s: t, data_access_s: 0.0, transfer_s: 0.0 })
+            .collect();
+        let sim = simulate_round(&ids, &latency, &vec![false; n], n, &cfg);
+        let expect = if n % 2 == 1 { n.div_ceil(2) } else { n / 2 };
+        prop_assert!(sim.completed.len() == expect,
+            "n = {}: completed {:?}", n, sim.completed);
+        prop_assert_eq!(sim.completed.len() + sim.stragglers.len(), n);
+        // The round closes exactly at the median total.
+        let median = if n % 2 == 1 {
+            (n / 2 + 1) as f64
+        } else {
+            0.5 * ((n / 2) as f64 + (n / 2 + 1) as f64)
+        };
+        prop_assert!((sim.round_time_s - median).abs() < 1e-12,
+            "close at {} expected {}", sim.round_time_s, median);
     }
 
     /// Attacks never mutate model parameters.
