@@ -1,0 +1,122 @@
+//! Availability-trace plane at fleet scale.
+//!
+//! Three async fleet runs are compared: the legacy per-(version, client)
+//! coin flip (trace disabled), the stock diurnal device-class plan, and
+//! an outage-heavy plan with correlated dark windows over 32 synthetic
+//! regions. The report records wall-clock medians plus the participation
+//! accounting (merged updates, trace-gated dispatches, outage losses,
+//! throttled survivors) of each variant — the trace plane's per-touch
+//! work is O(1) salted hashing, so the wall columns bound its overhead
+//! on a 20k-client fleet.
+
+use criterion::{criterion_group, criterion_main, take_results, Criterion};
+use fp_bench::envs::fleet_env;
+use fp_fl::{
+    AsyncConfig, AsyncOutcome, AsyncScheduler, CommConfig, OutagePlan, SyntheticTrainer,
+    TopologyConfig, TracePlan,
+};
+
+const FLEET: usize = 20_000;
+const AGGS: usize = 6;
+const DAY_S: f64 = 86_400.0;
+
+fn acfg() -> AsyncConfig {
+    AsyncConfig {
+        concurrency: 64,
+        buffer_k: 4,
+        staleness_exp: 0.5,
+        ..AsyncConfig::default()
+    }
+}
+
+fn comm() -> CommConfig {
+    CommConfig {
+        delta_downloads: true,
+        snapshot_retention: 8,
+        cache_rows: 128,
+    }
+}
+
+fn plan(variant: &str) -> Option<TracePlan> {
+    match variant {
+        "coin_flip" => None,
+        "diurnal" => Some(TracePlan::diurnal(DAY_S)),
+        "outage_heavy" => Some(TracePlan {
+            outage: Some(OutagePlan {
+                p: 0.25,
+                window_s: 10.0,
+                regions: 32,
+            }),
+            ..TracePlan::diurnal(DAY_S)
+        }),
+        _ => unreachable!("unknown trace variant"),
+    }
+}
+
+fn run(variant: &str) -> AsyncOutcome {
+    let env = fleet_env(FLEET, AGGS, 43);
+    AsyncScheduler::with_trace(
+        SyntheticTrainer,
+        acfg(),
+        comm(),
+        TopologyConfig::single(),
+        plan(variant),
+    )
+    .run(&env)
+}
+
+fn bench_wall(c: &mut Criterion) {
+    for variant in ["coin_flip", "diurnal", "outage_heavy"] {
+        c.bench_function(&format!("fl_trace/{variant}_20k_wall_6_aggs"), |b| {
+            b.iter(|| std::hint::black_box(run(variant)))
+        });
+    }
+}
+
+fn report_participation(_c: &mut Criterion) {
+    let mut rows = Vec::new();
+    for variant in ["coin_flip", "diurnal", "outage_heavy"] {
+        let out = run(variant);
+        let merged: usize = out.ledger.iter().map(|r| r.merged).sum();
+        let unavailable: usize = out.ledger.iter().map(|r| r.unavailable).sum();
+        let outage_lost: usize = out.ledger.iter().map(|r| r.outage_lost).sum();
+        let throttled: usize = out.ledger.iter().map(|r| r.throttled).sum();
+        let clock_s = out.ledger.last().map_or(0.0, |r| r.clock_s);
+        rows.push(format!(
+            "  {{\"variant\": \"{variant}\", \"merged\": {merged}, \
+             \"unavailable\": {unavailable}, \"outage_lost\": {outage_lost}, \
+             \"throttled\": {throttled}, \"virtual_total_s\": {clock_s:.8}}}"
+        ));
+    }
+    let wall: Vec<String> = take_results()
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+                r.id, r.median_ns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"env\": \"fleet_lazy_20k\", \"trainer\": \"Synthetic\", \
+         \"n_clients\": {FLEET}, \"aggregations\": {AGGS}, \"concurrency\": {}, \
+         \"buffer_k\": {}, \"day_s\": {DAY_S}}},\n  \
+         \"participation\": [\n{}\n  ],\n  \
+         \"wall\": [\n{}\n  ]\n}}\n",
+        acfg().concurrency,
+        acfg().buffer_k,
+        rows.join(",\n"),
+        wall.join(",\n")
+    );
+    let path =
+        std::env::var("FP_TRACE_BENCH_JSON").unwrap_or_else(|_| "BENCH_fl_trace.json".into());
+    std::fs::write(&path, &json).expect("write fl_trace report");
+    println!("fl_trace: 20k-client coin-flip vs diurnal vs outage-heavy, report -> {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_wall, report_participation
+}
+criterion_main!(benches);

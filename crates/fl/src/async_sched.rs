@@ -504,6 +504,19 @@ pub struct AsyncAggRecord {
     /// Updates whose norm the robust rule clipped before merging (0 —
     /// and absent from the JSON — under plain FedAvg).
     pub clip_applied: usize,
+    /// Dispatches the trace plane's diurnal curve made unreachable since
+    /// the previous aggregation (0 — and absent from the JSON — with no
+    /// trace plan).
+    pub unavailable: usize,
+    /// Dispatches lost to dark outage windows since the previous
+    /// aggregation — reclaimed through the timeout path but attributed
+    /// here, not to `timed_out` (0 — and absent from the JSON — with no
+    /// trace plan).
+    pub outage_lost: usize,
+    /// Merged dispatches whose latency the trace plane scaled (thermal
+    /// throttle or timing adversary; 0 — and absent from the JSON —
+    /// with no trace plan).
+    pub throttled: usize,
 }
 
 impl Serialize for AsyncAggRecord {
@@ -562,6 +575,15 @@ impl Serialize for AsyncAggRecord {
         if self.clip_applied != 0 {
             m.push(("clip_applied".to_string(), self.clip_applied.serialize()));
         }
+        if self.unavailable != 0 {
+            m.push(("unavailable".to_string(), self.unavailable.serialize()));
+        }
+        if self.outage_lost != 0 {
+            m.push(("outage_lost".to_string(), self.outage_lost.serialize()));
+        }
+        if self.throttled != 0 {
+            m.push(("throttled".to_string(), self.throttled.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -599,6 +621,9 @@ impl Deserialize for AsyncAggRecord {
             edge_flushes: opt_field(m, "edge_flushes")?.unwrap_or(0),
             filtered: opt_field(m, "filtered")?.unwrap_or_default(),
             clip_applied: opt_field(m, "clip_applied")?.unwrap_or(0),
+            unavailable: opt_field(m, "unavailable")?.unwrap_or(0),
+            outage_lost: opt_field(m, "outage_lost")?.unwrap_or(0),
+            throttled: opt_field(m, "throttled")?.unwrap_or(0),
         })
     }
 }
@@ -606,7 +631,7 @@ impl Deserialize for AsyncAggRecord {
 // --------------------------------------------------------------- scheduler
 
 /// The barrier-free asynchronous aggregator.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AsyncScheduler<T> {
     /// The algorithm being driven (same contract the sync scheduler
     /// drives — staleness enters through
@@ -621,6 +646,11 @@ pub struct AsyncScheduler<T> {
     /// Aggregation-tree shape. Flat by default — every existing config
     /// reproduces its pre-topology schedule bit-for-bit.
     pub topo: TopologyConfig,
+    /// Availability-trace plan (diurnal curves, thermal throttling,
+    /// correlated outages). `None` (the default) keeps dispatch
+    /// eligibility unconditional — bit-identical to the pre-trace
+    /// aggregator.
+    pub trace: Option<crate::trace::TracePlan>,
 }
 
 /// The result of an asynchronous run.
@@ -720,6 +750,14 @@ pub struct PendingDispatch {
     /// straggler): its event reclaims the slot instead of buffering an
     /// update, and the client's cache entry is invalidated.
     pub lost: bool,
+    /// Why the trace plane lost this dispatch (`None` for the plain
+    /// dropout/timeout loss — and for every delivered dispatch). Decides
+    /// which ledger counter the reclaim feeds, and whether the cache is
+    /// invalidated (an unavailable client never received the download).
+    pub cause: Option<crate::trace::TraceLoss>,
+    /// Whether the trace plane scaled this dispatch's latency (thermal
+    /// throttle or timing adversary) — ledger reporting at flush.
+    pub throttled: bool,
 }
 
 impl Serialize for PendingDispatch {
@@ -736,6 +774,12 @@ impl Serialize for PendingDispatch {
         }
         if self.lost {
             m.push(("lost".to_string(), self.lost.serialize()));
+        }
+        if let Some(c) = &self.cause {
+            m.push(("cause".to_string(), c.as_str().serialize()));
+        }
+        if self.throttled {
+            m.push(("throttled".to_string(), self.throttled.serialize()));
         }
         serde::Value::Map(m)
     }
@@ -755,6 +799,10 @@ impl Deserialize for PendingDispatch {
             transfer_s: Deserialize::deserialize(serde::map_field(m, "transfer_s", TY)?)?,
             payload: opt_field(m, "payload")?,
             lost: opt_field(m, "lost")?.unwrap_or(false),
+            cause: opt_field::<String>(m, "cause")?
+                .map(|s| crate::trace::TraceLoss::parse(&s))
+                .transpose()?,
+            throttled: opt_field(m, "throttled")?.unwrap_or(false),
         })
     }
 }
@@ -827,6 +875,10 @@ pub struct AsyncCheckpoint<S = ModelState> {
     /// trainers and trivial policies (and then absent from the JSON,
     /// keeping pre-Byzantine checkpoints byte-identical).
     pub byz: Option<crate::byz::ByzPolicy>,
+    /// Availability-trace plan + thermal state + in-progress loss
+    /// counters; `None` with no trace plan (and then absent from the
+    /// JSON, keeping pre-trace checkpoints byte-identical).
+    pub trace: Option<crate::trace::TraceCheckpoint>,
 }
 
 impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
@@ -884,6 +936,9 @@ impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
         if let Some(byz) = &self.byz {
             m.push(("byz".to_string(), byz.serialize()));
         }
+        if let Some(trace) = &self.trace {
+            m.push(("trace".to_string(), trace.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -927,6 +982,7 @@ impl<S: Deserialize> Deserialize for AsyncCheckpoint<S> {
             bundles: opt_field(m, "bundles")?.unwrap_or(0),
             edge_flushes: opt_field(m, "edge_flushes")?.unwrap_or(0),
             byz: opt_field(m, "byz")?,
+            trace: opt_field(m, "trace")?,
         })
     }
 }
@@ -967,6 +1023,9 @@ struct AsyncState<S> {
     bundles: usize,
     /// Edge flushes since the last aggregation (ledger reporting).
     edge_flushes: usize,
+    /// Trace-plane state (thermal map + loss counters since the last
+    /// aggregation); inert when no trace plan is set.
+    trace: crate::trace::TraceState,
 }
 
 impl<S> AsyncState<S> {
@@ -1049,7 +1108,33 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             acfg,
             comm,
             topo,
+            trace: None,
         }
+    }
+
+    /// Creates an asynchronous scheduler with an availability-trace plan
+    /// on top of the full stack: dispatch eligibility is gated by the
+    /// plan's diurnal curves and outage windows (lost dispatches drain
+    /// through the existing timeout path), and costing picks up thermal
+    /// throttling and the timing adversary. With `trace = None` this is
+    /// exactly [`AsyncScheduler::with_topology`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acfg`, `comm`, `topo`, or `trace` is invalid.
+    pub fn with_trace(
+        trainer: T,
+        acfg: AsyncConfig,
+        comm: CommConfig,
+        topo: TopologyConfig,
+        trace: Option<crate::trace::TracePlan>,
+    ) -> Self {
+        if let Some(plan) = &trace {
+            plan.validate();
+        }
+        let mut s = AsyncScheduler::with_topology(trainer, acfg, comm, topo);
+        s.trace = trace;
+        s
     }
 
     /// Runs `env.cfg.rounds` aggregations.
@@ -1135,6 +1220,7 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             bundles: st.bundles,
             edge_flushes: st.edge_flushes,
             byz: self.trainer.byz_policy(),
+            trace: self.trace.as_ref().map(|p| st.trace.to_checkpoint(p)),
             state: st.state,
             ledger: st.ledger,
             buffer: st.buffer,
@@ -1201,6 +1287,14 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             self.trainer.byz_policy(),
             "AsyncCheckpoint field `byz`: checkpoint was taken under a different Byzantine policy"
         );
+        // A disabled trace plane checkpoints as `None` (the key is
+        // absent); an enabled one carries its plan alongside the thermal
+        // state, and only the plan is policy.
+        assert_eq!(
+            ckpt.trace.as_ref().map(|tr| &tr.plan),
+            self.trace.as_ref(),
+            "AsyncCheckpoint field `trace`: checkpoint was taken under a different availability-trace plan"
+        );
         let timeline = AsyncTimeline::restore(
             env.cfg.seed,
             env.cfg.n_clients,
@@ -1233,6 +1327,10 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             upstream: ckpt.upstream.iter().cloned().collect(),
             bundles: ckpt.bundles,
             edge_flushes: ckpt.edge_flushes,
+            trace: ckpt.trace.as_ref().map_or_else(
+                crate::trace::TraceState::new,
+                crate::trace::TraceState::from_checkpoint,
+            ),
         };
         // Forwarded bundles were mid-flight on the backhaul at capture
         // time; their arrival events live only in the event heap, so
@@ -1290,6 +1388,7 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             upstream: BTreeMap::new(),
             bundles: 0,
             edge_flushes: 0,
+            trace: crate::trace::TraceState::new(),
         }
     }
 
@@ -1366,11 +1465,22 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             let entry = st.in_flight.swap_remove(idx);
             debug_assert_eq!(entry.finish_s, time);
             if entry.lost {
-                // Server-side timeout: reclaim the slot (next_finish
-                // already freed it), discard the update, and stop
-                // trusting the client's cache.
-                st.comm.invalidate(entry.client);
-                st.timed_out += 1;
+                // Reclaim the slot (next_finish already freed it) and
+                // discard the update. An unavailable client never
+                // received the download, so its cache stays honest; an
+                // outage or timeout leaves the server unsure what the
+                // client holds, so its cache entry is invalidated.
+                match entry.cause {
+                    Some(crate::trace::TraceLoss::Unavailable) => st.trace.unavailable += 1,
+                    Some(crate::trace::TraceLoss::Outage) => {
+                        st.comm.invalidate(entry.client);
+                        st.trace.outage_lost += 1;
+                    }
+                    None => {
+                        st.comm.invalidate(entry.client);
+                        st.timed_out += 1;
+                    }
+                }
                 continue;
             }
             if self.topo.is_hierarchical() {
@@ -1440,6 +1550,35 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
         let v = st.version;
         let clock = st.timeline.clock_s();
         for k in picked {
+            // Trace gating happens before the download is planned: an
+            // unavailable or blacked-out client never receives anything,
+            // so its dispatch is an immediately-reclaimed lost event
+            // (slot recycles at this very instant, keeping the picker
+            // stream deterministic) and its comm cache is untouched.
+            if let Some(plan) = &self.trace {
+                let cause = if !plan.participates(cfg.seed, v, k, clock) {
+                    Some(crate::trace::TraceLoss::Unavailable)
+                } else if plan.outage_at(cfg.seed, &self.topo, k, clock) {
+                    Some(crate::trace::TraceLoss::Outage)
+                } else {
+                    None
+                };
+                if let Some(cause) = cause {
+                    st.timeline.schedule_finish(k, clock);
+                    st.in_flight.push(PendingDispatch {
+                        client: k,
+                        version: v,
+                        dispatch_s: clock,
+                        finish_s: clock,
+                        transfer_s: 0.0,
+                        payload: None,
+                        lost: true,
+                        cause: Some(cause),
+                        throttled: false,
+                    });
+                    continue;
+                }
+            }
             let dev = sample_availability(env, v, k);
             let spec = self.trainer.payload_spec(env, v, k);
             let payload = st.comm.plan(
@@ -1449,14 +1588,21 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
                 || self.trainer.payload_params(env, &st.state, v, k),
                 |old| self.trainer.payload_params(env, old, v, k),
             );
-            let lat =
+            let mut lat =
                 self.trainer
                     .cost(env, v, k)
                     .dispatch_round_trip(&dev, cfg.local_iters, &payload);
+            let mut throttled = false;
+            if let Some(plan) = &self.trace {
+                let (scaled, thr) = st.trace.cost(plan, cfg.seed, k, clock, lat);
+                lat = scaled;
+                throttled = thr;
+            }
             let dropped = self.acfg.dropout_p > 0.0
                 && env.client_rng(v, k, SALT_ASYNC_DROP).gen::<f64>() < self.acfg.dropout_p;
-            let lost = dropped || self.acfg.timeout_s.is_some_and(|to| lat.total() > to);
-            let finish_s = if lost {
+            let mut lost = dropped || self.acfg.timeout_s.is_some_and(|to| lat.total() > to);
+            let mut cause = None;
+            let mut finish_s = if lost {
                 clock
                     + self
                         .acfg
@@ -1465,8 +1611,27 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             } else {
                 clock + lat.total()
             };
+            // A correlated outage striking mid-flight kills the round
+            // trip at the window onset — the server reclaims the slot
+            // then, not at the (later) natural finish.
+            if !lost {
+                if let Some(plan) = &self.trace {
+                    if let Some(onset) =
+                        plan.first_outage_in(cfg.seed, &self.topo, k, clock, clock + lat.total())
+                    {
+                        lost = true;
+                        cause = Some(crate::trace::TraceLoss::Outage);
+                        finish_s = onset;
+                    }
+                }
+            }
             if !dropped {
                 st.comm.record_dispatch(k, v, spec.shape_id);
+                // Thermal accrual tracks the device actually working —
+                // a coin-dropped client never started.
+                if let Some(plan) = &self.trace {
+                    st.trace.note_busy(plan, cfg.seed, k, clock, lat.total());
+                }
             }
             st.timeline.schedule_finish(k, finish_s);
             st.in_flight.push(PendingDispatch {
@@ -1477,6 +1642,8 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
                 transfer_s: lat.transfer_s,
                 payload: Some(payload),
                 lost,
+                cause,
+                throttled,
             });
         }
     }
@@ -1592,6 +1759,7 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
         }
         let clock = st.timeline.clock_s();
         let flush_k = self.acfg.adaptive_buffer.map(|_| st.cur_k);
+        let throttled = entries.iter().filter(|d| d.throttled).count();
         let rec = AsyncAggRecord {
             agg: v,
             merged: n,
@@ -1615,12 +1783,20 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             edge_flushes: st.edge_flushes,
             filtered: robust.filtered,
             clip_applied: robust.clip_applied,
+            unavailable: st.trace.unavailable,
+            outage_lost: st.trace.outage_lost,
+            throttled,
         };
         out.emit(&mut st.ledger, rec);
         st.last_agg_clock = clock;
         st.timed_out = 0;
         st.bundles = 0;
         st.edge_flushes = 0;
+        st.trace.unavailable = 0;
+        st.trace.outage_lost = 0;
+        if let Some(plan) = &self.trace {
+            st.trace.prune(plan, env.cfg.seed, clock);
+        }
         // Rescale the flush threshold from the staleness just observed.
         if let Some((k_min, k_max)) = self.acfg.adaptive_buffer {
             st.cur_k = adaptive_k(self.acfg.buffer_k, mean_staleness, k_min, k_max);
@@ -1854,10 +2030,14 @@ mod tests {
             transfer_s: 0.25,
             payload: None,
             lost: false,
+            cause: None,
+            throttled: false,
         };
         let json = serde_json::to_string(&legacy).unwrap();
         assert!(!json.contains("payload"));
         assert!(!json.contains("lost"));
+        assert!(!json.contains("cause"));
+        assert!(!json.contains("throttled"));
         assert_eq!(
             serde_json::from_str::<PendingDispatch>(&json).unwrap(),
             legacy
@@ -1865,6 +2045,8 @@ mod tests {
         let live = PendingDispatch {
             payload: Some(Payload::delta(0, 10, 100)),
             lost: true,
+            cause: Some(crate::trace::TraceLoss::Outage),
+            throttled: true,
             ..legacy
         };
         let v = live.serialize();

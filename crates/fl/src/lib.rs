@@ -41,6 +41,12 @@
 //!   corrupting uplink updates through the existing dispatch path, and
 //!   pluggable robust aggregation rules (trimmed mean, norm-clipped
 //!   multi-Krum) composed with the schedulers' staleness weights;
+//! * [`trace`] — the availability-trace plane: seeded device-class
+//!   profiles with diurnal availability curves on the virtual clock,
+//!   busy-duration thermal throttling of hwsim latencies, correlated
+//!   cohort-keyed outage windows, and a cohort-straggle timing adversary
+//!   composing with the Byzantine plane; replaces the per-(round,
+//!   client) availability coin flip in both schedulers when enabled;
 //! * [`local_train`] — the local SGD/adversarial-training loop;
 //! * [`aggregate`] — weighted FedAvg, the partial-average accumulator
 //!   (paper Eq. 16–17), and the robust-statistics primitives the
@@ -64,6 +70,7 @@ pub mod sched;
 pub mod submodel;
 pub mod synthetic;
 pub mod topology;
+pub mod trace;
 
 pub use async_sched::{
     adaptive_k, staleness_weight, AsyncAggRecord, AsyncCheckpoint, AsyncConfig, AsyncOutcome,
@@ -89,3 +96,7 @@ pub use sched::{
 };
 pub use synthetic::SyntheticTrainer;
 pub use topology::TopologyConfig;
+pub use trace::{
+    OutagePlan, StragglePlan, TraceCheckpoint, TraceClass, TraceLoss, TracePlan, TraceState,
+    SALT_TRACE,
+};

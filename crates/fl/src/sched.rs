@@ -27,7 +27,7 @@
 //! With the default [`SchedConfig`] (wait-all barrier, no dropout, no
 //! over-selection) it reproduces the historical lockstep loops
 //! bit-for-bit, which is how the `fp-fl` baselines now implement
-//! [`FlAlgorithm`].
+//! [`FlAlgorithm`](crate::FlAlgorithm).
 //!
 //! # Determinism
 //!
@@ -392,6 +392,16 @@ pub struct SchedRound {
     /// Updates whose norm the robust rule clipped before merging (0 —
     /// and absent from the JSON — under plain FedAvg).
     pub clip_applied: usize,
+    /// Selected clients the trace plane's diurnal curve made unreachable
+    /// (0 — and absent from the JSON — with no trace plan).
+    pub unavailable: usize,
+    /// Selected clients lost to a dark outage window (0 — and absent
+    /// from the JSON — with no trace plan).
+    pub outage_lost: usize,
+    /// Surviving dispatches whose latency the trace plane scaled
+    /// (thermal throttle or timing adversary; 0 — and absent from the
+    /// JSON — with no trace plan).
+    pub throttled: usize,
 }
 
 impl Serialize for SchedRound {
@@ -433,6 +443,15 @@ impl Serialize for SchedRound {
         if self.clip_applied != 0 {
             m.push(("clip_applied".to_string(), self.clip_applied.serialize()));
         }
+        if self.unavailable != 0 {
+            m.push(("unavailable".to_string(), self.unavailable.serialize()));
+        }
+        if self.outage_lost != 0 {
+            m.push(("outage_lost".to_string(), self.outage_lost.serialize()));
+        }
+        if self.throttled != 0 {
+            m.push(("throttled".to_string(), self.throttled.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -465,6 +484,9 @@ impl Deserialize for SchedRound {
             edges_active: opt_field(m, "edges_active")?.unwrap_or(0),
             filtered: opt_field(m, "filtered")?.unwrap_or_default(),
             clip_applied: opt_field(m, "clip_applied")?.unwrap_or(0),
+            unavailable: opt_field(m, "unavailable")?.unwrap_or(0),
+            outage_lost: opt_field(m, "outage_lost")?.unwrap_or(0),
+            throttled: opt_field(m, "throttled")?.unwrap_or(0),
         })
     }
 }
@@ -800,7 +822,7 @@ impl<T: ModelTrainer> ScheduledTrainer for T {
 // --------------------------------------------------------------- scheduler
 
 /// The event-driven federated round scheduler.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EventScheduler<T> {
     /// The algorithm being driven.
     pub trainer: T,
@@ -814,6 +836,10 @@ pub struct EventScheduler<T> {
     /// the flat server — bit-identical to the pre-topology scheduler; a
     /// hierarchical config adds an edge-forwarding hop at round close.
     pub topo: TopologyConfig,
+    /// Availability-trace plan (diurnal curves, thermal throttling,
+    /// correlated outages). `None` (the default) keeps participation the
+    /// flat per-round draw — bit-identical to the pre-trace scheduler.
+    pub trace: Option<crate::trace::TracePlan>,
 }
 
 /// The result of a scheduled run: final model, final server state, and
@@ -908,6 +934,10 @@ pub struct SchedCheckpoint<S = ModelState> {
     /// trainers and trivial policies (and then absent from the JSON,
     /// keeping pre-Byzantine checkpoints byte-identical).
     pub byz: Option<crate::byz::ByzPolicy>,
+    /// Availability-trace plan + thermal state; `None` with no trace
+    /// plan (and then absent from the JSON, keeping pre-trace
+    /// checkpoints byte-identical).
+    pub trace: Option<crate::trace::TraceCheckpoint>,
 }
 
 impl<S: Serialize> Serialize for SchedCheckpoint<S> {
@@ -935,6 +965,9 @@ impl<S: Serialize> Serialize for SchedCheckpoint<S> {
         }
         if let Some(byz) = &self.byz {
             m.push(("byz".to_string(), byz.serialize()));
+        }
+        if let Some(trace) = &self.trace {
+            m.push(("trace".to_string(), trace.serialize()));
         }
         serde::Value::Map(m)
     }
@@ -964,6 +997,7 @@ impl<S: Deserialize> Deserialize for SchedCheckpoint<S> {
             comm: opt_field(m, "comm")?,
             topo: opt_field(m, "topo")?,
             byz: opt_field(m, "byz")?,
+            trace: opt_field(m, "trace")?,
         })
     }
 }
@@ -974,6 +1008,9 @@ struct DriveState<S> {
     clock_s: f64,
     ledger: Vec<SchedRound>,
     comm: CommPlane<S>,
+    /// Trace-plane state (per-client thermal map); inert when no trace
+    /// plan is set.
+    trace: crate::trace::TraceState,
 }
 
 impl<T: ScheduledTrainer> EventScheduler<T> {
@@ -1020,7 +1057,32 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             sched,
             comm,
             topo,
+            trace: None,
         }
+    }
+
+    /// Creates a scheduler with an availability-trace plan on top of the
+    /// full stack: selection is gated by the plan's diurnal curves and
+    /// outage windows, and dispatch costing picks up thermal throttling
+    /// and the timing adversary. With `trace = None` this is exactly
+    /// [`EventScheduler::with_topology`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sched`, `comm`, `topo`, or `trace` is invalid.
+    pub fn with_trace(
+        trainer: T,
+        sched: SchedConfig,
+        comm: CommConfig,
+        topo: TopologyConfig,
+        trace: Option<crate::trace::TracePlan>,
+    ) -> Self {
+        if let Some(plan) = &trace {
+            plan.validate();
+        }
+        let mut s = EventScheduler::with_topology(trainer, sched, comm, topo);
+        s.trace = trace;
+        s
     }
 
     fn fresh_state(&self, env: &FlEnv, capacity: usize) -> DriveState<T::ServerState> {
@@ -1029,6 +1091,7 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             clock_s: 0.0,
             ledger: Vec::with_capacity(capacity),
             comm: CommPlane::new(self.comm, env.cfg.n_clients),
+            trace: crate::trace::TraceState::new(),
         }
     }
 
@@ -1086,6 +1149,7 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             comm: st.comm.to_state(),
             topo: self.topo.is_hierarchical().then_some(self.topo),
             byz: self.trainer.byz_policy(),
+            trace: self.trace.as_ref().map(|p| st.trace.to_checkpoint(p)),
             state: st.state,
             ledger: st.ledger,
         }
@@ -1153,11 +1217,23 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             self.trainer.byz_policy(),
             "SchedCheckpoint field `byz`: checkpoint was taken under a different Byzantine policy"
         );
+        // A disabled trace plane checkpoints as `None` (the key is
+        // absent); an enabled one carries its plan alongside the thermal
+        // state, and only the plan is policy.
+        assert_eq!(
+            ckpt.trace.as_ref().map(|tr| &tr.plan),
+            self.trace.as_ref(),
+            "SchedCheckpoint field `trace`: checkpoint was taken under a different availability-trace plan"
+        );
         let mut st = DriveState {
             state: ckpt.state.clone(),
             clock_s: ckpt.clock_s,
             ledger: ckpt.ledger.clone(),
             comm: CommPlane::from_state(ckpt.comm.as_ref(), env.cfg.n_clients),
+            trace: ckpt.trace.as_ref().map_or_else(
+                crate::trace::TraceState::new,
+                crate::trace::TraceState::from_checkpoint,
+            ),
         };
         self.drive(
             env,
@@ -1227,6 +1303,9 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             // lands (the hops run concurrently, so the max binds).
             let round_time_s = sim.round_time_s + planned.edge_forward_s;
             st.clock_s += round_time_s;
+            if let Some(plan) = &self.trace {
+                st.trace.prune(plan, cfg.seed, st.clock_s);
+            }
             let rec = SchedRound {
                 round: t,
                 selected: sim.completed.len() + sim.stragglers.len() + sim.dropped_out.len(),
@@ -1245,6 +1324,9 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                 edges_active: planned.edges_active,
                 filtered: robust.filtered,
                 clip_applied: robust.clip_applied,
+                unavailable: planned.unavailable,
+                outage_lost: planned.outage_lost,
+                throttled: planned.throttled,
             };
             out.emit(&mut st.ledger, rec);
         }
@@ -1270,7 +1352,26 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             .iter()
             .map(|&k| sample_availability(env, t, k))
             .collect();
-        let dropped = draw_dropouts(env, t, ids.len(), self.sched.dropout_p);
+        let mut dropped = draw_dropouts(env, t, ids.len(), self.sched.dropout_p);
+        // Trace plane: curve-gated participation and dark outage windows
+        // are decided before any payload is planned — an unreachable
+        // client never receives the download, so no down-link bytes are
+        // charged and its cache entry stays valid.
+        let mut gated = vec![false; ids.len()];
+        let mut unavailable = 0usize;
+        let mut outage_lost = 0usize;
+        let mut throttled = 0usize;
+        if let Some(plan) = &self.trace {
+            for (i, &k) in ids.iter().enumerate() {
+                if !plan.participates(cfg.seed, t, k, st.clock_s) {
+                    gated[i] = true;
+                    unavailable += 1;
+                } else if plan.outage_at(cfg.seed, &self.topo, k, st.clock_s) {
+                    gated[i] = true;
+                    outage_lost += 1;
+                }
+            }
+        }
         // Snapshot the model the round dispatches (version `t`) so future
         // rounds can diff against it.
         st.comm.note_version(t, &st.state);
@@ -1279,9 +1380,14 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
         let mut specs: Vec<PayloadSpec> = Vec::with_capacity(ids.len());
         let latency: Vec<ClientLatency> = ids
             .iter()
+            .enumerate()
             .zip(&samples)
-            .map(|(&k, s)| {
+            .map(|((i, &k), s)| {
                 let spec = self.trainer.payload_spec(env, t, k);
+                if gated[i] {
+                    specs.push(spec);
+                    return ClientLatency::zero();
+                }
                 let payload = st.comm.plan(
                     k,
                     t,
@@ -1292,17 +1398,38 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                 down_bytes += payload.down_bytes;
                 delta_dispatches += payload.is_delta() as usize;
                 specs.push(spec);
-                self.trainer
-                    .cost(env, t, k)
-                    .dispatch_round_trip(s, cfg.local_iters, &payload)
+                let mut lat =
+                    self.trainer
+                        .cost(env, t, k)
+                        .dispatch_round_trip(s, cfg.local_iters, &payload);
+                // Thermal throttle + timing adversary, and busy-streak
+                // accrual for the dispatches whose device actually runs
+                // (a dropped-out client vanishes before training).
+                if let Some(plan) = &self.trace {
+                    if !dropped[i] {
+                        let (scaled, thr) = st.trace.cost(plan, cfg.seed, k, st.clock_s, lat);
+                        lat = scaled;
+                        throttled += thr as usize;
+                        st.trace
+                            .note_busy(plan, cfg.seed, k, st.clock_s, lat.total());
+                    }
+                }
+                lat
             })
             .collect();
         for (i, &k) in ids.iter().enumerate() {
-            if dropped[i] {
+            if gated[i] {
+                // Never delivered: the client's cache entry is untouched.
+            } else if dropped[i] {
                 st.comm.invalidate(k);
             } else {
                 st.comm.record_dispatch(k, t, specs[i].shape_id);
             }
+        }
+        // Trace-gated clients never report, exactly like dropouts — the
+        // ledger's `unavailable`/`outage_lost` break out the cause.
+        for (d, &g) in dropped.iter_mut().zip(&gated) {
+            *d |= g;
         }
         let sim = simulate_round(&ids, &latency, &dropped, target, &self.sched);
         let index_of = index_by_id(&ids);
@@ -1334,6 +1461,9 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             delta_dispatches,
             edges_active,
             edge_forward_s,
+            unavailable,
+            outage_lost,
+            throttled,
         }
     }
 }
@@ -1349,6 +1479,12 @@ struct PlannedRound {
     edges_active: usize,
     /// The round-close forwarding hop: max edge→server bundle transfer.
     edge_forward_s: f64,
+    /// Selected clients the trace plane's diurnal curve made unreachable.
+    unavailable: usize,
+    /// Selected clients lost to a dark outage window.
+    outage_lost: usize,
+    /// Surviving dispatches whose latency the trace plane scaled.
+    throttled: usize,
 }
 
 /// Client `k`'s device with its round-`t` real-time availability drawn

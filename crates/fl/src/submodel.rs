@@ -11,7 +11,7 @@
 //! window by one channel per round, FedDrop samples randomly.
 //!
 //! Extraction is spec-driven: the channel-group labels on
-//! [`LayerSpec`](fp_nn::spec::LayerSpec) identify which slice of each
+//! [`fp_nn::spec::LayerSpec`] identify which slice of each
 //! weight tensor belongs to which group, so slicing and scatter-aggregation
 //! are generic over architectures (VGG, CNN, and ResNet cascades all work).
 

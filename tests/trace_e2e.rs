@@ -1,0 +1,383 @@
+//! Availability-trace plane regression suite.
+//!
+//! Four guarantees are pinned here:
+//!
+//! 1. **Disabled equivalence.** A scheduler built through `with_trace(..,
+//!    None)` reproduces the flat scheduler bit-for-bit — ledger JSON,
+//!    final model hash, and checkpoint JSON (no `trace` key) — at 1/2/4
+//!    worker threads, so every pre-trace golden stays meaningful.
+//! 2. **Pinned diurnal schedule.** Under the stock diurnal plan the
+//!    participating-client sets across a simulated day are exact, and a
+//!    trace-enabled sync run records a pinned per-round unavailability
+//!    schedule, bit-identical at 1/2/4 worker threads.
+//! 3. **Edge-outage drain.** A two-tier async run under a correlated
+//!    outage plan loses whole-cohort dispatches through the reclaim path
+//!    and still drives to completion.
+//! 4. **Policy-carrying checkpoints.** Checkpoints serialize the plan +
+//!    thermal state under the `trace` key, round-trip through JSON,
+//!    resume bit-identically, and refuse to resume under a different
+//!    plan with a field-named panic.
+
+use fedprophet_repro::data::{generate, SynthConfig};
+use fedprophet_repro::fl::{
+    model_hash, AsyncCheckpoint, AsyncConfig, AsyncScheduler, AsyncStopPoint, CommConfig,
+    EventScheduler, FlConfig, FlEnv, OutagePlan, SchedConfig, SyntheticTrainer, TopologyConfig,
+    TracePlan,
+};
+use fedprophet_repro::hwsim::{SamplingMode, CIFAR_POOL};
+use fedprophet_repro::nn::models::{vgg_atom_specs, VggConfig};
+
+const TRACE_SEED: u64 = 104;
+const TRACE_ROUNDS: usize = 4;
+const DAY_S: f64 = 86_400.0;
+
+fn trace_env(n_clients: usize, rounds: usize, seed: u64) -> FlEnv {
+    let mut cfg = FlConfig::fast(rounds, seed);
+    cfg.n_clients = n_clients;
+    cfg.clients_per_round = 8.min(n_clients);
+    let data = generate(&SynthConfig::tiny(4, 8), seed);
+    let specs = vgg_atom_specs(&VggConfig::tiny(3, 8, 4, &[8, 16]));
+    FlEnv::lazy(data, &CIFAR_POOL, SamplingMode::Balanced, specs, cfg)
+}
+
+fn async_cfg() -> AsyncConfig {
+    AsyncConfig {
+        concurrency: 8,
+        buffer_k: 4,
+        staleness_exp: 0.5,
+        ..AsyncConfig::default()
+    }
+}
+
+fn outage_plan() -> TracePlan {
+    TracePlan {
+        outage: Some(OutagePlan {
+            p: 0.3,
+            window_s: 50.0,
+            regions: 4,
+        }),
+        ..TracePlan::diurnal(DAY_S)
+    }
+}
+
+/// The stock diurnal mix with a hair-trigger thermal envelope: every
+/// class starts throttling immediately and cools down only after a full
+/// day, so back-to-back rounds heat repeat participants up — the stock
+/// thresholds (~30 virtual minutes of busy time) never engage in a
+/// four-round test run.
+fn hot_plan() -> TracePlan {
+    let mut plan = TracePlan::diurnal(DAY_S);
+    for class in &mut plan.classes {
+        class.throttle_after_s = 0.0;
+        class.throttle_per_s = 0.05;
+        class.throttle_cap = 3.0;
+        class.cooldown_s = DAY_S;
+    }
+    plan
+}
+
+/// Resets the global worker budget when a test panics mid-run.
+struct BudgetGuard;
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        fedprophet_repro::tensor::parallel::set_thread_budget(0);
+    }
+}
+
+// --------------------------------------------------- disabled equivalence
+
+#[test]
+fn trace_disabled_sync_is_bit_identical_to_flat() {
+    let sched = SchedConfig::default();
+    let flat_json;
+    {
+        let _guard = BudgetGuard;
+        fedprophet_repro::tensor::parallel::set_thread_budget(1);
+        let env = trace_env(32, TRACE_ROUNDS, TRACE_SEED);
+        let flat = EventScheduler::new(SyntheticTrainer, sched).run(&env);
+        flat_json = flat.ledger_json();
+        let traced = EventScheduler::with_trace(
+            SyntheticTrainer,
+            sched,
+            CommConfig::default(),
+            TopologyConfig::single(),
+            None,
+        )
+        .run(&env);
+        assert_eq!(flat.ledger, traced.ledger);
+        assert_eq!(flat.ledger_json(), traced.ledger_json());
+        assert_eq!(model_hash(&flat.model), model_hash(&traced.model));
+        assert!(!flat_json.contains("\"unavailable\""));
+        assert!(!flat_json.contains("\"throttled\""));
+        // Checkpoints agree byte-for-byte: a disabled plane writes no
+        // `trace` key.
+        let a =
+            serde_json::to_string(&EventScheduler::new(SyntheticTrainer, sched).run_until(&env, 2))
+                .unwrap();
+        let b = serde_json::to_string(
+            &EventScheduler::with_trace(
+                SyntheticTrainer,
+                sched,
+                CommConfig::default(),
+                TopologyConfig::single(),
+                None,
+            )
+            .run_until(&env, 2),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert!(
+            !a.contains("\"trace\""),
+            "disabled plane writes no trace key"
+        );
+    }
+    // Worker-thread budget must not move a single ledger byte either way.
+    for workers in [2, 4] {
+        let _guard = BudgetGuard;
+        fedprophet_repro::tensor::parallel::set_thread_budget(workers);
+        let env = trace_env(32, TRACE_ROUNDS, TRACE_SEED);
+        let traced = EventScheduler::with_trace(
+            SyntheticTrainer,
+            sched,
+            CommConfig::default(),
+            TopologyConfig::single(),
+            None,
+        )
+        .run(&env);
+        assert_eq!(
+            flat_json,
+            traced.ledger_json(),
+            "trace-disabled ledger drifted at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn trace_disabled_async_is_bit_identical_to_flat() {
+    let env = trace_env(32, TRACE_ROUNDS, TRACE_SEED);
+    let flat = AsyncScheduler::new(SyntheticTrainer, async_cfg()).run(&env);
+    let traced = AsyncScheduler::with_trace(
+        SyntheticTrainer,
+        async_cfg(),
+        CommConfig::default(),
+        TopologyConfig::single(),
+        None,
+    )
+    .run(&env);
+    assert_eq!(flat.ledger, traced.ledger);
+    assert_eq!(flat.ledger_json(), traced.ledger_json());
+    assert_eq!(model_hash(&flat.model), model_hash(&traced.model));
+    let a = serde_json::to_string(
+        &AsyncScheduler::new(SyntheticTrainer, async_cfg())
+            .run_until(&env, AsyncStopPoint::after_agg(2)),
+    )
+    .unwrap();
+    let b = serde_json::to_string(
+        &AsyncScheduler::with_trace(
+            SyntheticTrainer,
+            async_cfg(),
+            CommConfig::default(),
+            TopologyConfig::single(),
+            None,
+        )
+        .run_until(&env, AsyncStopPoint::after_agg(2)),
+    )
+    .unwrap();
+    assert_eq!(a, b);
+    assert!(
+        !a.contains("\"trace\""),
+        "disabled plane writes no trace key"
+    );
+}
+
+// ------------------------------------------------ pinned diurnal schedule
+
+/// The participating subset of clients `0..24` under the stock diurnal
+/// plan on the seed-104 fleet, sampled every four virtual hours across
+/// one simulated day (draw stream version = sample index).
+const DIURNAL_SETS: &[&[usize]] = &[
+    &[3, 4, 5, 10, 12, 15, 21, 22, 23],
+    &[3, 4, 5, 10, 11, 12, 13, 15, 19, 21, 22, 23],
+    &[0, 2, 3, 8, 11, 12, 14, 15, 18, 21, 22, 23],
+    &[1, 3, 4, 5, 9, 10, 12, 14, 17, 18, 19, 20, 21, 22],
+    &[1, 3, 4, 5, 12, 15, 21, 22, 23],
+    &[3, 4, 5, 6, 9, 10, 12, 13, 15, 17, 20, 21, 22, 23],
+];
+
+#[test]
+fn diurnal_participation_sets_are_pinned_across_a_day() {
+    let plan = TracePlan::diurnal(DAY_S);
+    let sets: Vec<Vec<usize>> = (0..6)
+        .map(|i| {
+            let clock = DAY_S * i as f64 / 6.0;
+            (0..24)
+                .filter(|&k| plan.participates(TRACE_SEED, i, k, clock))
+                .collect()
+        })
+        .collect();
+    assert_eq!(sets.len(), DIURNAL_SETS.len());
+    for (got, want) in sets.iter().zip(DIURNAL_SETS) {
+        assert_eq!(got, want);
+    }
+}
+
+/// Per-round `(unavailable, throttled)` schedule of the trace-enabled
+/// sync run below — the diurnal curve gates a pinned client subset each
+/// round and the thermal model scales a pinned number of survivors.
+const SYNC_TRACE_SCHEDULE: &[(usize, usize)] = &[(6, 0), (6, 0), (6, 1), (5, 1)];
+
+fn traced_sync_run(workers: usize) -> (String, Vec<(usize, usize)>) {
+    let _guard = BudgetGuard;
+    fedprophet_repro::tensor::parallel::set_thread_budget(workers);
+    let env = trace_env(32, TRACE_ROUNDS, TRACE_SEED);
+    let out = EventScheduler::with_trace(
+        SyntheticTrainer,
+        SchedConfig::default(),
+        CommConfig::default(),
+        TopologyConfig::single(),
+        Some(hot_plan()),
+    )
+    .run(&env);
+    let sched: Vec<(usize, usize)> = out
+        .ledger
+        .iter()
+        .map(|r| (r.unavailable, r.throttled))
+        .collect();
+    (out.ledger_json(), sched)
+}
+
+#[test]
+fn traced_sync_run_is_pinned_and_worker_invariant() {
+    let (json, sched) = traced_sync_run(1);
+    assert_eq!(sched, SYNC_TRACE_SCHEDULE);
+    // The gated clients reduce the merge but never break the round.
+    assert!(json.contains("\"unavailable\""));
+    for workers in [2, 4] {
+        let (j, _) = traced_sync_run(workers);
+        assert_eq!(json, j, "traced ledger drifted at {workers} workers");
+    }
+}
+
+// ------------------------------------------------------ edge-outage drain
+
+#[test]
+fn edge_outage_drains_cohorts_through_the_reclaim_path() {
+    let env = trace_env(32, TRACE_ROUNDS, TRACE_SEED);
+    let out = AsyncScheduler::with_trace(
+        SyntheticTrainer,
+        async_cfg(),
+        CommConfig::default(),
+        TopologyConfig::two_tier(4, 2),
+        Some(outage_plan()),
+    )
+    .run(&env);
+    assert!(!out.ledger.is_empty());
+    let outage_lost: usize = out.ledger.iter().map(|r| r.outage_lost).sum();
+    let unavailable: usize = out.ledger.iter().map(|r| r.unavailable).sum();
+    assert!(
+        outage_lost > 0,
+        "a 30%-dark outage plan must kill at least one cohort dispatch"
+    );
+    assert!(unavailable > 0, "the diurnal curve must gate someone");
+    // Determinism: the same run reproduces its ledger exactly.
+    let again = AsyncScheduler::with_trace(
+        SyntheticTrainer,
+        async_cfg(),
+        CommConfig::default(),
+        TopologyConfig::two_tier(4, 2),
+        Some(outage_plan()),
+    )
+    .run(&env);
+    assert_eq!(out.ledger_json(), again.ledger_json());
+    assert_eq!(model_hash(&out.model), model_hash(&again.model));
+}
+
+// ----------------------------------------- policy-carrying checkpoints
+
+#[test]
+fn sync_checkpoint_carries_trace_and_resumes_bit_identically() {
+    let env = trace_env(32, TRACE_ROUNDS, TRACE_SEED);
+    let sched = SchedConfig::default();
+    let build = || {
+        EventScheduler::with_trace(
+            SyntheticTrainer,
+            sched,
+            CommConfig::default(),
+            TopologyConfig::single(),
+            Some(TracePlan::diurnal(DAY_S)),
+        )
+    };
+    let full = build().run(&env);
+    let ckpt = build().run_until(&env, 2);
+    let json = serde_json::to_string(&ckpt).unwrap();
+    assert!(json.contains("\"trace\""), "checkpoint must carry the plan");
+    assert!(json.contains("\"day_s\""));
+    let restored: fedprophet_repro::fl::SchedCheckpoint = serde_json::from_str(&json).unwrap();
+    assert_eq!(json, serde_json::to_string(&restored).unwrap());
+    let resumed = build().resume(&env, &restored);
+    assert_eq!(full.ledger, resumed.ledger);
+    assert_eq!(model_hash(&full.model), model_hash(&resumed.model));
+}
+
+#[test]
+fn async_checkpoint_carries_trace_and_resumes_bit_identically() {
+    let env = trace_env(32, TRACE_ROUNDS, TRACE_SEED);
+    let build = || {
+        AsyncScheduler::with_trace(
+            SyntheticTrainer,
+            async_cfg(),
+            CommConfig::default(),
+            TopologyConfig::two_tier(4, 2),
+            Some(outage_plan()),
+        )
+    };
+    let full = build().run(&env);
+    let ckpt = build().run_until(&env, AsyncStopPoint::after_agg(2));
+    let json = serde_json::to_string(&ckpt).unwrap();
+    assert!(json.contains("\"trace\""), "checkpoint must carry the plan");
+    assert!(json.contains("\"window_s\""));
+    let restored: AsyncCheckpoint = serde_json::from_str(&json).unwrap();
+    assert_eq!(json, serde_json::to_string(&restored).unwrap());
+    let resumed = build().resume(&env, &restored);
+    assert_eq!(full.ledger, resumed.ledger);
+    assert_eq!(model_hash(&full.model), model_hash(&resumed.model));
+}
+
+#[test]
+#[should_panic(expected = "SchedCheckpoint field `trace`")]
+fn sync_resume_rejects_a_different_trace_plan() {
+    let env = trace_env(32, TRACE_ROUNDS, TRACE_SEED);
+    let sched = SchedConfig::default();
+    let ckpt = EventScheduler::with_trace(
+        SyntheticTrainer,
+        sched,
+        CommConfig::default(),
+        TopologyConfig::single(),
+        Some(TracePlan::diurnal(DAY_S)),
+    )
+    .run_until(&env, 2);
+    EventScheduler::new(SyntheticTrainer, sched).resume(&env, &ckpt);
+}
+
+#[test]
+#[should_panic(expected = "AsyncCheckpoint field `trace`")]
+fn async_resume_rejects_a_different_trace_plan() {
+    let env = trace_env(32, TRACE_ROUNDS, TRACE_SEED);
+    let ckpt = AsyncScheduler::with_trace(
+        SyntheticTrainer,
+        async_cfg(),
+        CommConfig::default(),
+        TopologyConfig::single(),
+        Some(TracePlan::diurnal(DAY_S)),
+    )
+    .run_until(&env, AsyncStopPoint::after_agg(2));
+    AsyncScheduler::with_trace(
+        SyntheticTrainer,
+        async_cfg(),
+        CommConfig::default(),
+        TopologyConfig::single(),
+        Some(TracePlan::diurnal(DAY_S / 2.0)),
+    )
+    .resume(&env, &ckpt);
+}
