@@ -86,7 +86,7 @@ fn report_fleet(_c: &mut Criterion) {
     // per-aggregation history resident.
     let ledger_path = std::env::var("FP_HIER_LEDGER_JSONL")
         .unwrap_or_else(|_| "bench-fl-hier-ledger.jsonl".into());
-    let mut lines = Vec::new();
+    let mut sink = fp_bench::report::JsonlSink::create(&ledger_path);
     let (mut merged, mut bundles, mut flushes) = (0usize, 0usize, 0usize);
     let mut clock_s = 0.0f64;
     let out = sched.run_streamed(&env, &mut |rec| {
@@ -94,10 +94,10 @@ fn report_fleet(_c: &mut Criterion) {
         bundles += rec.bundles;
         flushes += rec.edge_flushes;
         clock_s = rec.clock_s;
-        lines.push(serde_json::to_string(rec).expect("serialize agg record"));
+        sink.push(&serde_json::to_string(rec).expect("serialize agg record"));
     });
     assert!(out.ledger.is_empty(), "streamed run keeps no ledger");
-    std::fs::write(&ledger_path, lines.join("\n") + "\n").expect("write ledger sink");
+    sink.finish();
 
     // Determinism across runs, and the resident-state bounds from a
     // mid-flight checkpoint.

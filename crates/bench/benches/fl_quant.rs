@@ -1,0 +1,117 @@
+//! Quantized up-link plane at fleet scale.
+//!
+//! Four async fleet runs are compared: dense uploads and the stochastic
+//! quantizer at 8, 4, and 2 bits with error feedback. The report records
+//! wall-clock medians plus the wire accounting of each variant — total
+//! up-link bytes, the virtual clock at the final aggregation (smaller
+//! uploads reach the buffer sooner, so quantization buys *virtual time*,
+//! not just ledger bytes), and the final model's L2 drift from the dense
+//! trajectory (the convergence price of the lossy wire, bounded by error
+//! feedback).
+
+use criterion::{criterion_group, criterion_main, take_results, Criterion};
+use fp_bench::envs::fleet_env;
+use fp_fl::{
+    AsyncConfig, AsyncOutcome, AsyncScheduler, QuantConfig, QuantTrainer, SyntheticTrainer,
+};
+
+const FLEET: usize = 20_000;
+const AGGS: usize = 6;
+const SEED: u64 = 47;
+
+fn acfg() -> AsyncConfig {
+    AsyncConfig {
+        concurrency: 64,
+        buffer_k: 4,
+        staleness_exp: 0.5,
+        ..AsyncConfig::default()
+    }
+}
+
+/// `None` is the dense baseline; `Some(bits)` wraps the trainer with the
+/// quantized up-link plane at that code width.
+fn run(bits: Option<u32>) -> AsyncOutcome {
+    let env = fleet_env(FLEET, AGGS, SEED);
+    match bits {
+        None => AsyncScheduler::new(SyntheticTrainer, acfg()).run(&env),
+        Some(b) => AsyncScheduler::new(
+            QuantTrainer::new(SyntheticTrainer, QuantConfig::new(b)),
+            acfg(),
+        )
+        .run(&env),
+    }
+}
+
+fn label(bits: Option<u32>) -> String {
+    bits.map_or_else(|| "dense".into(), |b| format!("q{b}"))
+}
+
+const VARIANTS: [Option<u32>; 4] = [None, Some(8), Some(4), Some(2)];
+
+fn bench_wall(c: &mut Criterion) {
+    for bits in VARIANTS {
+        c.bench_function(&format!("fl_quant/{}_20k_wall_6_aggs", label(bits)), |b| {
+            b.iter(|| std::hint::black_box(run(bits)))
+        });
+    }
+}
+
+fn report_wire(_c: &mut Criterion) {
+    let l2 = |a: &[f32], b: &[f32]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let dense = run(None);
+    let dense_params = dense.model.flat_params();
+    let dense_up: u64 = dense.ledger.iter().map(|r| r.up_bytes).sum();
+    let mut rows = Vec::new();
+    for bits in VARIANTS {
+        let out = if bits.is_none() { &dense } else { &run(bits) };
+        let up: u64 = out.ledger.iter().map(|r| r.up_bytes).sum();
+        let merged: usize = out.ledger.iter().map(|r| r.merged).sum();
+        let clock_s = out.ledger.last().map_or(0.0, |r| r.clock_s);
+        let drift = l2(&out.model.flat_params(), &dense_params);
+        rows.push(format!(
+            "  {{\"variant\": \"{}\", \"up_bytes\": {up}, \
+             \"up_reduction_vs_dense\": {:.3}, \"merged\": {merged}, \
+             \"virtual_total_s\": {clock_s:.8}, \"drift_l2_vs_dense\": {drift:.6}}}",
+            label(bits),
+            dense_up as f64 / up as f64,
+        ));
+    }
+    let wall: Vec<String> = take_results()
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+                r.id, r.median_ns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"env\": \"fleet_lazy_20k\", \"trainer\": \"Synthetic\", \
+         \"n_clients\": {FLEET}, \"aggregations\": {AGGS}, \"concurrency\": {}, \
+         \"buffer_k\": {}, \"chunk\": {}}},\n  \
+         \"wire\": [\n{}\n  ],\n  \
+         \"wall\": [\n{}\n  ]\n}}\n",
+        acfg().concurrency,
+        acfg().buffer_k,
+        QuantConfig::new(4).chunk,
+        rows.join(",\n"),
+        wall.join(",\n")
+    );
+    let path =
+        std::env::var("FP_QUANT_BENCH_JSON").unwrap_or_else(|_| "BENCH_fl_quant.json".into());
+    std::fs::write(&path, &json).expect("write fl_quant report");
+    println!("fl_quant: 20k-client dense vs 8/4/2-bit stochastic uploads, report -> {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_wall, report_wire
+}
+criterion_main!(benches);

@@ -322,6 +322,7 @@ mod tests {
             "BENCH_fl_hier.json",
             "BENCH_fl_byz.json",
             "BENCH_fl_trace.json",
+            "BENCH_fl_quant.json",
         ] {
             let path = format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), name);
             let json = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));

@@ -879,6 +879,10 @@ pub struct AsyncCheckpoint<S = ModelState> {
     /// counters; `None` with no trace plan (and then absent from the
     /// JSON, keeping pre-trace checkpoints byte-identical).
     pub trace: Option<crate::trace::TraceCheckpoint>,
+    /// Quantization-plane policy + error-feedback residual table; `None`
+    /// for dense trainers (and then absent from the JSON, keeping
+    /// pre-quantization checkpoints byte-identical).
+    pub quant: Option<crate::quant::QuantState>,
 }
 
 impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
@@ -939,6 +943,9 @@ impl<S: Serialize> Serialize for AsyncCheckpoint<S> {
         if let Some(trace) = &self.trace {
             m.push(("trace".to_string(), trace.serialize()));
         }
+        if let Some(quant) = &self.quant {
+            m.push(("quant".to_string(), quant.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -983,6 +990,7 @@ impl<S: Deserialize> Deserialize for AsyncCheckpoint<S> {
             edge_flushes: opt_field(m, "edge_flushes")?.unwrap_or(0),
             byz: opt_field(m, "byz")?,
             trace: opt_field(m, "trace")?,
+            quant: opt_field(m, "quant")?,
         })
     }
 }
@@ -1221,6 +1229,7 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             edge_flushes: st.edge_flushes,
             byz: self.trainer.byz_policy(),
             trace: self.trace.as_ref().map(|p| st.trace.to_checkpoint(p)),
+            quant: self.trainer.quant_state(),
             state: st.state,
             ledger: st.ledger,
             buffer: st.buffer,
@@ -1295,6 +1304,18 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             self.trace.as_ref(),
             "AsyncCheckpoint field `trace`: checkpoint was taken under a different availability-trace plan"
         );
+        // A dense trainer checkpoints as `None` (the key is absent); a
+        // quantized one carries its residual table alongside the policy,
+        // and only the policy is validated.
+        assert_eq!(
+            ckpt.quant.as_ref().map(|q| q.cfg),
+            self.trainer.quant_policy(),
+            "AsyncCheckpoint field `quant`: checkpoint was taken under a different quantization policy"
+        );
+        self.trainer.reset_quant();
+        if let Some(q) = &ckpt.quant {
+            self.trainer.restore_quant(q);
+        }
         let timeline = AsyncTimeline::restore(
             env.cfg.seed,
             env.cfg.n_clients,
@@ -1354,6 +1375,10 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
     }
 
     fn fresh_state(&self, env: &FlEnv) -> AsyncState<T::ServerState> {
+        // Error-feedback residuals are run state held by the trainer
+        // wrapper; a scheduler instance can be run repeatedly, so every
+        // fresh run starts the plane cold.
+        self.trainer.reset_quant();
         self.acfg.validate();
         assert!(
             self.acfg.concurrency <= env.cfg.n_clients,
@@ -1474,10 +1499,14 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
                     Some(crate::trace::TraceLoss::Unavailable) => st.trace.unavailable += 1,
                     Some(crate::trace::TraceLoss::Outage) => {
                         st.comm.invalidate(entry.client);
+                        self.trainer
+                            .quant_invalidate(entry.client, crate::quant::QuantLoss::Outage);
                         st.trace.outage_lost += 1;
                     }
                     None => {
                         st.comm.invalidate(entry.client);
+                        self.trainer
+                            .quant_invalidate(entry.client, crate::quant::QuantLoss::Timeout);
                         st.timed_out += 1;
                     }
                 }
@@ -1581,13 +1610,20 @@ impl<T: ScheduledTrainer> AsyncScheduler<T> {
             }
             let dev = sample_availability(env, v, k);
             let spec = self.trainer.payload_spec(env, v, k);
-            let payload = st.comm.plan(
+            let mut payload = st.comm.plan(
                 k,
                 v,
                 &spec,
                 || self.trainer.payload_params(env, &st.state, v, k),
                 |old| self.trainer.payload_params(env, old, v, k),
             );
+            // Lossy up-link compression rewrites the upload size *before*
+            // latency costing (and before the payload is stored on the
+            // dispatch, so the aggregation tally and edge-bundle sizing
+            // see the quantized bytes too).
+            if let Some(qb) = self.trainer.quant_up_bytes(&spec) {
+                payload.up_bytes = qb;
+            }
             let mut lat =
                 self.trainer
                     .cost(env, v, k)

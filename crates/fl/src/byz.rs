@@ -746,6 +746,35 @@ where
     fn take_robust_stats(&self) -> RobustStats {
         std::mem::take(&mut *self.stats.lock().expect("byz stats lock"))
     }
+
+    // The quantization plane passes through: `ByzTrainer<QuantTrainer<T>>`
+    // corrupts the already-quantized update (what a hostile client would
+    // actually put on the wire), and the robust rule sees what the wire
+    // saw.
+
+    fn quant_policy(&self) -> Option<crate::quant::QuantConfig> {
+        self.inner.quant_policy()
+    }
+
+    fn quant_up_bytes(&self, spec: &PayloadSpec) -> Option<u64> {
+        self.inner.quant_up_bytes(spec)
+    }
+
+    fn quant_invalidate(&self, k: usize, cause: crate::quant::QuantLoss) {
+        self.inner.quant_invalidate(k, cause);
+    }
+
+    fn quant_state(&self) -> Option<crate::quant::QuantState> {
+        self.inner.quant_state()
+    }
+
+    fn restore_quant(&self, state: &crate::quant::QuantState) {
+        self.inner.restore_quant(state);
+    }
+
+    fn reset_quant(&self) {
+        self.inner.reset_quant();
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,7 @@ mod config;
 mod engine;
 mod local;
 pub mod metrics;
+pub mod quant;
 pub mod sched;
 pub mod submodel;
 pub mod synthetic;
@@ -89,6 +90,9 @@ pub use config::FlConfig;
 pub use engine::{scale_budgets, FlAlgorithm, FlEnv};
 pub use local::{local_train, LocalTrainConfig};
 pub use metrics::{FlOutcome, RoundRecord};
+pub use quant::{
+    quant_seed, QuantConfig, QuantLoss, QuantLosses, QuantRow, QuantState, QuantTrainer,
+};
 pub use sched::{
     draw_dropouts, model_hash, over_select_count, sample_availability, simulate_round,
     DeadlinePolicy, EventScheduler, ModelState, ModelTrainer, RoundSim, SchedCheckpoint,

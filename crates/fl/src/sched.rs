@@ -682,6 +682,51 @@ pub trait ScheduledTrainer: Sync {
     fn take_robust_stats(&self) -> crate::byz::RobustStats {
         crate::byz::RobustStats::default()
     }
+
+    /// The up-link quantization policy this trainer runs under, if any —
+    /// carried by checkpoints (optional `quant` key, absent when `None`)
+    /// and validated on resume. Dense trainers (the default) report
+    /// `None`, which keeps their checkpoints byte-identical to the
+    /// pre-quantization format.
+    fn quant_policy(&self) -> Option<crate::quant::QuantConfig> {
+        None
+    }
+
+    /// Exact up-link wire bytes of a quantized upload whose dense payload
+    /// is `spec` — `None` means dense f32 (the historical cost). The
+    /// schedulers override `Payload::up_bytes` with this *before* latency
+    /// costing, so compression buys cheaper virtual time, not just
+    /// smaller ledger numbers.
+    fn quant_up_bytes(&self, spec: &PayloadSpec) -> Option<u64> {
+        let _ = spec;
+        None
+    }
+
+    /// Tells the quantization plane that client `k`'s dispatch was lost
+    /// before the server consumed its update, attributing the cause. The
+    /// schedulers call this exactly where they invalidate the comm-plane
+    /// cache: the client's error-feedback residual describes an upload
+    /// the model never absorbed, so it must be dropped with it.
+    fn quant_invalidate(&self, k: usize, cause: crate::quant::QuantLoss) {
+        let _ = (k, cause);
+    }
+
+    /// Serializable snapshot of the quantization plane's client-side
+    /// residual table (`None` when the plane is disabled — checkpoints
+    /// then omit the `quant` key entirely).
+    fn quant_state(&self) -> Option<crate::quant::QuantState> {
+        None
+    }
+
+    /// Restores the quantization plane from checkpoint state.
+    fn restore_quant(&self, state: &crate::quant::QuantState) {
+        let _ = state;
+    }
+
+    /// Resets the quantization plane's run state. The schedulers call
+    /// this when building a fresh run (and before restoring on resume),
+    /// so back-to-back runs on one scheduler instance stay independent.
+    fn reset_quant(&self) {}
 }
 
 /// The server state of a single-global-model algorithm: a thin wrapper
@@ -938,6 +983,10 @@ pub struct SchedCheckpoint<S = ModelState> {
     /// plan (and then absent from the JSON, keeping pre-trace
     /// checkpoints byte-identical).
     pub trace: Option<crate::trace::TraceCheckpoint>,
+    /// Quantization-plane policy + error-feedback residual table; `None`
+    /// for dense trainers (and then absent from the JSON, keeping
+    /// pre-quantization checkpoints byte-identical).
+    pub quant: Option<crate::quant::QuantState>,
 }
 
 impl<S: Serialize> Serialize for SchedCheckpoint<S> {
@@ -969,6 +1018,9 @@ impl<S: Serialize> Serialize for SchedCheckpoint<S> {
         if let Some(trace) = &self.trace {
             m.push(("trace".to_string(), trace.serialize()));
         }
+        if let Some(quant) = &self.quant {
+            m.push(("quant".to_string(), quant.serialize()));
+        }
         serde::Value::Map(m)
     }
 }
@@ -998,6 +1050,7 @@ impl<S: Deserialize> Deserialize for SchedCheckpoint<S> {
             topo: opt_field(m, "topo")?,
             byz: opt_field(m, "byz")?,
             trace: opt_field(m, "trace")?,
+            quant: opt_field(m, "quant")?,
         })
     }
 }
@@ -1086,6 +1139,10 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
     }
 
     fn fresh_state(&self, env: &FlEnv, capacity: usize) -> DriveState<T::ServerState> {
+        // Error-feedback residuals are run state held by the trainer
+        // wrapper; a scheduler instance can be run repeatedly, so every
+        // fresh run starts the plane cold.
+        self.trainer.reset_quant();
         DriveState {
             state: self.trainer.init(env),
             clock_s: 0.0,
@@ -1150,6 +1207,7 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             topo: self.topo.is_hierarchical().then_some(self.topo),
             byz: self.trainer.byz_policy(),
             trace: self.trace.as_ref().map(|p| st.trace.to_checkpoint(p)),
+            quant: self.trainer.quant_state(),
             state: st.state,
             ledger: st.ledger,
         }
@@ -1225,6 +1283,18 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             self.trace.as_ref(),
             "SchedCheckpoint field `trace`: checkpoint was taken under a different availability-trace plan"
         );
+        // A dense trainer checkpoints as `None` (the key is absent); a
+        // quantized one carries its residual table alongside the policy,
+        // and only the policy is validated.
+        assert_eq!(
+            ckpt.quant.as_ref().map(|q| q.cfg),
+            self.trainer.quant_policy(),
+            "SchedCheckpoint field `quant`: checkpoint was taken under a different quantization policy"
+        );
+        self.trainer.reset_quant();
+        if let Some(q) = &ckpt.quant {
+            self.trainer.restore_quant(q);
+        }
         let mut st = DriveState {
             state: ckpt.state.clone(),
             clock_s: ckpt.clock_s,
@@ -1378,6 +1448,9 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
         let mut down_bytes = 0u64;
         let mut delta_dispatches = 0usize;
         let mut specs: Vec<PayloadSpec> = Vec::with_capacity(ids.len());
+        // Per-client *actual* up-link bytes: the dense spec size, or the
+        // quantized wire size when the trainer compresses uploads.
+        let mut up: Vec<u64> = Vec::with_capacity(ids.len());
         let latency: Vec<ClientLatency> = ids
             .iter()
             .enumerate()
@@ -1385,18 +1458,26 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
             .map(|((i, &k), s)| {
                 let spec = self.trainer.payload_spec(env, t, k);
                 if gated[i] {
+                    up.push(spec.bytes);
                     specs.push(spec);
                     return ClientLatency::zero();
                 }
-                let payload = st.comm.plan(
+                let mut payload = st.comm.plan(
                     k,
                     t,
                     &spec,
                     || self.trainer.payload_params(env, &st.state, t, k),
                     |old| self.trainer.payload_params(env, old, t, k),
                 );
+                // Lossy up-link compression rewrites the upload size
+                // *before* latency costing: a quantized upload buys the
+                // client cheaper virtual time on its link.
+                if let Some(qb) = self.trainer.quant_up_bytes(&spec) {
+                    payload.up_bytes = qb;
+                }
                 down_bytes += payload.down_bytes;
                 delta_dispatches += payload.is_delta() as usize;
+                up.push(payload.up_bytes);
                 specs.push(spec);
                 let mut lat =
                     self.trainer
@@ -1422,6 +1503,8 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
                 // Never delivered: the client's cache entry is untouched.
             } else if dropped[i] {
                 st.comm.invalidate(k);
+                self.trainer
+                    .quant_invalidate(k, crate::quant::QuantLoss::Dropout);
             } else {
                 st.comm.record_dispatch(k, t, specs[i].shape_id);
             }
@@ -1434,17 +1517,18 @@ impl<T: ScheduledTrainer> EventScheduler<T> {
         let sim = simulate_round(&ids, &latency, &dropped, target, &self.sched);
         let index_of = index_by_id(&ids);
         // Only completed clients' updates reach the server's up-link.
-        let up_bytes = sim.completed.iter().map(|k| specs[index_of[k]].bytes).sum();
+        let up_bytes = sim.completed.iter().map(|k| up[index_of[k]]).sum();
         // Hierarchical only: group the completed clients by cohort; each
         // active edge forwards one partial sum (wire size = its densest
-        // member update) and the hops run concurrently.
+        // member update — re-quantized by the edge when the plane is on)
+        // and the hops run concurrently.
         let (edges_active, edge_forward_s) = if self.topo.is_hierarchical() {
             let mut per_edge: BTreeMap<usize, u64> = BTreeMap::new();
             for k in &sim.completed {
                 let bytes = per_edge
                     .entry(self.topo.cohort_of(cfg.seed, *k))
                     .or_insert(0);
-                *bytes = (*bytes).max(specs[index_of[k]].bytes);
+                *bytes = (*bytes).max(up[index_of[k]]);
             }
             let forward = per_edge
                 .values()

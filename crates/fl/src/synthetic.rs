@@ -97,17 +97,28 @@ impl ScheduledTrainer for SyntheticTrainer {
         updates: Vec<(usize, Vec<f32>)>,
         weights: &[f32],
     ) {
-        let mut acc = vec![0.0f32; updates[0].1.len()];
-        let wsum: f32 = weights.iter().sum();
-        for ((_, u), &w) in updates.iter().zip(weights) {
-            for (a, v) in acc.iter_mut().zip(u) {
-                *a += w * v;
+        // Merges run serially on the scheduler thread every flush; the
+        // accumulator is reused across flushes instead of reallocated.
+        // `clear` + `resize` zeroes it, so the arithmetic (and every
+        // pinned ledger) is unchanged.
+        thread_local! {
+            static ACC: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        ACC.with(|cell| {
+            let mut acc = cell.borrow_mut();
+            acc.clear();
+            acc.resize(updates[0].1.len(), 0.0f32);
+            let wsum: f32 = weights.iter().sum();
+            for ((_, u), &w) in updates.iter().zip(weights) {
+                for (a, v) in acc.iter_mut().zip(u) {
+                    *a += w * v;
+                }
             }
-        }
-        for a in &mut acc {
-            *a /= wsum;
-        }
-        state.0.set_flat_params(&acc);
+            for a in acc.iter_mut() {
+                *a /= wsum;
+            }
+            state.0.set_flat_params(&acc);
+        });
     }
 }
 

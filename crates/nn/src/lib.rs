@@ -49,6 +49,7 @@ mod loss;
 pub mod models;
 mod optim;
 mod param;
+pub mod qcodec;
 pub mod spec;
 
 pub use atom::Atom;
@@ -69,6 +70,7 @@ pub use layers::sequential::Sequential;
 pub use loss::{accuracy, CrossEntropyLoss};
 pub use optim::{LrSchedule, Sgd};
 pub use param::Param;
+pub use qcodec::QuantizedUpdate;
 pub use spec::{AtomSpec, LayerSpec};
 
 #[cfg(test)]

@@ -200,3 +200,28 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The b = 32 wire passthrough reproduces the dense update
+    /// bit-for-bit — including NaNs and signed zeros — so the quantized
+    /// plane at 32-bit codes *is* the dense path.
+    #[test]
+    fn qcodec_b32_is_dense_bitwise(
+        x in proptest::collection::vec(-100.0f32..100.0, 64),
+        chunk in 1usize..512,
+    ) {
+        let mut x = x;
+        x[0] = f32::NAN;
+        x[1] = -0.0;
+        x[2] = f32::INFINITY;
+        let q = fp_nn::QuantizedUpdate::encode(&x, 32, chunk, 7);
+        let d = q.decode();
+        prop_assert_eq!(d.len(), x.len());
+        for (a, b) in x.iter().zip(&d) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(q.wire_bytes(), 8 + 4 * x.len() as u64);
+    }
+}

@@ -35,6 +35,7 @@ mod matmul;
 mod ops;
 mod pack;
 pub mod parallel;
+pub mod quant;
 mod rng;
 mod shape;
 mod tensor;

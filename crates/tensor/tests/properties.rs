@@ -284,3 +284,74 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stochastic quantization round-trip error is bounded by one
+    /// quantization step (`scale / L`) per element, for arbitrary inputs,
+    /// code widths, and chunkings.
+    #[test]
+    fn quant_roundtrip_error_bounded_by_chunk_scale(
+        full in proptest::collection::vec(-50.0f32..50.0, 300),
+        len in 1usize..300,
+        bits in 2u32..9,
+        chunk in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let x = &full[..len];
+        let (codes, scales) = fp_tensor::quant::quantize(x, bits, chunk, seed);
+        let d = fp_tensor::quant::dequantize(&codes, &scales, bits, chunk);
+        let l = fp_tensor::quant::max_level(bits) as f32;
+        for (ci, (xs, ds)) in x.chunks(chunk).zip(d.chunks(chunk)).enumerate() {
+            let bound = scales[ci] / l * (1.0 + 1e-5) + 1e-7;
+            for (a, b) in xs.iter().zip(ds) {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "chunk {} at {} bits: |{} - {}| > {}", ci, bits, a, b, bound
+                );
+            }
+        }
+    }
+
+    /// Error feedback on a constant stream drains: feeding `c + residual`
+    /// back through the quantizer every step keeps the residual within one
+    /// quantization step (it never accumulates), so the summed dequantized
+    /// mass telescopes to `T·c ± one step` — the carried error is bounded
+    /// independent of `T` and the per-step average converges to `c`.
+    #[test]
+    fn quant_ef_drains_on_constant_stream(
+        c in 0.01f32..10.0,
+        bits in 2u32..9,
+        seed in 0u64..1000,
+        len in 1usize..64,
+    ) {
+        let l = fp_tensor::quant::max_level(bits) as f32;
+        let steps = 16u64;
+        let mut r = vec![0.0f32; len];
+        let mut sum_d = vec![0.0f32; len];
+        let mut bound = 0.0f32;
+        for t in 0..steps {
+            let y: Vec<f32> = r.iter().map(|ri| c + ri).collect();
+            let (codes, scales) = fp_tensor::quant::quantize(&y, bits, len, seed ^ (t << 10));
+            let d = fp_tensor::quant::dequantize(&codes, &scales, bits, len);
+            let step = scales[0] / l * (1.0 + 1e-5) + 1e-6;
+            bound = bound.max(step);
+            for i in 0..len {
+                r[i] = y[i] - d[i];
+                sum_d[i] += d[i];
+                prop_assert!(
+                    r[i].abs() <= step,
+                    "step {}: residual {} exceeds one quantization step {}", t, r[i], step
+                );
+            }
+        }
+        let target = steps as f32 * c;
+        for &s in &sum_d {
+            prop_assert!(
+                (s - target).abs() <= 2.0 * bound + 1e-3 * target.abs(),
+                "telescoped mass {} drifted from {} beyond carried bound {}", s, target, bound
+            );
+        }
+    }
+}
